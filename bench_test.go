@@ -1,0 +1,179 @@
+package statsim
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+// benchScale keeps one harness iteration affordable; cmd/paperexp runs
+// the same experiments at full PaperScale.
+func benchScale() experiments.Scale {
+	s := experiments.QuickScale()
+	s.RefInstructions = 100_000
+	s.SynthTarget = 20_000
+	s.Seeds = 3
+	s.Benchmarks = []string{"gzip", "vpr"}
+	return s
+}
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(name, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Render() == "" {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (benchmarks + baseline IPC).
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkFig3 regenerates Fig. 3 (mispredictions per 1k instructions
+// under EDS / immediate / delayed update).
+func BenchmarkFig3(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4 regenerates Fig. 4 and Table 3 (SFG order sweep).
+func BenchmarkFig4(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5 regenerates Fig. 5 (immediate vs delayed profiling).
+func BenchmarkFig5(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkCoV regenerates the §4.1 convergence study.
+func BenchmarkCoV(b *testing.B) { runExperiment(b, "cov") }
+
+// BenchmarkFig6 regenerates Fig. 6 (absolute IPC/EPC accuracy).
+func BenchmarkFig6(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7 regenerates Fig. 7 (HLS vs SMART-HLS).
+func BenchmarkFig7(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8 regenerates Fig. 8 (phase modeling vs SimPoint) at a
+// reduced unit count.
+func BenchmarkFig8(b *testing.B) {
+	s := benchScale()
+	s.RefInstructions = 50_000
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(s, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates the Table 4 relative-accuracy sweeps for
+// one benchmark.
+func BenchmarkTable4(b *testing.B) {
+	s := benchScale()
+	s.Benchmarks = []string{"gzip"}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDSE regenerates the §4.6 design-space exploration on the
+// reduced grid.
+func BenchmarkDSE(b *testing.B) {
+	s := benchScale()
+	s.Benchmarks = []string{"gzip"}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DSE(s, experiments.QuickGrid()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the framework's moving parts ---
+
+// BenchmarkExecutionDriven measures the reference simulator's speed in
+// simulated instructions per second.
+func BenchmarkExecutionDriven(b *testing.B) {
+	w, err := LoadWorkload("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	const n = 100_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Reference(cfg, w.Stream(1, 0, n))
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "inst/s")
+}
+
+// BenchmarkTraceDriven measures the synthetic-trace simulator's speed.
+func BenchmarkTraceDriven(b *testing.B) {
+	w, _ := LoadWorkload("gzip")
+	cfg := DefaultConfig()
+	g, err := Profile(cfg, w.Stream(1, 0, 100_000), ProfileOptions{K: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := NewSyntheticTrace(g, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	insts := trace.Collect(src, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SimulateTrace(cfg, trace.NewSliceSource(insts))
+	}
+	b.ReportMetric(float64(len(insts))*float64(b.N)/b.Elapsed().Seconds(), "inst/s")
+}
+
+// BenchmarkProfiling measures statistical profiling speed.
+func BenchmarkProfiling(b *testing.B) {
+	w, _ := LoadWorkload("gzip")
+	cfg := DefaultConfig()
+	const n = 100_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Profile(cfg, w.Stream(1, 0, n), ProfileOptions{K: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "inst/s")
+}
+
+// BenchmarkSyntheticGeneration measures trace-generation speed alone.
+func BenchmarkSyntheticGeneration(b *testing.B) {
+	w, _ := LoadWorkload("gzip")
+	cfg := DefaultConfig()
+	g, err := Profile(cfg, w.Stream(1, 0, 100_000), ProfileOptions{K: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		src, err := NewSyntheticTrace(g, 2, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var d trace.DynInst
+		for src.Next(&d) {
+			total++
+		}
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "inst/s")
+}
+
+// BenchmarkFunctionalExecution measures the workload executor's speed.
+func BenchmarkFunctionalExecution(b *testing.B) {
+	w, _ := LoadWorkload("gzip")
+	const n = 200_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := w.Stream(uint64(i+1), 0, n)
+		var d trace.DynInst
+		for src.Next(&d) {
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "inst/s")
+}

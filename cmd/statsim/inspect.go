@@ -1,0 +1,107 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/sfg"
+)
+
+// cmdInspect prints a human-readable summary of a saved statistical
+// flow graph: size, instruction mix, dependency/branch/cache behaviour
+// and the hottest basic-block contexts.
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	prof := fs.String("profile", "", "profile file from `statsim profile` (required)")
+	top := fs.Int("top", 10, "number of hottest edges to list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *prof == "" {
+		return fmt.Errorf("inspect: -profile is required")
+	}
+	g, err := loadProfile(*prof)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("order-%d statistical flow graph\n", g.K)
+	fmt.Printf("  %d nodes, %d edges; %d instructions in %d basic-block executions\n",
+		g.NumNodes(), g.NumEdges(), g.TotalInstructions, g.TotalBlocks)
+	fmt.Printf("  %.1f instructions per block execution\n\n",
+		float64(g.TotalInstructions)/float64(g.TotalBlocks))
+
+	var cls [isa.NumClasses]uint64
+	var deps, depSum uint64
+	var br, taken, mis, redir uint64
+	var fetches, l1i, loads, l1d, l2d, dtlb uint64
+	for _, e := range g.Edges {
+		fetches += e.Fetches
+		l1i += e.L1IMiss
+		loads += e.Loads
+		l1d += e.L1DMiss
+		l2d += e.L2DMiss
+		dtlb += e.DTLBMiss
+		br += e.BrCount
+		taken += e.BrTaken
+		mis += e.BrMispredict
+		redir += e.BrRedirect
+		for i := range e.Insts {
+			ip := &e.Insts[i]
+			cls[ip.Class] += e.Count
+			for _, h := range ip.Dep {
+				if h != nil {
+					deps += h.Total()
+					depSum += uint64(h.Mean() * float64(h.Total()))
+				}
+			}
+		}
+	}
+
+	fmt.Println("instruction mix:")
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		if cls[c] == 0 {
+			continue
+		}
+		fmt.Printf("  %-12s %6.2f%%\n", c, 100*float64(cls[c])/float64(g.TotalInstructions))
+	}
+
+	if deps > 0 {
+		fmt.Printf("\ndependencies: %d RAW edges, mean distance %.1f instructions\n",
+			deps, float64(depSum)/float64(deps))
+	}
+	if br > 0 {
+		fmt.Printf("branches: %.1f%% of instructions; %.1f%% taken, %.2f%% mispredicted, %.2f%% fetch-redirected\n",
+			100*float64(br)/float64(g.TotalInstructions),
+			100*float64(taken)/float64(br),
+			100*float64(mis)/float64(br),
+			100*float64(redir)/float64(br))
+	}
+	if loads > 0 {
+		fmt.Printf("loads: %.1f%% of instructions; miss rates L1D %.2f%%, L2(D) %.2f%%, DTLB %.2f%%\n",
+			100*float64(loads)/float64(g.TotalInstructions),
+			100*float64(l1d)/float64(loads),
+			100*float64(l2d)/float64(loads),
+			100*float64(dtlb)/float64(loads))
+	}
+	if fetches > 0 {
+		fmt.Printf("fetch: L1I miss rate %.3f%%\n", 100*float64(l1i)/float64(fetches))
+	}
+
+	// Hottest contexts.
+	edges := make([]*sfg.Edge, len(g.Edges))
+	copy(edges, g.Edges)
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Count > edges[j].Count })
+	if *top > len(edges) {
+		*top = len(edges)
+	}
+	fmt.Printf("\nhottest %d contexts (history -> block):\n", *top)
+	for _, e := range edges[:*top] {
+		from := g.Nodes[e.From].CurrentBlock()
+		fmt.Printf("  B%-5d -> B%-5d  x%-8d (%d instructions/instance)\n",
+			from, e.Block, e.Count, len(e.Insts))
+	}
+	return nil
+}

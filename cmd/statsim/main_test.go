@@ -1,0 +1,123 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestConfigFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	mk := configFlags(fs)
+	if err := fs.Parse([]string{"-ruu", "64", "-lsq", "16", "-width", "4", "-perfect-caches"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := mk()
+	if cfg.RUUSize != 64 || cfg.LSQSize != 16 || cfg.IssueWidth != 4 || !cfg.PerfectCaches {
+		t.Errorf("flags not applied: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("flag-built config invalid: %v", err)
+	}
+}
+
+func TestWorkloadFlagsBuiltin(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	load := workloadFlags(fs)
+	if err := fs.Parse([]string{"-benchmark", "vpr"}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "vpr" {
+		t.Errorf("loaded %q", w.Name)
+	}
+}
+
+func TestWorkloadFlagsJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.json")
+	if err := os.WriteFile(path, []byte(`{"Name":"custom","Seed":3,"TargetBlocks":20}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	load := workloadFlags(fs)
+	if err := fs.Parse([]string{"-workload-file", path}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "custom" || len(w.Prog.Blocks) == 0 {
+		t.Errorf("custom workload broken: %q, %d blocks", w.Name, len(w.Prog.Blocks))
+	}
+	// Missing file must error cleanly.
+	fs2 := flag.NewFlagSet("t", flag.ContinueOnError)
+	load2 := workloadFlags(fs2)
+	if err := fs2.Parse([]string{"-workload-file", filepath.Join(dir, "nope.json")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load2(); err == nil {
+		t.Error("missing workload file accepted")
+	}
+}
+
+func TestProfileGenerateSimulateFlow(t *testing.T) {
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "p.sfg")
+	trc := filepath.Join(dir, "t.trc")
+	if err := cmdProfile([]string{"-benchmark", "vpr", "-n", "30000", "-o", prof}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdGenerate([]string{"-profile", prof, "-target", "6000", "-o", trc}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSimulate([]string{"-trace", trc}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSimulate([]string{"-profile", prof, "-target", "6000"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSimulate(nil); err == nil {
+		t.Error("simulate without inputs accepted")
+	}
+	if err := cmdGenerate(nil); err == nil {
+		t.Error("generate without inputs accepted")
+	}
+	if err := cmdProfile([]string{"-benchmark", "vpr"}); err == nil {
+		t.Error("profile without -o accepted")
+	}
+}
+
+func TestCmdInspect(t *testing.T) {
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "p.sfg")
+	if err := cmdProfile([]string{"-benchmark", "vpr", "-n", "20000", "-o", prof}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInspect([]string{"-profile", prof, "-top", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInspect(nil); err == nil {
+		t.Error("inspect without -profile accepted")
+	}
+	if err := cmdInspect([]string{"-profile", filepath.Join(dir, "missing")}); err == nil {
+		t.Error("missing profile accepted")
+	}
+}
+
+func TestCmdListAndPersonality(t *testing.T) {
+	if err := cmdList(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPersonality([]string{"-benchmark", "gcc"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPersonality([]string{"-benchmark", "nope"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

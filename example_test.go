@@ -1,0 +1,53 @@
+package statsim_test
+
+import (
+	"fmt"
+
+	statsim "repro"
+)
+
+// The canonical three-step flow: profile, synthesise, simulate — then
+// compare against the execution-driven reference.
+func Example() {
+	w, err := statsim.LoadWorkload("vpr")
+	if err != nil {
+		panic(err)
+	}
+	cfg := statsim.DefaultConfig()
+	const n = 100_000
+
+	eds := statsim.Reference(cfg, w.Stream(1, 0, n))
+	g, err := statsim.Profile(cfg, w.Stream(1, 0, n), statsim.ProfileOptions{K: 1})
+	if err != nil {
+		panic(err)
+	}
+	ss, err := statsim.StatSim(cfg, g, statsim.ReductionFor(g, 20_000), 1)
+	if err != nil {
+		panic(err)
+	}
+	err100 := 100 * (ss.IPC() - eds.IPC()) / eds.IPC()
+	if err100 < 0 {
+		err100 = -err100
+	}
+	fmt.Printf("IPC error below 10%%: %v\n", err100 < 10)
+	// Output: IPC error below 10%: true
+}
+
+// Profiles once, then explores two different window sizes from the same
+// profile — the cheap design-space exploration the paper advocates.
+func Example_designSpace() {
+	w, _ := statsim.LoadWorkload("gzip")
+	base := statsim.DefaultConfig()
+	g, err := statsim.Profile(base, w.Stream(1, 0, 80_000), statsim.ProfileOptions{K: 1})
+	if err != nil {
+		panic(err)
+	}
+	r := statsim.ReductionFor(g, 15_000)
+
+	small := base
+	small.RUUSize, small.LSQSize = 16, 8
+	mSmall, _ := statsim.StatSim(small, g, r, 1)
+	mBig, _ := statsim.StatSim(base, g, r, 1)
+	fmt.Printf("bigger window is at least as fast: %v\n", mBig.IPC() >= mSmall.IPC())
+	// Output: bigger window is at least as fast: true
+}

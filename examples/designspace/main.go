@@ -1,0 +1,83 @@
+// Designspace reproduces the §4.6 use case: explore a processor design
+// space with statistical simulation only — one profile, hundreds of
+// microarchitectures — and identify the energy-efficient (EDP-optimal)
+// region, verifying the winner with execution-driven simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	statsim "repro"
+)
+
+type point struct {
+	ruu, width int
+	edp, ipc   float64
+}
+
+func main() {
+	w, err := statsim.LoadWorkload("twolf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const refLen = 600_000
+
+	// One statistical profile serves the entire exploration: only
+	// window sizes and widths vary, and those are microarchitecture-
+	// independent characteristics of the profile.
+	base := statsim.DefaultConfig()
+	g, err := statsim.Profile(base, w.Stream(1, 0, refLen), statsim.ProfileOptions{K: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := statsim.ReductionFor(g, 25_000)
+
+	start := time.Now()
+	var pts []point
+	for _, ruu := range []int{8, 16, 32, 48, 64, 96, 128} {
+		for _, width := range []int{2, 4, 6, 8} {
+			cfg := base
+			cfg.RUUSize = ruu
+			cfg.LSQSize = max(4, ruu/2)
+			cfg.DecodeWidth, cfg.IssueWidth, cfg.CommitWidth = width, width, width
+			m, err := statsim.StatSim(cfg, g, r, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pts = append(pts, point{ruu: ruu, width: width, edp: m.EDP(), ipc: m.IPC()})
+		}
+	}
+	explore := time.Since(start)
+
+	sort.Slice(pts, func(i, j int) bool { return pts[i].edp < pts[j].edp })
+	fmt.Printf("explored %d design points in %s (one profile, R=%d)\n\n", len(pts), explore.Round(time.Millisecond), r)
+	fmt.Println("best designs by statistically estimated EDP:")
+	fmt.Printf("%6s %6s %10s %8s\n", "RUU", "width", "EDP", "IPC")
+	for _, p := range pts[:5] {
+		fmt.Printf("%6d %6d %10.3f %8.3f\n", p.ruu, p.width, p.edp, p.ipc)
+	}
+
+	// Verify the winner (and the runner-up) with execution-driven
+	// simulation — the expensive tool, now pointed at two designs
+	// instead of twenty-eight.
+	fmt.Println("\nexecution-driven verification of the top designs:")
+	for _, p := range pts[:2] {
+		cfg := base
+		cfg.RUUSize = p.ruu
+		cfg.LSQSize = max(4, p.ruu/2)
+		cfg.DecodeWidth, cfg.IssueWidth, cfg.CommitWidth = p.width, p.width, p.width
+		m := statsim.Reference(cfg, w.Stream(1, 0, refLen))
+		fmt.Printf("  ruu=%3d width=%d: statistical EDP %.3f, execution-driven EDP %.3f\n",
+			p.ruu, p.width, p.edp, m.EDP())
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,46 @@
+// Phases reproduces the §4.4 program-phase study (Fig. 8) on gcc, the
+// most phase-rich workload: compare one statistical profile of a long
+// execution against per-phase profiles and against SimPoint-style
+// representative sampling.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	statsim "repro"
+	"repro/internal/experiments"
+)
+
+func main() {
+	s := experiments.PaperScale()
+	s.RefInstructions = 300_000 // one "unit" (stands in for the paper's 1B)
+	s.SynthTarget = 60_000
+	s.Benchmarks = []string{"gcc", "bzip2"}
+
+	fmt.Println("Phase study: a 10-unit execution, modelled four ways")
+	fmt.Println("(errors vs execution-driven simulation of the complete stream)")
+	res, err := experiments.Fig8(s, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(res.Render())
+
+	// The cost side of the trade-off the paper highlights: SimPoint is
+	// more accurate but simulates far more instructions, and it must
+	// re-simulate on every cache/predictor change, while statistical
+	// simulation only re-profiles.
+	w, err := statsim.LoadWorkload("gcc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := statsim.Profile(statsim.DefaultConfig(),
+		w.Stream(1, 0, 10*s.RefInstructions), statsim.ProfileOptions{K: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstatistical simulation simulates ~%d synthetic instructions;\n", s.SynthTarget)
+	fmt.Printf("SimPoint simulates one %d-instruction interval per phase it finds\n", s.RefInstructions/10)
+	fmt.Printf("(gcc's order-1 SFG: %d nodes, %d edges)\n", g.NumNodes(), g.NumEdges())
+}

@@ -1,0 +1,60 @@
+// Quickstart: the three-step statistical simulation methodology on one
+// benchmark — profile the execution into a statistical flow graph,
+// generate a synthetic trace ~20x shorter, simulate it, and compare
+// against the slow execution-driven reference.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	statsim "repro"
+)
+
+func main() {
+	w, err := statsim.LoadWorkload("gzip")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := statsim.DefaultConfig() // the paper's Table 2 baseline
+	const refLen = 1_000_000
+
+	// Step 0: the reference — detailed execution-driven simulation.
+	start := time.Now()
+	eds := statsim.Reference(cfg, w.Stream(1, 0, refLen))
+	edsTime := time.Since(start)
+
+	// Step 1: statistical profiling (order-1 SFG, delayed update).
+	g, err := statsim.Profile(cfg, w.Stream(1, 0, refLen), statsim.ProfileOptions{K: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profile: %d SFG nodes, %d edges from %d instructions\n",
+		g.NumNodes(), g.NumEdges(), g.TotalInstructions)
+
+	// Steps 2+3: generate a synthetic trace and simulate it.
+	start = time.Now()
+	r := statsim.ReductionFor(g, 50_000)
+	ss, err := statsim.StatSim(cfg, g, r, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ssTime := time.Since(start)
+
+	fmt.Printf("\n%-22s %10s %10s %10s %12s\n", "", "IPC", "EPC (W)", "EDP", "sim time")
+	fmt.Printf("%-22s %10.4f %10.2f %10.3f %12s\n", "execution-driven", eds.IPC(), eds.EPC(), eds.EDP(), edsTime.Round(time.Millisecond))
+	fmt.Printf("%-22s %10.4f %10.2f %10.3f %12s\n",
+		fmt.Sprintf("statistical (R=%d)", r), ss.IPC(), ss.EPC(), ss.EDP(), ssTime.Round(time.Millisecond))
+	fmt.Printf("\nIPC error %.2f%%, EPC error %.2f%%, speedup %.1fx\n",
+		100*abs(ss.IPC()-eds.IPC())/eds.IPC(),
+		100*abs(ss.EPC()-eds.EPC())/eds.EPC(),
+		edsTime.Seconds()/ssTime.Seconds())
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,131 @@
+package bpred
+
+import "repro/internal/isa"
+
+// BranchProfiler consumes a committed instruction stream — every
+// instruction, not just branches, because pipeline occupancy is what
+// delays updates — and emits one final Outcome per branch.
+type BranchProfiler interface {
+	// Feed processes the next instruction of the stream. tag is an
+	// opaque caller value (e.g. an SFG edge index) passed through to the
+	// outcome callback.
+	Feed(pc uint64, class isa.Class, taken bool, target uint64, tag uint64)
+	// Flush drains any buffered instructions at end of stream.
+	Flush()
+}
+
+// ImmediateProfiler is the classic single-pass discipline: the
+// predictor is looked up and updated instruction-per-instruction, so
+// each branch sees state that already includes its immediate
+// predecessor (§2.1.3 "immediate update"). It overestimates predictor
+// accuracy relative to a pipelined machine.
+type ImmediateProfiler struct {
+	Pred *Predictor
+	Emit func(tag uint64, o Outcome)
+}
+
+// Feed implements BranchProfiler.
+func (ip *ImmediateProfiler) Feed(pc uint64, class isa.Class, taken bool, target uint64, tag uint64) {
+	if !class.IsBranch() {
+		return
+	}
+	pr := ip.Pred.Lookup(pc, class)
+	o := Classify(pr, class, taken, target)
+	ip.Pred.Update(pc, class, taken, target)
+	if ip.Emit != nil {
+		ip.Emit(tag, o)
+	}
+}
+
+// Flush implements BranchProfiler (no-op: nothing is buffered).
+func (ip *ImmediateProfiler) Flush() {}
+
+type fifoEntry struct {
+	pc     uint64
+	target uint64
+	tag    uint64
+	pred   Prediction
+	class  isa.Class
+	taken  bool
+}
+
+// DelayedProfiler implements the paper's delayed-update branch
+// profiling (§2.1.3): a FIFO buffer sized like the instruction fetch
+// queue. A branch is looked up when it enters the FIFO (fetch) and the
+// predictor is updated when it leaves (speculative update at dispatch).
+// Lookups therefore see "stale" state lacking the branches still in
+// flight. When a popped branch turns out mispredicted, the instructions
+// residing in the FIFO are squashed and re-fetched: their lookups are
+// redone against the now-updated state, exactly as the refetched
+// correct-path instructions would be in the pipeline.
+type DelayedProfiler struct {
+	Pred *Predictor
+	Emit func(tag uint64, o Outcome)
+
+	size int
+	buf  []fifoEntry
+	head int
+	n    int
+}
+
+// NewDelayedProfiler returns a profiler with a FIFO of the given size
+// (use the IFQ size for speculative update at dispatch; larger values
+// model later update points such as writeback or commit).
+func NewDelayedProfiler(pred *Predictor, size int, emit func(tag uint64, o Outcome)) *DelayedProfiler {
+	if size < 1 {
+		panic("bpred: delayed profiler FIFO size must be >= 1")
+	}
+	return &DelayedProfiler{
+		Pred: pred,
+		Emit: emit,
+		size: size,
+		buf:  make([]fifoEntry, size),
+	}
+}
+
+// Feed implements BranchProfiler.
+func (dp *DelayedProfiler) Feed(pc uint64, class isa.Class, taken bool, target uint64, tag uint64) {
+	if dp.n == dp.size {
+		dp.pop()
+	}
+	e := fifoEntry{pc: pc, target: target, tag: tag, class: class, taken: taken}
+	if class.IsBranch() {
+		e.pred = dp.Pred.Lookup(pc, class)
+	}
+	dp.buf[(dp.head+dp.n)%dp.size] = e
+	dp.n++
+}
+
+// pop removes the head entry, performing the update/classification and
+// the squash-and-replay on mispredictions.
+func (dp *DelayedProfiler) pop() {
+	e := dp.buf[dp.head]
+	dp.head = (dp.head + 1) % dp.size
+	dp.n--
+	if !e.class.IsBranch() {
+		return
+	}
+	o := Classify(e.pred, e.class, e.taken, e.target)
+	dp.Pred.Update(e.pc, e.class, e.taken, e.target)
+	if dp.Emit != nil {
+		dp.Emit(e.tag, o)
+	}
+	if o.Mispredicted {
+		// Squash: the entries still in the FIFO correspond to wrong-path
+		// fetches; the correct-path instructions are refetched, i.e.
+		// their lookups are redone against post-update state.
+		for i := 0; i < dp.n; i++ {
+			idx := (dp.head + i) % dp.size
+			if dp.buf[idx].class.IsBranch() {
+				dp.buf[idx].pred = dp.Pred.Lookup(dp.buf[idx].pc, dp.buf[idx].class)
+			}
+		}
+	}
+}
+
+// Flush implements BranchProfiler.
+func (dp *DelayedProfiler) Flush() {
+	for dp.n > 0 {
+		dp.pop()
+	}
+}

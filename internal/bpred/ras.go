@@ -1,0 +1,45 @@
+package bpred
+
+// RAS is a return-address stack (Table 2: 64 entries). The abstract ISA
+// of this framework folds calls and returns into the indirect-branch
+// class, so the baseline simulators do not drive the RAS; it is
+// provided for completeness and for configurations that model
+// call/return-heavy front ends explicitly.
+type RAS struct {
+	buf []uint64
+	top int // index of next push slot
+	n   int // valid entries (saturates at len(buf))
+}
+
+// NewRAS returns a stack with the given capacity. A capacity of zero
+// yields a stack whose Pop always misses.
+func NewRAS(capacity int) *RAS {
+	return &RAS{buf: make([]uint64, capacity)}
+}
+
+// Push records a return address. When full, the oldest entry is
+// overwritten (circular), as in hardware return stacks.
+func (r *RAS) Push(addr uint64) {
+	if len(r.buf) == 0 {
+		return
+	}
+	r.buf[r.top] = addr
+	r.top = (r.top + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// Pop predicts the most recent return address; ok is false when the
+// stack is empty.
+func (r *RAS) Pop() (addr uint64, ok bool) {
+	if r.n == 0 || len(r.buf) == 0 {
+		return 0, false
+	}
+	r.top = (r.top - 1 + len(r.buf)) % len(r.buf)
+	r.n--
+	return r.buf[r.top], true
+}
+
+// Depth returns the number of valid entries.
+func (r *RAS) Depth() int { return r.n }

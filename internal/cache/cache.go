@@ -1,0 +1,187 @@
+// Package cache implements the memory-hierarchy substrate: set-
+// associative caches with LRU replacement, TLBs, and a Hierarchy that
+// bundles them per the paper's baseline configuration (Table 2: split
+// 8 KB I / 16 KB D level-one caches, a unified 1 MB L2 with separate
+// accounting of instruction- and data-induced misses, and 32-entry
+// I/D-TLBs with 4 KB pages).
+//
+// These models play the role of SimpleScalar's sim-cache during
+// statistical profiling (§2.1.2) and supply live locality events to the
+// execution-driven timing simulator.
+package cache
+
+import "fmt"
+
+// Replacement selects the victim policy of a set.
+type Replacement uint8
+
+const (
+	// LRU evicts the least recently used way (the default; sim-cache's
+	// default and the policy the paper's Table 2 implies).
+	LRU Replacement = iota
+	// FIFO evicts the oldest-inserted way regardless of reuse.
+	FIFO
+	// Random evicts a pseudo-random way (deterministic per cache).
+	Random
+)
+
+// String returns the policy's short name.
+func (r Replacement) String() string {
+	switch r {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case Random:
+		return "random"
+	}
+	return "repl?"
+}
+
+// Config describes one cache level.
+type Config struct {
+	SizeBytes  int // total capacity
+	Assoc      int // ways per set
+	BlockBytes int // line size (page size for TLBs)
+	Latency    int // hit access latency in cycles
+	Repl       Replacement
+}
+
+// Validate checks structural soundness (power-of-two geometry, at least
+// one set).
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Assoc <= 0 || c.BlockBytes <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.BlockBytes&(c.BlockBytes-1) != 0 {
+		return fmt.Errorf("cache: block size %d not a power of two", c.BlockBytes)
+	}
+	sets := c.SizeBytes / (c.Assoc * c.BlockBytes)
+	if sets <= 0 {
+		return fmt.Errorf("cache: config %+v yields no sets", c)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: config %+v yields non-power-of-two set count %d", c, sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / (c.Assoc * c.BlockBytes) }
+
+// Cache is a set-associative cache with true-LRU replacement. It is a
+// tag-only model: no data is stored, only presence.
+type Cache struct {
+	cfg      Config
+	sets     int
+	shift    uint
+	setMask  uint64
+	tags     []uint64 // sets*assoc entries; tag 0 encoded via valid bit
+	valid    []bool
+	lastUsed []uint64 // LRU: last touch; FIFO: insertion tick
+	tick     uint64
+	rng      uint64 // xorshift state for Random replacement
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// New builds a cache from cfg; cfg must validate.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	shift := uint(0)
+	for 1<<shift != cfg.BlockBytes {
+		shift++
+	}
+	n := sets * cfg.Assoc
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		shift:    shift,
+		setMask:  uint64(sets - 1),
+		tags:     make([]uint64, n),
+		valid:    make([]bool, n),
+		lastUsed: make([]uint64, n),
+		rng:      0x2545f4914f6cdd1d,
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access looks up addr, allocating the line on a miss (allocate-on-miss
+// for both reads and writes, as in sim-cache), and reports whether it
+// hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.Accesses++
+	c.tick++
+	blk := addr >> c.shift
+	set := int(blk & c.setMask)
+	tag := blk // full block number as tag; set bits included is harmless
+	base := set * c.cfg.Assoc
+	victim := -1
+	oldest := ^uint64(0)
+	for i := base; i < base+c.cfg.Assoc; i++ {
+		if c.valid[i] && c.tags[i] == tag {
+			if c.cfg.Repl == LRU {
+				c.lastUsed[i] = c.tick
+			}
+			return true
+		}
+		if !c.valid[i] {
+			if victim < 0 || oldest != 0 {
+				victim = i
+				oldest = 0
+			}
+		} else if oldest != 0 && c.lastUsed[i] < oldest {
+			victim = i
+			oldest = c.lastUsed[i]
+		}
+	}
+	c.Misses++
+	if c.cfg.Repl == Random && oldest != 0 {
+		// No invalid way: pick a pseudo-random victim.
+		c.rng ^= c.rng << 13
+		c.rng ^= c.rng >> 7
+		c.rng ^= c.rng << 17
+		victim = base + int(c.rng%uint64(c.cfg.Assoc))
+	}
+	c.tags[victim] = tag
+	c.valid[victim] = true
+	c.lastUsed[victim] = c.tick
+	return false
+}
+
+// Probe reports whether addr is resident without updating any state.
+func (c *Cache) Probe(addr uint64) bool {
+	blk := addr >> c.shift
+	set := int(blk & c.setMask)
+	base := set * c.cfg.Assoc
+	for i := base; i < base+c.cfg.Assoc; i++ {
+		if c.valid[i] && c.tags[i] == blk {
+			return true
+		}
+	}
+	return false
+}
+
+// MissRate returns Misses/Accesses, or 0 with no accesses.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.tick = 0
+	c.Accesses = 0
+	c.Misses = 0
+}

@@ -1,0 +1,314 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() Config { return Config{SizeBytes: 256, Assoc: 2, BlockBytes: 32, Latency: 1} }
+
+func TestConfigValidate(t *testing.T) {
+	if err := small().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{SizeBytes: 0, Assoc: 1, BlockBytes: 32},
+		{SizeBytes: 256, Assoc: 2, BlockBytes: 33}, // non-pow2 block
+		{SizeBytes: 96, Assoc: 1, BlockBytes: 32},  // 3 sets
+		{SizeBytes: 32, Assoc: 4, BlockBytes: 32},  // 0 sets
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+	if small().Sets() != 4 {
+		t.Errorf("Sets = %d, want 4", small().Sets())
+	}
+}
+
+func TestCacheColdMissThenHit(t *testing.T) {
+	c := New(small())
+	if c.Access(0x1000) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Error("second access missed")
+	}
+	// Same line, different offset: hit.
+	if !c.Access(0x101f) {
+		t.Error("same-line access missed")
+	}
+	// Next line: miss.
+	if c.Access(0x1020) {
+		t.Error("next-line access hit")
+	}
+	if c.Accesses != 4 || c.Misses != 2 {
+		t.Errorf("counters: %d accesses, %d misses; want 4, 2", c.Accesses, c.Misses)
+	}
+}
+
+func TestCacheLRUReplacement(t *testing.T) {
+	// 2-way, 4 sets, 32B lines: addresses mapping to set 0 are multiples
+	// of 128.
+	c := New(small())
+	a, b, d := uint64(0), uint64(128), uint64(256)
+	c.Access(a) // miss, resident {a}
+	c.Access(b) // miss, resident {a,b}
+	c.Access(a) // hit: a is now MRU
+	c.Access(d) // miss: evicts LRU = b
+	if !c.Probe(a) {
+		t.Error("a should be resident (was MRU)")
+	}
+	if c.Probe(b) {
+		t.Error("b should have been evicted (was LRU)")
+	}
+	if !c.Probe(d) {
+		t.Error("d should be resident")
+	}
+}
+
+func TestCacheFullyAssociative(t *testing.T) {
+	c := New(Config{SizeBytes: 128, Assoc: 4, BlockBytes: 32, Latency: 1})
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i * 32)
+	}
+	for i := uint64(0); i < 4; i++ {
+		if !c.Probe(i * 32) {
+			t.Errorf("line %d evicted prematurely", i)
+		}
+	}
+	c.Access(4 * 32) // evicts line 0 (LRU)
+	if c.Probe(0) {
+		t.Error("line 0 should be evicted")
+	}
+}
+
+func TestCacheWorkingSetFitsNoCapacityMisses(t *testing.T) {
+	c := New(Config{SizeBytes: 1 << 10, Assoc: 4, BlockBytes: 32, Latency: 1})
+	// Touch 512 bytes repeatedly: after warmup, zero misses.
+	for round := 0; round < 10; round++ {
+		for a := uint64(0); a < 512; a += 8 {
+			c.Access(a)
+		}
+	}
+	if c.Misses != 16 { // 512/32 cold misses only
+		t.Errorf("misses = %d, want 16 cold misses", c.Misses)
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := New(small())
+	c.Access(0)
+	c.Reset()
+	if c.Accesses != 0 || c.Misses != 0 {
+		t.Error("counters not reset")
+	}
+	if c.Probe(0) {
+		t.Error("contents not reset")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := New(small())
+	if c.MissRate() != 0 {
+		t.Error("empty cache MissRate should be 0")
+	}
+	c.Access(0)
+	c.Access(0)
+	if got := c.MissRate(); got != 0.5 {
+		t.Errorf("MissRate = %v, want 0.5", got)
+	}
+}
+
+// Property: miss count never exceeds access count, and hits+misses
+// match accesses.
+func TestCacheCounterInvariant(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := New(small())
+		hits := 0
+		for _, a := range addrs {
+			if c.Access(uint64(a)) {
+				hits++
+			}
+		}
+		return c.Accesses == uint64(len(addrs)) && c.Misses+uint64(hits) == c.Accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: immediately after Access(a), Probe(a) is true (the line was
+// allocated).
+func TestCacheAllocateOnMiss(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := New(small())
+		for _, a := range addrs {
+			c.Access(uint64(a))
+			if !c.Probe(uint64(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOReplacementIgnoresReuse(t *testing.T) {
+	cfg := small()
+	cfg.Repl = FIFO
+	c := New(cfg)
+	a, b, d := uint64(0), uint64(128), uint64(256) // same set, 2 ways
+	c.Access(a)                                    // inserted first
+	c.Access(b)
+	c.Access(a) // reuse must NOT refresh under FIFO
+	c.Access(d) // evicts a (oldest insertion), not b
+	if c.Probe(a) {
+		t.Error("FIFO should evict the oldest insertion despite reuse")
+	}
+	if !c.Probe(b) || !c.Probe(d) {
+		t.Error("FIFO evicted the wrong line")
+	}
+}
+
+func TestRandomReplacementStillCaches(t *testing.T) {
+	cfg := small()
+	cfg.Repl = Random
+	c := New(cfg)
+	c.Access(0x40)
+	if !c.Access(0x40) {
+		t.Error("random-replacement cache must still hit on reuse")
+	}
+	// Fill a set beyond capacity repeatedly: must not panic, counters
+	// stay consistent.
+	for i := uint64(0); i < 1000; i++ {
+		c.Access(i * 128)
+	}
+	if c.Misses > c.Accesses {
+		t.Error("counter invariant broken")
+	}
+	// Determinism: two identical caches agree.
+	c1, c2 := New(cfg), New(cfg)
+	for i := uint64(0); i < 500; i++ {
+		if c1.Access(i*128%4096) != c2.Access(i*128%4096) {
+			t.Fatal("random replacement must be deterministic per cache")
+		}
+	}
+}
+
+func TestLRUBeatsFIFOOnReuseHeavyStream(t *testing.T) {
+	run := func(r Replacement) uint64 {
+		cfg := Config{SizeBytes: 256, Assoc: 4, BlockBytes: 32, Latency: 1, Repl: r}
+		c := New(cfg)
+		// One hot line re-touched constantly amid a streaming scan.
+		for i := uint64(0); i < 5000; i++ {
+			c.Access(0)                // hot
+			c.Access((i%64 + 1) * 256) // streaming, same set as hot line
+		}
+		return c.Misses
+	}
+	if lru, fifo := run(LRU), run(FIFO); lru >= fifo {
+		t.Errorf("LRU (%d misses) should beat FIFO (%d) on reuse-heavy streams", lru, fifo)
+	}
+}
+
+func TestReplacementNames(t *testing.T) {
+	if LRU.String() != "lru" || FIFO.String() != "fifo" || Random.String() != "random" {
+		t.Error("replacement names wrong")
+	}
+	if Replacement(9).String() != "repl?" {
+		t.Error("unknown replacement name")
+	}
+}
+
+func TestHierarchyDefaultsValid(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if cfg.L1I.Sets() != 128 {
+		t.Errorf("L1I sets = %d, want 128 (8KB/2-way/32B)", cfg.L1I.Sets())
+	}
+	if cfg.ITLB.Sets() != 4 {
+		t.Errorf("ITLB sets = %d, want 4 (32 entries 8-way)", cfg.ITLB.Sets())
+	}
+}
+
+func TestHierarchyL2SplitAccounting(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	// Instruction fetch to a cold line: L1I miss + L2 (instruction) miss.
+	r := h.AccessI(0x40_0000)
+	if !r.L1Miss || !r.L2Miss || !r.TLBMiss {
+		t.Errorf("cold fetch result %+v, want all misses", r)
+	}
+	if h.L2IMisses != 1 || h.L2DMisses != 0 {
+		t.Errorf("L2 split wrong: I=%d D=%d", h.L2IMisses, h.L2DMisses)
+	}
+	// Data access to a different cold line.
+	d := h.AccessD(0x1000_0000)
+	if !d.L1Miss || !d.L2Miss || !d.TLBMiss {
+		t.Errorf("cold data access result %+v", d)
+	}
+	if h.L2DMisses != 1 {
+		t.Errorf("L2DMisses = %d, want 1", h.L2DMisses)
+	}
+	// Same data line again: all hits.
+	d = h.AccessD(0x1000_0000)
+	if d.L1Miss || d.TLBMiss {
+		t.Errorf("warm data access result %+v, want hits", d)
+	}
+}
+
+func TestHierarchyL2SharedBetweenIAndD(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	addr := uint64(0x40_0000)
+	h.AccessI(addr) // fills L2 with this line
+	// A data access to the same line must hit in L2 even though it
+	// misses in L1D: the L2 is unified.
+	r := h.AccessD(addr)
+	if !r.L1Miss {
+		t.Error("expected L1D miss")
+	}
+	if r.L2Miss {
+		t.Error("L2 should be unified: line filled by I-fetch must hit")
+	}
+}
+
+func TestLoadLatencyMapping(t *testing.T) {
+	cfg := DefaultConfig()
+	if got := cfg.LoadLatency(false, false, false); got != 2 {
+		t.Errorf("L1 hit latency = %d, want 2", got)
+	}
+	if got := cfg.LoadLatency(true, false, false); got != 20 {
+		t.Errorf("L2 hit latency = %d, want 20", got)
+	}
+	if got := cfg.LoadLatency(true, true, false); got != 150 {
+		t.Errorf("mem latency = %d, want 150", got)
+	}
+	if got := cfg.LoadLatency(false, false, true); got != 32 {
+		t.Errorf("TLB-miss latency = %d, want 2+30", got)
+	}
+	if got := cfg.FetchStall(false, false, false); got != 0 {
+		t.Errorf("fetch hit stall = %d, want 0", got)
+	}
+	if got := cfg.FetchStall(true, true, false); got != 150 {
+		t.Errorf("fetch mem stall = %d, want 150", got)
+	}
+}
+
+func TestHierarchyScale(t *testing.T) {
+	cfg := DefaultConfig().Scale(2)
+	if cfg.L1I.SizeBytes != 16<<10 || cfg.L2.SizeBytes != 2<<20 {
+		t.Errorf("Scale(2): L1I=%d L2=%d", cfg.L1I.SizeBytes, cfg.L2.SizeBytes)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("scaled config invalid: %v", err)
+	}
+	down := DefaultConfig().Scale(0.25)
+	if err := down.Validate(); err != nil {
+		t.Errorf("down-scaled config invalid: %v", err)
+	}
+}

@@ -1,0 +1,105 @@
+package cache
+
+import "fmt"
+
+// MultiAssoc is a single-pass multi-configuration cache simulator in
+// the spirit of the cheetah simulator the paper cites (§2.1.2, Sugumar
+// & Abraham): one pass over an address stream yields the miss counts of
+// *every* LRU cache with the given set count and block size and any
+// associativity from 1 to MaxAssoc.
+//
+// It exploits the LRU stack property: an access hits in an a-way cache
+// iff its per-set LRU stack distance is less than a, so recording the
+// histogram of stack distances answers all associativities at once.
+// Statistical profiling uses it to amortise cache characterisation
+// across a design-space sweep without re-running the workload.
+type MultiAssoc struct {
+	sets     int
+	maxAssoc int
+	shift    uint
+	setMask  uint64
+
+	// stacks[s] is set s's LRU stack, most recent first, bounded to
+	// maxAssoc entries (deeper entries miss in every tracked config).
+	stacks [][]uint64
+
+	Accesses uint64
+	// distCount[d] counts accesses with stack distance d (< maxAssoc);
+	// deeper or cold accesses land in coldOrDeep.
+	distCount  []uint64
+	coldOrDeep uint64
+}
+
+// NewMultiAssoc builds a simulator for caches with the given geometry
+// family. sets and blockBytes must be powers of two; maxAssoc >= 1.
+func NewMultiAssoc(sets, blockBytes, maxAssoc int) *MultiAssoc {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: sets %d not a positive power of two", sets))
+	}
+	if blockBytes <= 0 || blockBytes&(blockBytes-1) != 0 {
+		panic(fmt.Sprintf("cache: block size %d not a positive power of two", blockBytes))
+	}
+	if maxAssoc < 1 {
+		panic("cache: maxAssoc must be >= 1")
+	}
+	shift := uint(0)
+	for 1<<shift != blockBytes {
+		shift++
+	}
+	return &MultiAssoc{
+		sets:      sets,
+		maxAssoc:  maxAssoc,
+		shift:     shift,
+		setMask:   uint64(sets - 1),
+		stacks:    make([][]uint64, sets),
+		distCount: make([]uint64, maxAssoc),
+	}
+}
+
+// Access records one reference.
+func (m *MultiAssoc) Access(addr uint64) {
+	m.Accesses++
+	blk := addr >> m.shift
+	set := int(blk & m.setMask)
+	stack := m.stacks[set]
+	// Find the block's stack distance and move it to the front.
+	for i, b := range stack {
+		if b == blk {
+			m.distCount[i]++
+			copy(stack[1:i+1], stack[:i])
+			stack[0] = blk
+			return
+		}
+	}
+	m.coldOrDeep++
+	if len(stack) < m.maxAssoc {
+		stack = append(stack, 0)
+		m.stacks[set] = stack
+	}
+	copy(stack[1:], stack)
+	stack[0] = blk
+}
+
+// Misses returns the miss count of the assoc-way configuration; assoc
+// must be in [1, MaxAssoc].
+func (m *MultiAssoc) Misses(assoc int) uint64 {
+	if assoc < 1 || assoc > m.maxAssoc {
+		panic(fmt.Sprintf("cache: assoc %d outside [1,%d]", assoc, m.maxAssoc))
+	}
+	misses := m.coldOrDeep
+	for d := assoc; d < m.maxAssoc; d++ {
+		misses += m.distCount[d]
+	}
+	return misses
+}
+
+// MissRate returns Misses(assoc)/Accesses.
+func (m *MultiAssoc) MissRate(assoc int) float64 {
+	if m.Accesses == 0 {
+		return 0
+	}
+	return float64(m.Misses(assoc)) / float64(m.Accesses)
+}
+
+// MaxAssoc returns the largest associativity the simulator tracks.
+func (m *MultiAssoc) MaxAssoc() int { return m.maxAssoc }

@@ -1,0 +1,120 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// TestMultiAssocMatchesIndividualCaches is the defining property: one
+// MultiAssoc pass must agree exactly with separately simulated LRU
+// caches of every associativity.
+func TestMultiAssocMatchesIndividualCaches(t *testing.T) {
+	const sets, block, maxAssoc = 16, 32, 8
+	streams := map[string][]uint64{}
+
+	// Looping stream with a working set that fits some assocs only.
+	var loop []uint64
+	for rep := 0; rep < 50; rep++ {
+		for i := uint64(0); i < 80; i++ {
+			loop = append(loop, i*uint64(block))
+		}
+	}
+	streams["loop"] = loop
+
+	// Random stream.
+	rng := stats.NewRNG(7)
+	var random []uint64
+	for i := 0; i < 5000; i++ {
+		random = append(random, uint64(rng.Intn(1<<16)))
+	}
+	streams["random"] = random
+
+	// Strided stream with aliasing.
+	var stride []uint64
+	for i := uint64(0); i < 3000; i++ {
+		stride = append(stride, i*512)
+	}
+	streams["stride"] = stride
+
+	for name, addrs := range streams {
+		t.Run(name, func(t *testing.T) {
+			m := NewMultiAssoc(sets, block, maxAssoc)
+			refs := map[int]*Cache{}
+			for a := 1; a <= maxAssoc; a++ {
+				refs[a] = New(Config{SizeBytes: sets * a * block, Assoc: a, BlockBytes: block, Latency: 1})
+			}
+			for _, addr := range addrs {
+				m.Access(addr)
+				for a := 1; a <= maxAssoc; a++ {
+					refs[a].Access(addr)
+				}
+			}
+			for a := 1; a <= maxAssoc; a++ {
+				if got, want := m.Misses(a), refs[a].Misses; got != want {
+					t.Errorf("assoc %d: multi-pass %d misses, reference %d", a, got, want)
+				}
+			}
+		})
+	}
+}
+
+// Property: miss counts are monotonically non-increasing in
+// associativity (the LRU inclusion property).
+func TestMultiAssocMonotonicity(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		m := NewMultiAssoc(8, 16, 8)
+		for _, a := range addrs {
+			m.Access(uint64(a))
+		}
+		for a := 2; a <= 8; a++ {
+			if m.Misses(a) > m.Misses(a-1) {
+				return false
+			}
+		}
+		return m.Misses(1) <= m.Accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiAssocValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewMultiAssoc(3, 16, 4) }, // non-pow2 sets
+		func() { NewMultiAssoc(8, 17, 4) }, // non-pow2 block
+		func() { NewMultiAssoc(8, 16, 0) }, // zero assoc
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad geometry accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+	m := NewMultiAssoc(8, 16, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range assoc accepted")
+		}
+	}()
+	m.Misses(5)
+}
+
+func TestMultiAssocMissRate(t *testing.T) {
+	m := NewMultiAssoc(4, 32, 2)
+	if m.MissRate(1) != 0 {
+		t.Error("empty simulator should report 0 miss rate")
+	}
+	m.Access(0)
+	m.Access(0)
+	if got := m.MissRate(1); got != 0.5 {
+		t.Errorf("MissRate(1) = %v, want 0.5", got)
+	}
+	if m.MaxAssoc() != 2 {
+		t.Errorf("MaxAssoc = %d", m.MaxAssoc())
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/stats"
+)
+
+func TestWorkloadsLoad(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 10 {
+		t.Fatalf("want 10 workloads, got %d", len(ws))
+	}
+	for _, w := range ws {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+	if _, err := LoadWorkload("gzip"); err != nil {
+		t.Error(err)
+	}
+	if _, err := LoadWorkload("bogus"); err == nil {
+		t.Error("bogus workload accepted")
+	}
+}
+
+func TestReductionFor(t *testing.T) {
+	w, _ := LoadWorkload("vpr")
+	g, err := Profile(cpu.DefaultConfig(), w.Stream(1, 0, 50_000), ProfileOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ReductionFor(g, 5_000)
+	if r < 8 || r > 12 {
+		t.Errorf("R = %d, want ~10 for 50k->5k", r)
+	}
+	if ReductionFor(g, 0) != 1 {
+		t.Error("zero target should clamp to 1")
+	}
+}
+
+func TestFullPipelineAccuracy(t *testing.T) {
+	// The framework's headline: statistical simulation predicts the
+	// IPC and EPC of execution-driven simulation of a real workload.
+	w, err := LoadWorkload("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cpu.DefaultConfig()
+	const n = 400_000
+	eds := Reference(cfg, w.Stream(1, 0, n))
+
+	g, err := Profile(cfg, w.Stream(1, 0, n), ProfileOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := StatSim(cfg, g, ReductionFor(g, 80_000), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipcErr := stats.AbsError(ss.IPC(), eds.IPC())
+	epcErr := stats.AbsError(ss.EPC(), eds.EPC())
+	t.Logf("gzip: EDS IPC %.3f EPC %.2fW | SS IPC %.3f EPC %.2fW | err %.1f%% / %.1f%%",
+		eds.IPC(), eds.EPC(), ss.IPC(), ss.EPC(), 100*ipcErr, 100*epcErr)
+	if ipcErr > 0.25 {
+		t.Errorf("IPC error %.1f%% too large for the full pipeline", 100*ipcErr)
+	}
+	if epcErr > 0.20 {
+		t.Errorf("EPC error %.1f%% too large", 100*epcErr)
+	}
+}
+
+func TestInOrderPipelineAccuracy(t *testing.T) {
+	// The §2.1.1 extension: with WAW distances profiled and consumed,
+	// statistical simulation stays accurate for in-order machines too.
+	w, err := LoadWorkload("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cpu.DefaultConfig()
+	cfg.InOrder = true
+	cfg.IssueWidth = 4
+	cfg.DecodeWidth = 4
+	cfg.CommitWidth = 4
+	const n = 250_000
+	eds := Reference(cfg, w.Stream(1, 0, n))
+	g, err := Profile(cfg, w.Stream(1, 0, n), ProfileOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := StatSim(cfg, g, ReductionFor(g, 50_000), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eds.IPC() >= 2.5 {
+		t.Errorf("in-order 4-wide IPC %.3f suspiciously high", eds.IPC())
+	}
+	if e := stats.AbsError(ss.IPC(), eds.IPC()); e > 0.20 {
+		t.Errorf("in-order statistical simulation IPC error %.1f%% (EDS %.3f, SS %.3f)",
+			100*e, eds.IPC(), ss.IPC())
+	}
+}
+
+func TestStatSimBadR(t *testing.T) {
+	w, _ := LoadWorkload("vpr")
+	cfg := cpu.DefaultConfig()
+	g, err := Profile(cfg, w.Stream(1, 0, 20_000), ProfileOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StatSim(cfg, g, 1<<60, 1); err == nil {
+		t.Error("absurd R accepted")
+	}
+}
+
+func TestMetricsDerived(t *testing.T) {
+	w, _ := LoadWorkload("vpr")
+	m := Reference(cpu.DefaultConfig(), w.Stream(2, 0, 30_000))
+	if m.IPC() <= 0 || m.EPC() <= 0 || m.EDP() <= 0 {
+		t.Errorf("metrics not positive: ipc=%v epc=%v edp=%v", m.IPC(), m.EPC(), m.EDP())
+	}
+	wantEDP := m.EPC() / (m.IPC() * m.IPC())
+	if diff := m.EDP() - wantEDP; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("EDP = %v, want %v", m.EDP(), wantEDP)
+	}
+}

@@ -1,0 +1,153 @@
+// Package cpu implements the superscalar out-of-order timing model —
+// the framework's equivalent of SimpleScalar's sim-outorder. One timing
+// core serves both simulation styles of the paper:
+//
+//   - execution-driven simulation (EDS): the reference. Locality events
+//     are computed live from cache and branch-predictor models attached
+//     to the pipeline; the instruction stream comes from the functional
+//     executor.
+//   - synthetic-trace simulation: the pipeline consumes a statistically
+//     generated trace whose records carry pre-assigned locality events
+//     (§2.3); no cache or predictor models are attached.
+//
+// Sharing the core removes simulator bias from the accuracy comparison,
+// mirroring the paper's use of modified sim-outorder for both sides.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+)
+
+// Config is the microarchitecture configuration (Table 2 defaults via
+// DefaultConfig).
+type Config struct {
+	// Widths.
+	FetchSpeed  int // fetch bandwidth = DecodeWidth * FetchSpeed
+	DecodeWidth int // IFQ -> RUU dispatch bandwidth
+	IssueWidth  int
+	CommitWidth int
+
+	// Window sizes.
+	IFQSize int
+	RUUSize int
+	LSQSize int
+
+	// Functional units.
+	IntALUs    int // also execute branches and store address generation
+	LoadStore  int // D-cache ports
+	FPAdders   int
+	IntMulDivs int
+	FPMulDivs  int
+
+	// Branch handling.
+	// MispredictExtra is the front-end refill delay added after a
+	// mispredicted branch resolves, modelling pipeline stages the
+	// simulator does not represent explicitly. Together with the
+	// in-window fetch-to-execute delay this approximates Table 2's
+	// 14-cycle misprediction penalty.
+	MispredictExtra int
+	// RedirectPenalty is the fetch bubble on a fetch redirection (BTB
+	// miss with correct direction prediction).
+	RedirectPenalty int
+
+	// Locality models.
+	Hier  cache.HierarchyConfig
+	Bpred bpred.Config
+
+	// Idealisations used by the Fig. 4 / Fig. 5 experiments.
+	PerfectCaches bool // every access hits in L1
+	PerfectBpred  bool // every branch fully predicted (no redirects either)
+
+	// WarmupInsts commits this many leading instructions before
+	// resetting all statistics: caches, predictors and pipeline state
+	// stay warm but the reported Result covers only the remainder.
+	// Used when simulating a sample from the middle of an execution.
+	WarmupInsts uint64
+
+	// InOrder selects scoreboarded in-order issue: instructions issue
+	// strictly in program order and, without register renaming, WAW
+	// dependencies stall issue (the paper's §2.1.1 suggested extension;
+	// RAW-only modeling suffices for the renamed out-of-order default).
+	InOrder bool
+
+	// SimulateDCache makes the trace-driven simulator run a live data
+	// hierarchy against the trace's effective addresses instead of
+	// consuming pre-assigned D-side flags. Meaningful only for traces
+	// generated with synth.Options.SyntheticAddresses; lets the data-
+	// cache design space be explored from a single profile.
+	SimulateDCache bool
+}
+
+// DefaultConfig returns the paper's Table 2 baseline: 8-wide machine
+// with a 32-entry IFQ, 128-entry RUU, 32-entry LSQ, 8 integer ALUs,
+// 4 load/store ports, 2 FP adders, 2 integer and 2 FP mult/div units,
+// hybrid 8K predictor with speculative update at dispatch, and the
+// DefaultConfig cache hierarchy.
+func DefaultConfig() Config {
+	return Config{
+		FetchSpeed:      2,
+		DecodeWidth:     8,
+		IssueWidth:      8,
+		CommitWidth:     8,
+		IFQSize:         32,
+		RUUSize:         128,
+		LSQSize:         32,
+		IntALUs:         8,
+		LoadStore:       4,
+		FPAdders:        2,
+		IntMulDivs:      2,
+		FPMulDivs:       2,
+		MispredictExtra: 10,
+		RedirectPenalty: 2,
+		Hier:            cache.DefaultConfig(),
+		Bpred:           bpred.DefaultConfig(),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	pos := func(v int, what string) error {
+		if v <= 0 {
+			return fmt.Errorf("cpu: %s must be positive, got %d", what, v)
+		}
+		return nil
+	}
+	checks := []struct {
+		v    int
+		what string
+	}{
+		{c.FetchSpeed, "FetchSpeed"}, {c.DecodeWidth, "DecodeWidth"},
+		{c.IssueWidth, "IssueWidth"}, {c.CommitWidth, "CommitWidth"},
+		{c.IFQSize, "IFQSize"}, {c.RUUSize, "RUUSize"}, {c.LSQSize, "LSQSize"},
+		{c.IntALUs, "IntALUs"}, {c.LoadStore, "LoadStore"}, {c.FPAdders, "FPAdders"},
+		{c.IntMulDivs, "IntMulDivs"}, {c.FPMulDivs, "FPMulDivs"},
+	}
+	for _, ch := range checks {
+		if err := pos(ch.v, ch.what); err != nil {
+			return err
+		}
+	}
+	if c.MispredictExtra < 0 || c.RedirectPenalty < 0 {
+		return fmt.Errorf("cpu: negative branch penalties")
+	}
+	if c.LSQSize > c.RUUSize {
+		return fmt.Errorf("cpu: LSQ (%d) larger than RUU (%d)", c.LSQSize, c.RUUSize)
+	}
+	if !c.PerfectCaches {
+		if err := c.Hier.Validate(); err != nil {
+			return err
+		}
+	}
+	if !c.PerfectBpred {
+		if err := c.Bpred.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FetchWidth returns the per-cycle fetch bandwidth.
+func (c Config) FetchWidth() int { return c.DecodeWidth * c.FetchSpeed }

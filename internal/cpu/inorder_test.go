@@ -1,0 +1,116 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+func TestInOrderSlowerThanOoO(t *testing.T) {
+	// A stream with long-latency loads followed by independent ALU work:
+	// out-of-order execution hides the latency, in-order cannot.
+	specs := make([]instSpec, 6000)
+	for i := range specs {
+		if i%10 == 0 {
+			specs[i] = instSpec{class: isa.Load, flags: trace.FlagL1DMiss}
+		} else {
+			specs[i] = instSpec{class: isa.IntALU}
+		}
+	}
+	// The load's consumer comes right after it.
+	for i := 1; i < len(specs); i++ {
+		if specs[i-1].class == isa.Load {
+			specs[i].dep = 1
+		}
+	}
+	ooo := DefaultConfig()
+	ooo.PerfectBpred = true
+	ino := ooo
+	ino.InOrder = true
+	rOoO := runTrace(t, ooo, mkStream(specs))
+	rIno := runTrace(t, ino, mkStream(specs))
+	if rIno.IPC() >= rOoO.IPC() {
+		t.Errorf("in-order IPC %.3f should trail out-of-order %.3f", rIno.IPC(), rOoO.IPC())
+	}
+	if rIno.Instructions != rOoO.Instructions {
+		t.Errorf("committed counts differ: %d vs %d", rIno.Instructions, rOoO.Instructions)
+	}
+}
+
+func TestInOrderHeadOfLineBlocking(t *testing.T) {
+	// A divide, one instruction dependent on it, then many independent
+	// ALU ops. In-order issue stalls at the dependent instruction and
+	// blocks every younger independent op; out-of-order executes them
+	// under the divide's shadow. Repeated many times the gap is large.
+	var specs []instSpec
+	for rep := 0; rep < 200; rep++ {
+		specs = append(specs, instSpec{class: isa.IntDiv})
+		specs = append(specs, instSpec{class: isa.IntALU, dep: 1})
+		for i := 0; i < 16; i++ {
+			specs = append(specs, instSpec{class: isa.IntALU})
+		}
+	}
+	ino := idealCfg()
+	ino.InOrder = true
+	r := runTrace(t, ino, mkStream(specs))
+	ro := runTrace(t, idealCfg(), mkStream(specs))
+	if float64(r.Cycles) < 1.3*float64(ro.Cycles) {
+		t.Errorf("in-order (%d cycles) should be much slower than OoO (%d)", r.Cycles, ro.Cycles)
+	}
+}
+
+func TestWAWStallsInOrderOnly(t *testing.T) {
+	// Two writers of the same "register" (WAWDist=1) where the first is
+	// a long divide: in-order without renaming stalls the second write,
+	// out-of-order (renamed) does not model WAW at all.
+	mk := func() []trace.DynInst {
+		specs := make([]instSpec, 4000)
+		for i := range specs {
+			if i%2 == 0 {
+				specs[i] = instSpec{class: isa.IntDiv}
+			} else {
+				specs[i] = instSpec{class: isa.IntALU}
+			}
+		}
+		insts := mkStream(specs)
+		for i := 1; i < len(insts); i += 2 {
+			insts[i].WAWDist = 1 // the ALU overwrites the divide's register
+		}
+		return insts
+	}
+	ino := idealCfg()
+	ino.InOrder = true
+	noWAW := mk()
+	for i := range noWAW {
+		noWAW[i].WAWDist = 0
+	}
+	withWAW := runTrace(t, ino, mk())
+	without := runTrace(t, ino, noWAW)
+	if withWAW.Cycles <= without.Cycles {
+		t.Errorf("WAW dependencies should stall the in-order pipeline: %d vs %d cycles",
+			withWAW.Cycles, without.Cycles)
+	}
+	// Out-of-order ignores WAW: identical with and without.
+	ooo := idealCfg()
+	a := runTrace(t, ooo, mk())
+	b := runTrace(t, ooo, noWAW)
+	if a.Cycles != b.Cycles {
+		t.Errorf("renamed OoO must ignore WAW: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}
+
+func TestInOrderEDSOnBenchmark(t *testing.T) {
+	prog := program.MustGenerate(program.Personality{Name: "t", Seed: 8, TargetBlocks: 100})
+	cfg := DefaultConfig()
+	cfg.InOrder = true
+	src := &trace.LimitSource{Src: program.NewExecutor(prog, 2), N: 80_000}
+	r := NewExecutionDriven(cfg, src).Run()
+	if r.Instructions != 80_000 {
+		t.Fatalf("committed %d", r.Instructions)
+	}
+	if ipc := r.IPC(); ipc <= 0 || ipc > 4 {
+		t.Errorf("in-order IPC %.3f implausible", ipc)
+	}
+}

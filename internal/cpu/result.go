@@ -1,0 +1,77 @@
+package cpu
+
+// Activity aggregates per-unit access counts over a whole run; the
+// power model converts them into per-cycle activity factors (Wattch's
+// cc3 clock gating needs to know how busy each unit was each cycle, but
+// run-level averages are sufficient for per-cycle *energy* under the
+// linear cc3 model).
+type Activity struct {
+	Fetched    uint64 // instructions entering the IFQ, wrong path included
+	Dispatched uint64 // instructions entering the RUU
+	Issued     uint64
+	Committed  uint64
+
+	BpredLookups uint64
+	BpredUpdates uint64
+	BTBAccesses  uint64
+
+	ICacheAccesses uint64
+	DCacheAccesses uint64
+	L2Accesses     uint64
+
+	RegReads  uint64
+	RegWrites uint64
+
+	IntALUOps uint64
+	LoadOps   uint64
+	StoreOps  uint64
+	FPOps     uint64
+	IntMulOps uint64
+}
+
+// BranchStats counts committed-path branch behaviour.
+type BranchStats struct {
+	Branches      uint64
+	Taken         uint64
+	Mispredicted  uint64
+	FetchRedirect uint64
+}
+
+// MispredictsPerKI returns mispredictions per 1,000 committed
+// instructions (the Fig. 3 metric).
+func (b BranchStats) MispredictsPerKI(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(b.Mispredicted) / float64(instructions)
+}
+
+// CacheStats counts committed-path locality events observed by the
+// pipeline (live mode: from the hierarchy; trace mode: from flags).
+type CacheStats struct {
+	IFetches, L1IMisses, L2IMisses, ITLBMisses  uint64
+	DAccesses, L1DMisses, L2DMisses, DTLBMisses uint64
+}
+
+// Result summarises one simulation run.
+type Result struct {
+	Instructions uint64 // committed (correct-path) instructions
+	Cycles       uint64
+
+	Branch BranchStats
+	Cache  CacheStats
+	Act    Activity
+
+	// Time-averaged structure occupancies (Table 4 metrics).
+	AvgRUUOcc float64
+	AvgLSQOcc float64
+	AvgIFQOcc float64
+}
+
+// IPC returns committed instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}

@@ -1,0 +1,58 @@
+package cpu
+
+import "repro/internal/trace"
+
+// streamBuf buffers the committed-path instruction stream so that fetch
+// can rewind after a branch misprediction: the pipeline fills with
+// upcoming instructions "as if they were from the incorrect path"
+// (§2.3), squashes them when the branch resolves, and re-fetches the
+// same instructions as the correct path.
+type streamBuf struct {
+	src  trace.Source
+	base uint64 // stream position of buf[0]
+	buf  []trace.DynInst
+	eof  bool
+}
+
+func newStreamBuf(src trace.Source) *streamBuf {
+	return &streamBuf{src: src}
+}
+
+// at returns the instruction at stream position pos, pulling from the
+// source as needed; nil once the stream is exhausted. pos must be
+// >= the last release point.
+func (s *streamBuf) at(pos uint64) *trace.DynInst {
+	if pos < s.base {
+		panic("cpu: streamBuf access below release point")
+	}
+	for pos >= s.base+uint64(len(s.buf)) {
+		if s.eof {
+			return nil
+		}
+		var d trace.DynInst
+		if !s.src.Next(&d) {
+			s.eof = true
+			return nil
+		}
+		s.buf = append(s.buf, d)
+	}
+	return &s.buf[pos-s.base]
+}
+
+// release discards buffered instructions below pos (already committed),
+// compacting occasionally to bound memory.
+func (s *streamBuf) release(pos uint64) {
+	if pos <= s.base {
+		return
+	}
+	drop := pos - s.base
+	if drop > uint64(len(s.buf)) {
+		drop = uint64(len(s.buf))
+		pos = s.base + drop
+	}
+	// Compact only when a sizeable prefix is dead, amortising the copy.
+	if drop >= 4096 || drop == uint64(len(s.buf)) {
+		s.buf = append(s.buf[:0], s.buf[drop:]...)
+		s.base = pos
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// AddrSweepRow is one benchmark's cache-size trend comparison.
+type AddrSweepRow struct {
+	Name string
+	// IPCRatio is IPC(quarter-size hierarchy) / IPC(base) under each
+	// methodology.
+	EDSRatio, ReprofiledRatio, AddrSynthRatio float64
+	// RelErr are the trend errors of the two statistical approaches
+	// against EDS.
+	ReprofiledErr, AddrSynthErr float64
+}
+
+// AddrSweepResult evaluates the synthetic-address extension: the paper
+// re-profiles whenever the cache configuration changes (§4.4); the
+// extension instead generates one trace with synthetic addresses and
+// simulates the data hierarchy live, so one profile covers the sweep.
+type AddrSweepResult struct {
+	Scale Scale
+	Rows  []AddrSweepRow
+}
+
+// AddrSweep compares, for a 4x cache shrink, the IPC trend predicted by
+// (a) the paper's re-profile-per-configuration statistical simulation
+// and (b) the synthetic-address extension, against execution-driven
+// simulation.
+func AddrSweep(s Scale) (*AddrSweepResult, error) {
+	s = s.withDefaults()
+	ws, err := s.workloads()
+	if err != nil {
+		return nil, err
+	}
+	base := baseline()
+	small := base
+	small.Hier = small.Hier.Scale(0.25)
+
+	rows, err := parallelMap(s, ws, func(w core.Workload) (AddrSweepRow, error) {
+		row := AddrSweepRow{Name: w.Name}
+		edsBase := core.Reference(base, w.Stream(s.ExecSeed, 0, s.RefInstructions))
+		edsSmall := core.Reference(small, w.Stream(s.ExecSeed, 0, s.RefInstructions))
+		row.EDSRatio = edsSmall.IPC() / edsBase.IPC()
+
+		// (a) The paper's way: a fresh profile per configuration.
+		reBase, err := s.statSim(base, w, core.ProfileOptions{K: 1}, 2)
+		if err != nil {
+			return row, err
+		}
+		reSmall, err := s.statSim(small, w, core.ProfileOptions{K: 1}, 2)
+		if err != nil {
+			return row, err
+		}
+		row.ReprofiledRatio = reSmall.IPC() / reBase.IPC()
+		row.ReprofiledErr = stats.RelError(reBase.IPC(), reSmall.IPC(), edsBase.IPC(), edsSmall.IPC())
+
+		// (b) The extension: one profile, synthetic addresses, live
+		// D-cache at both design points.
+		g, err := core.Profile(base, w.Stream(s.ExecSeed, 0, s.RefInstructions), core.ProfileOptions{K: 1})
+		if err != nil {
+			return row, err
+		}
+		red, err := synth.Reduce(g, synth.Options{
+			R: core.ReductionFor(g, s.SynthTarget), Seed: 1, SyntheticAddresses: true,
+		})
+		if err != nil {
+			return row, err
+		}
+		insts := trace.Collect(red.NewTrace(1), 0)
+		run := func(cfg cpu.Config) core.Metrics {
+			cfg.SimulateDCache = true
+			res := cpu.NewTraceDriven(cfg, trace.NewSliceSource(insts)).Run()
+			return core.Metrics{Result: res, Power: power.Estimate(cfg, res)}
+		}
+		aBase := run(base)
+		aSmall := run(small)
+		row.AddrSynthRatio = aSmall.IPC() / aBase.IPC()
+		row.AddrSynthErr = stats.RelError(aBase.IPC(), aSmall.IPC(), edsBase.IPC(), edsSmall.IPC())
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &AddrSweepResult{Scale: s, Rows: rows}, nil
+}
+
+// Avg returns the benchmark-averaged trend errors (re-profiled,
+// synthetic-address).
+func (r *AddrSweepResult) Avg() (re, addr float64) {
+	for _, row := range r.Rows {
+		re += row.ReprofiledErr
+		addr += row.AddrSynthErr
+	}
+	n := float64(len(r.Rows))
+	return re / n, addr / n
+}
+
+// Render returns the study as text.
+func (r *AddrSweepResult) Render() string {
+	t := &table{header: []string{"benchmark", "EDS ratio", "reprofiled", "err", "addr-synth", "err"}}
+	for _, row := range r.Rows {
+		t.add(row.Name, f3(row.EDSRatio),
+			f3(row.ReprofiledRatio), pct(row.ReprofiledErr),
+			f3(row.AddrSynthRatio), pct(row.AddrSynthErr))
+	}
+	re, ad := r.Avg()
+	t.add("avg", "", "", pct(re), "", pct(ad))
+	return "Cache shrink (base -> base/4) IPC trend: re-profiling vs synthetic addresses (one profile)\n" + t.String()
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// BpredKindRow reports one benchmark under one predictor organisation.
+type BpredKindRow struct {
+	Name   string
+	Kind   string
+	EDSIPC float64
+	MisPKI float64 // EDS mispredictions per 1k instructions
+	SSErr  float64 // statistical simulation IPC error for this predictor
+}
+
+// BpredKindsResult extends the paper's predictor-size sweep (Table 4)
+// to predictor *organisations*: statistical simulation must stay
+// accurate whatever structure is profiled, since branch behaviour is a
+// microarchitecture-dependent characteristic re-measured per predictor
+// (§2.1.2).
+type BpredKindsResult struct {
+	Scale Scale
+	Kinds []string
+	Rows  []BpredKindRow
+}
+
+// BpredKinds profiles and simulates every benchmark under each
+// predictor organisation.
+func BpredKinds(s Scale) (*BpredKindsResult, error) {
+	s = s.withDefaults()
+	ws, err := s.workloads()
+	if err != nil {
+		return nil, err
+	}
+	kinds := []bpred.Kind{
+		bpred.KindStaticNotTaken, bpred.KindBimodal, bpred.KindGShare,
+		bpred.KindTwoLevelLocal, bpred.KindHybrid,
+	}
+	res := &BpredKindsResult{Scale: s}
+	for _, k := range kinds {
+		res.Kinds = append(res.Kinds, k.String())
+	}
+	type perBench struct{ rows []BpredKindRow }
+	out, err := parallelMap(s, ws, func(w core.Workload) (perBench, error) {
+		var pb perBench
+		for _, k := range kinds {
+			cfg := baseline()
+			cfg.Bpred.Kind = k
+			eds := core.Reference(cfg, w.Stream(s.ExecSeed, 0, s.RefInstructions))
+			ss, err := s.statSim(cfg, w, core.ProfileOptions{K: 1}, 2)
+			if err != nil {
+				return pb, err
+			}
+			pb.rows = append(pb.rows, BpredKindRow{
+				Name:   w.Name,
+				Kind:   k.String(),
+				EDSIPC: eds.IPC(),
+				MisPKI: eds.Branch.MispredictsPerKI(eds.Instructions),
+				SSErr:  stats.AbsError(ss.IPC(), eds.IPC()),
+			})
+		}
+		return pb, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, pb := range out {
+		res.Rows = append(res.Rows, pb.rows...)
+	}
+	return res, nil
+}
+
+// AvgErr returns the benchmark-averaged statistical-simulation error
+// per predictor kind.
+func (r *BpredKindsResult) AvgErr() map[string]float64 {
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, row := range r.Rows {
+		sums[row.Kind] += row.SSErr
+		counts[row.Kind]++
+	}
+	for k := range sums {
+		sums[k] /= float64(counts[k])
+	}
+	return sums
+}
+
+// Render returns the study as text.
+func (r *BpredKindsResult) Render() string {
+	t := &table{header: []string{"benchmark", "predictor", "EDS-IPC", "mispred/KI", "SS-err"}}
+	for _, row := range r.Rows {
+		t.add(row.Name, row.Kind, f3(row.EDSIPC), f2(row.MisPKI), pct(row.SSErr))
+	}
+	avg := r.AvgErr()
+	c := newBarChart("average statistical-simulation IPC error per predictor organisation")
+	for _, k := range r.Kinds {
+		c.addf(k, avg[k], "%s", pct(avg[k]))
+	}
+	return "Predictor organisations: accuracy of statistical simulation per structure\n" +
+		t.String() + "\n" + c.String()
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// barChart renders a horizontal ASCII bar chart — the textual analogue
+// of the paper's figures. Each row is one (label, value) pair; values
+// are scaled so the longest bar spans width characters.
+type barChart struct {
+	title string
+	width int
+	rows  []barRow
+}
+
+type barRow struct {
+	label string
+	value float64
+	text  string
+}
+
+func newBarChart(title string) *barChart {
+	return &barChart{title: title, width: 48}
+}
+
+func (c *barChart) add(label string, value float64, text string) {
+	c.rows = append(c.rows, barRow{label: label, value: value, text: text})
+}
+
+func (c *barChart) addf(label string, value float64, format string, args ...any) {
+	c.add(label, value, fmt.Sprintf(format, args...))
+}
+
+func (c *barChart) String() string {
+	if len(c.rows) == 0 {
+		return c.title + "\n(no data)\n"
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for _, r := range c.rows {
+		if r.value > maxVal {
+			maxVal = r.value
+		}
+		if len(r.label) > maxLabel {
+			maxLabel = len(r.label)
+		}
+	}
+	var b strings.Builder
+	b.WriteString(c.title)
+	b.WriteByte('\n')
+	for _, r := range c.rows {
+		n := 0
+		if maxVal > 0 {
+			n = int(r.value/maxVal*float64(c.width) + 0.5)
+		}
+		if n == 0 && r.value > 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "  %-*s |%-*s| %s\n", maxLabel, r.label, c.width,
+			strings.Repeat("#", n), r.text)
+	}
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+// CoVResult reports the coefficient of variation of synthetic-trace IPC
+// as a function of trace length (§4.1: ~4% at 100K, ~1% at 1M synthetic
+// instructions on the paper's setup).
+type CoVResult struct {
+	Scale   Scale
+	Lengths []uint64
+	// CoV[b][l] is benchmark b's CoV at Lengths[l].
+	Names []string
+	CoV   [][]float64
+}
+
+// CoV measures convergence: for each benchmark and trace length, it
+// generates Scale.Seeds synthetic traces with different seeds,
+// simulates each, and reports stddev(IPC)/mean(IPC).
+func CoV(s Scale, lengths []uint64) (*CoVResult, error) {
+	s = s.withDefaults()
+	if len(lengths) == 0 {
+		lengths = []uint64{
+			s.SynthTarget / 10, s.SynthTarget / 5, s.SynthTarget / 2, s.SynthTarget,
+		}
+	}
+	ws, err := s.workloads()
+	if err != nil {
+		return nil, err
+	}
+	cfg := baseline()
+	type row struct {
+		name string
+		covs []float64
+	}
+	rows, err := parallelMap(s, ws, func(w core.Workload) (row, error) {
+		g, err := core.Profile(cfg, w.Stream(s.ExecSeed, 0, s.RefInstructions), core.ProfileOptions{K: 1})
+		if err != nil {
+			return row{}, err
+		}
+		covs := make([]float64, len(lengths))
+		for li, L := range lengths {
+			r := core.ReductionFor(g, L)
+			ipcs := make([]float64, 0, s.Seeds)
+			for seed := 1; seed <= s.Seeds; seed++ {
+				red, err := synth.Reduce(g, synth.Options{R: r, Seed: uint64(seed)})
+				if err != nil {
+					return row{}, err
+				}
+				m := core.SimulateTrace(cfg, red.NewTrace(uint64(seed)))
+				ipcs = append(ipcs, m.IPC())
+			}
+			covs[li] = stats.CoV(ipcs)
+		}
+		return row{name: w.Name, covs: covs}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &CoVResult{Scale: s, Lengths: lengths}
+	for _, r := range rows {
+		res.Names = append(res.Names, r.name)
+		res.CoV = append(res.CoV, r.covs)
+	}
+	return res, nil
+}
+
+// AvgAt returns the benchmark-averaged CoV at length index li.
+func (r *CoVResult) AvgAt(li int) float64 {
+	var sum float64
+	for _, c := range r.CoV {
+		sum += c[li]
+	}
+	return sum / float64(len(r.CoV))
+}
+
+// Render returns the series as text.
+func (r *CoVResult) Render() string {
+	header := []string{"benchmark"}
+	for _, l := range r.Lengths {
+		header = append(header, f2(float64(l)/1000)+"k")
+	}
+	t := &table{header: header}
+	for i, name := range r.Names {
+		cols := []string{name}
+		for _, c := range r.CoV[i] {
+			cols = append(cols, pct(c))
+		}
+		t.add(cols...)
+	}
+	avg := []string{"avg"}
+	for li := range r.Lengths {
+		avg = append(avg, pct(r.AvgAt(li)))
+	}
+	t.add(avg...)
+	return "Section 4.1: coefficient of variation of IPC vs synthetic trace length\n" + t.String()
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+)
+
+// DSEPoint is one design point of the §4.6 exploration.
+type DSEPoint struct {
+	RUU, LSQ, Decode, Issue, Commit int
+}
+
+func (p DSEPoint) String() string {
+	return fmt.Sprintf("ruu=%d lsq=%d d=%d i=%d c=%d", p.RUU, p.LSQ, p.Decode, p.Issue, p.Commit)
+}
+
+func (p DSEPoint) apply(base cpu.Config) cpu.Config {
+	base.RUUSize = p.RUU
+	base.LSQSize = p.LSQ
+	base.DecodeWidth = p.Decode
+	base.IssueWidth = p.Issue
+	base.CommitWidth = p.Commit
+	return base
+}
+
+// PaperGrid returns the paper's 1,792-point design space: RUU in
+// {8..128} x LSQ in {4..64} with LSQ <= RUU/2 (28 pairs), and decode,
+// issue and commit widths each in {2,4,6,8}.
+func PaperGrid() []DSEPoint {
+	ruus := []int{8, 16, 32, 48, 64, 96, 128}
+	lsqs := []int{4, 8, 16, 24, 32, 48, 64}
+	widths := []int{2, 4, 6, 8}
+	var pts []DSEPoint
+	for _, r := range ruus {
+		for _, l := range lsqs {
+			if l > r/2 {
+				continue
+			}
+			for _, d := range widths {
+				for _, i := range widths {
+					for _, c := range widths {
+						pts = append(pts, DSEPoint{RUU: r, LSQ: l, Decode: d, Issue: i, Commit: c})
+					}
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// QuickGrid is a reduced design space for tests and smoke runs.
+func QuickGrid() []DSEPoint {
+	var pts []DSEPoint
+	for _, r := range []int{16, 64, 128} {
+		for _, d := range []int{2, 4, 8} {
+			pts = append(pts, DSEPoint{RUU: r, LSQ: r / 2, Decode: d, Issue: d, Commit: d})
+		}
+	}
+	return pts
+}
+
+// DSEBenchResult is the exploration outcome for one benchmark.
+type DSEBenchResult struct {
+	Name string
+	// SSBest is the EDP-optimal point according to statistical
+	// simulation; SSBestEDP its statistically estimated EDP.
+	SSBest    DSEPoint
+	SSBestEDP float64
+	// Candidates counts points whose statistical EDP lies within 3% of
+	// the optimum (the paper's "region of energy-efficient designs").
+	Candidates int
+	// EDSBest is the best of the candidate set under execution-driven
+	// simulation; MissPct is how far (in EDS EDP) the SS choice landed
+	// from it (0 = statistical simulation identified the optimum).
+	EDSBest DSEPoint
+	MissPct float64
+}
+
+// DSEResult is the full experiment.
+type DSEResult struct {
+	Scale  Scale
+	Points int
+	Rows   []DSEBenchResult
+}
+
+// DSE explores the design space with statistical simulation only, then
+// verifies with execution-driven simulation of the candidate region —
+// the paper's §4.6 protocol, where statistical simulation found the
+// optimal design for 7 of 10 benchmarks and landed within 1.24% of it
+// for the rest.
+func DSE(s Scale, grid []DSEPoint) (*DSEResult, error) {
+	s = s.withDefaults()
+	if len(grid) == 0 {
+		grid = PaperGrid()
+	}
+	ws, err := s.workloads()
+	if err != nil {
+		return nil, err
+	}
+	base := baseline()
+	// Per-point synthetic traces can be shorter than the headline
+	// SynthTarget: EDP ranking needs less precision than absolute error.
+	perPoint := s.SynthTarget / 3
+	if perPoint < 5_000 {
+		perPoint = 5_000
+	}
+
+	rows, err := parallelMap(s, ws, func(w core.Workload) (DSEBenchResult, error) {
+		row := DSEBenchResult{Name: w.Name}
+		g, err := core.Profile(base, w.Stream(s.ExecSeed, 0, s.RefInstructions), core.ProfileOptions{K: 1})
+		if err != nil {
+			return row, err
+		}
+		r := core.ReductionFor(g, perPoint)
+
+		edps := make([]float64, len(grid))
+		for i, pt := range grid {
+			m, err := core.StatSim(pt.apply(base), g, r, 1)
+			if err != nil {
+				return row, err
+			}
+			edps[i] = m.EDP()
+		}
+		bestIdx := 0
+		for i := range edps {
+			if edps[i] < edps[bestIdx] {
+				bestIdx = i
+			}
+		}
+		row.SSBest = grid[bestIdx]
+		row.SSBestEDP = edps[bestIdx]
+
+		// Candidate region: statistical EDP within 3% of the optimum.
+		type cand struct {
+			idx int
+			edp float64
+		}
+		var cands []cand
+		for i := range edps {
+			if edps[i] <= edps[bestIdx]*1.03 {
+				cands = append(cands, cand{i, edps[i]})
+			}
+		}
+		row.Candidates = len(cands)
+		sort.Slice(cands, func(a, b int) bool { return cands[a].edp < cands[b].edp })
+		if len(cands) > 25 {
+			cands = cands[:25]
+		}
+
+		// Verify the region with execution-driven simulation.
+		bestEDS := -1.0
+		var ssEDS float64
+		for _, c := range cands {
+			m := core.Reference(grid[c.idx].apply(base), w.Stream(s.ExecSeed, 0, s.RefInstructions))
+			edp := m.EDP()
+			if c.idx == bestIdx {
+				ssEDS = edp
+			}
+			if bestEDS < 0 || edp < bestEDS {
+				bestEDS = edp
+				row.EDSBest = grid[c.idx]
+			}
+		}
+		if bestEDS > 0 {
+			row.MissPct = (ssEDS - bestEDS) / bestEDS
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DSEResult{Scale: s, Points: len(grid), Rows: rows}, nil
+}
+
+// Hits returns how many benchmarks' SS choice was the EDS optimum of
+// the candidate region.
+func (r *DSEResult) Hits() int {
+	n := 0
+	for _, row := range r.Rows {
+		if row.MissPct <= 1e-12 {
+			n++
+		}
+	}
+	return n
+}
+
+// Render returns the result as text.
+func (r *DSEResult) Render() string {
+	t := &table{header: []string{"benchmark", "SS-optimal point", "cands(3%)", "EDS-best point", "miss"}}
+	for _, row := range r.Rows {
+		t.add(row.Name, row.SSBest.String(), fmt.Sprint(row.Candidates),
+			row.EDSBest.String(), pct(row.MissPct))
+	}
+	return fmt.Sprintf("Section 4.6: design-space exploration over %d points (EDP)\n%s\nSS identified the EDS optimum for %d/%d benchmarks\n",
+		r.Points, t.String(), r.Hits(), len(r.Rows))
+}

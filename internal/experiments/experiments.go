@@ -1,0 +1,200 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§4) on the framework's synthetic SPECint
+// stand-in workloads. Each experiment is a pure function of a Scale,
+// returning a typed result with a text renderer; cmd/paperexp drives
+// them and EXPERIMENTS.md records the outcomes.
+//
+// Absolute magnitudes differ from the paper (different workloads, a
+// different reference simulator, laptop-scale stream lengths); what the
+// experiments reproduce is the paper's *shape*: which configuration
+// wins, by roughly what factor, and where the crossovers fall.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/power"
+	"repro/internal/sfg"
+)
+
+// Scale sizes the experiments. The zero value is unusable; use
+// PaperScale or QuickScale.
+type Scale struct {
+	// RefInstructions is the reference-stream length per benchmark
+	// (stands in for the paper's 100M-instruction SimPoint samples).
+	RefInstructions uint64
+	// SynthTarget is the synthetic-trace length aimed for (the paper
+	// uses 100K-1M synthetic instructions).
+	SynthTarget uint64
+	// Seeds is the number of synthetic-trace seeds averaged where the
+	// experiment calls for it (and the CoV sample count).
+	Seeds int
+	// Benchmarks restricts the benchmark set; empty means all ten.
+	Benchmarks []string
+	// ExecSeed seeds the functional execution of every workload.
+	ExecSeed uint64
+	// Parallelism bounds worker goroutines (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// PaperScale is the full harness configuration: 1M-instruction
+// reference streams, 100k synthetic traces, all ten benchmarks.
+func PaperScale() Scale {
+	return Scale{
+		RefInstructions: 1_000_000,
+		SynthTarget:     100_000,
+		Seeds:           20,
+		ExecSeed:        1,
+	}
+}
+
+// QuickScale is a reduced configuration for tests and smoke runs.
+func QuickScale() Scale {
+	return Scale{
+		RefInstructions: 150_000,
+		SynthTarget:     30_000,
+		Seeds:           4,
+		Benchmarks:      []string{"gzip", "twolf", "vpr"},
+		ExecSeed:        1,
+	}
+}
+
+func (s Scale) withDefaults() Scale {
+	if s.RefInstructions == 0 {
+		s.RefInstructions = 1_000_000
+	}
+	if s.SynthTarget == 0 {
+		s.SynthTarget = s.RefInstructions / 10
+	}
+	if s.Seeds == 0 {
+		s.Seeds = 5
+	}
+	if s.ExecSeed == 0 {
+		s.ExecSeed = 1
+	}
+	if s.Parallelism == 0 {
+		s.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return s
+}
+
+// workloads loads the benchmark set of the scale.
+func (s Scale) workloads() ([]core.Workload, error) {
+	if len(s.Benchmarks) == 0 {
+		return core.Workloads(), nil
+	}
+	var ws []core.Workload
+	for _, name := range s.Benchmarks {
+		w, err := core.LoadWorkload(name)
+		if err != nil {
+			return nil, err
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
+// parallelMap applies f to every workload concurrently (bounded by the
+// scale's parallelism) and returns results in input order.
+func parallelMap[T any](s Scale, ws []core.Workload, f func(core.Workload) (T, error)) ([]T, error) {
+	out := make([]T, len(ws))
+	errs := make([]error, len(ws))
+	sem := make(chan struct{}, s.Parallelism)
+	var wg sync.WaitGroup
+	for i := range ws {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = f(ws[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", ws[i].Name, err)
+		}
+	}
+	return out, nil
+}
+
+// baseline returns the Table 2 configuration.
+func baseline() cpu.Config { return cpu.DefaultConfig() }
+
+// statSim profiles w once and returns the seed-averaged statistical
+// simulation metrics under cfg.
+func (s Scale) statSim(cfg cpu.Config, w core.Workload, opts core.ProfileOptions, seeds int) (core.Metrics, error) {
+	g, err := core.Profile(cfg, w.Stream(s.ExecSeed, 0, s.RefInstructions), opts)
+	if err != nil {
+		return core.Metrics{}, err
+	}
+	return averageStatSim(cfg, g, core.ReductionFor(g, s.SynthTarget), seeds)
+}
+
+// averageStatSim runs StatSim for seeds different synthetic traces and
+// pools the runs into one aggregate metric (instructions and cycles
+// sum, so the pooled IPC is the instruction-weighted mean).
+func averageStatSim(cfg cpu.Config, g *sfg.Graph, r uint64, seeds int) (core.Metrics, error) {
+	if seeds < 1 {
+		seeds = 1
+	}
+	var pooled cpu.Result
+	for seed := 1; seed <= seeds; seed++ {
+		m, err := core.StatSim(cfg, g, r, uint64(seed))
+		if err != nil {
+			return core.Metrics{}, err
+		}
+		pooled = poolResults(pooled, m.Result)
+	}
+	return core.Metrics{Result: pooled, Power: power.Estimate(cfg, pooled)}, nil
+}
+
+// poolResults merges two runs: counters add, occupancies average
+// weighted by cycles.
+func poolResults(a, b cpu.Result) cpu.Result {
+	if a.Cycles == 0 {
+		return b
+	}
+	out := a
+	wa, wb := float64(a.Cycles), float64(b.Cycles)
+	out.Instructions += b.Instructions
+	out.Cycles += b.Cycles
+	out.AvgRUUOcc = (a.AvgRUUOcc*wa + b.AvgRUUOcc*wb) / (wa + wb)
+	out.AvgLSQOcc = (a.AvgLSQOcc*wa + b.AvgLSQOcc*wb) / (wa + wb)
+	out.AvgIFQOcc = (a.AvgIFQOcc*wa + b.AvgIFQOcc*wb) / (wa + wb)
+	out.Branch.Branches += b.Branch.Branches
+	out.Branch.Taken += b.Branch.Taken
+	out.Branch.Mispredicted += b.Branch.Mispredicted
+	out.Branch.FetchRedirect += b.Branch.FetchRedirect
+	out.Cache.IFetches += b.Cache.IFetches
+	out.Cache.L1IMisses += b.Cache.L1IMisses
+	out.Cache.L2IMisses += b.Cache.L2IMisses
+	out.Cache.ITLBMisses += b.Cache.ITLBMisses
+	out.Cache.DAccesses += b.Cache.DAccesses
+	out.Cache.L1DMisses += b.Cache.L1DMisses
+	out.Cache.L2DMisses += b.Cache.L2DMisses
+	out.Cache.DTLBMisses += b.Cache.DTLBMisses
+	out.Act.Fetched += b.Act.Fetched
+	out.Act.Dispatched += b.Act.Dispatched
+	out.Act.Issued += b.Act.Issued
+	out.Act.Committed += b.Act.Committed
+	out.Act.BpredLookups += b.Act.BpredLookups
+	out.Act.BpredUpdates += b.Act.BpredUpdates
+	out.Act.BTBAccesses += b.Act.BTBAccesses
+	out.Act.ICacheAccesses += b.Act.ICacheAccesses
+	out.Act.DCacheAccesses += b.Act.DCacheAccesses
+	out.Act.L2Accesses += b.Act.L2Accesses
+	out.Act.RegReads += b.Act.RegReads
+	out.Act.RegWrites += b.Act.RegWrites
+	out.Act.IntALUOps += b.Act.IntALUOps
+	out.Act.LoadOps += b.Act.LoadOps
+	out.Act.StoreOps += b.Act.StoreOps
+	out.Act.FPOps += b.Act.FPOps
+	out.Act.IntMulOps += b.Act.IntMulOps
+	return out
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"repro/internal/core"
+)
+
+// Fig3Row is one benchmark's branch mispredictions per 1,000
+// instructions under the three scenarios of Fig. 3.
+type Fig3Row struct {
+	Name      string
+	EDS       float64 // execution-driven simulation
+	Immediate float64 // branch profiling with immediate update
+	Delayed   float64 // branch profiling with delayed update (FIFO)
+}
+
+// Fig3Result is the full figure.
+type Fig3Result struct {
+	Scale Scale
+	Rows  []Fig3Row
+}
+
+// Fig3 compares the number of branch mispredictions per 1,000
+// instructions seen by execution-driven simulation against the two
+// profiling disciplines (§2.1.3). The paper's claim: delayed-update
+// profiling closely tracks EDS while immediate update underestimates.
+func Fig3(s Scale) (*Fig3Result, error) {
+	s = s.withDefaults()
+	ws, err := s.workloads()
+	if err != nil {
+		return nil, err
+	}
+	cfg := baseline()
+	rows, err := parallelMap(s, ws, func(w core.Workload) (Fig3Row, error) {
+		eds := core.Reference(cfg, w.Stream(s.ExecSeed, 0, s.RefInstructions))
+		imm, err := core.Profile(cfg, w.Stream(s.ExecSeed, 0, s.RefInstructions),
+			core.ProfileOptions{K: 1, ImmediateUpdate: true})
+		if err != nil {
+			return Fig3Row{}, err
+		}
+		del, err := core.Profile(cfg, w.Stream(s.ExecSeed, 0, s.RefInstructions),
+			core.ProfileOptions{K: 1})
+		if err != nil {
+			return Fig3Row{}, err
+		}
+		return Fig3Row{
+			Name:      w.Name,
+			EDS:       eds.Branch.MispredictsPerKI(eds.Instructions),
+			Immediate: imm.MispredictsPerKI(),
+			Delayed:   del.MispredictsPerKI(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig3Result{Scale: s, Rows: rows}, nil
+}
+
+// Render returns the figure data as text.
+func (r *Fig3Result) Render() string {
+	t := &table{header: []string{"benchmark", "EDS", "immediate", "delayed"}}
+	c := newBarChart("")
+	for _, row := range r.Rows {
+		t.add(row.Name, f2(row.EDS), f2(row.Immediate), f2(row.Delayed))
+		c.addf(row.Name+"/eds", row.EDS, "%.2f", row.EDS)
+		c.addf(row.Name+"/imm", row.Immediate, "%.2f", row.Immediate)
+		c.addf(row.Name+"/del", row.Delayed, "%.2f", row.Delayed)
+	}
+	return "Figure 3: branch mispredictions per 1,000 instructions\n" + t.String() + "\n" + c.String()
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Fig4Row is one benchmark's IPC prediction error per SFG order k,
+// under perfect caches and perfect branch prediction (isolating the
+// control-flow/dependency model).
+type Fig4Row struct {
+	Name   string
+	Errors [4]float64 // k = 0..3
+	Nodes  [4]int     // SFG node counts (Table 3)
+}
+
+// Fig4Result covers both Fig. 4 (errors) and Table 3 (node counts),
+// which the paper derives from the same sweep.
+type Fig4Result struct {
+	Scale Scale
+	Rows  []Fig4Row
+}
+
+// Fig4 evaluates the SFG order: k=0 (no control-flow correlation)
+// against k=1..3. The paper finds k=0 errors up to 35% while k>=1
+// stays under ~2% on average, with k=1 sufficient.
+func Fig4(s Scale) (*Fig4Result, error) {
+	s = s.withDefaults()
+	ws, err := s.workloads()
+	if err != nil {
+		return nil, err
+	}
+	cfg := baseline()
+	cfg.PerfectCaches = true
+	cfg.PerfectBpred = true
+	rows, err := parallelMap(s, ws, func(w core.Workload) (Fig4Row, error) {
+		row := Fig4Row{Name: w.Name}
+		eds := core.Reference(cfg, w.Stream(s.ExecSeed, 0, s.RefInstructions))
+		for k := 0; k <= 3; k++ {
+			g, err := core.Profile(cfg, w.Stream(s.ExecSeed, 0, s.RefInstructions),
+				core.ProfileOptions{K: k})
+			if err != nil {
+				return row, err
+			}
+			row.Nodes[k] = g.NumNodes()
+			m, err := averageStatSim(cfg, g, core.ReductionFor(g, s.SynthTarget), 3)
+			if err != nil {
+				return row, err
+			}
+			row.Errors[k] = stats.AbsError(m.IPC(), eds.IPC())
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig4Result{Scale: s, Rows: rows}, nil
+}
+
+// AvgError returns the benchmark-averaged error for order k.
+func (r *Fig4Result) AvgError(k int) float64 {
+	var sum float64
+	for _, row := range r.Rows {
+		sum += row.Errors[k]
+	}
+	return sum / float64(len(r.Rows))
+}
+
+// Render returns the figure data as text.
+func (r *Fig4Result) Render() string {
+	t := &table{header: []string{"benchmark", "k=0", "k=1", "k=2", "k=3"}}
+	for _, row := range r.Rows {
+		t.add(row.Name, pct(row.Errors[0]), pct(row.Errors[1]), pct(row.Errors[2]), pct(row.Errors[3]))
+	}
+	t.add("avg", pct(r.AvgError(0)), pct(r.AvgError(1)), pct(r.AvgError(2)), pct(r.AvgError(3)))
+	out := "Figure 4: IPC prediction error vs SFG order (perfect caches + perfect bpred)\n" + t.String()
+
+	t2 := &table{header: []string{"benchmark", "k=0", "k=1", "k=2", "k=3"}}
+	for _, row := range r.Rows {
+		t2.add(row.Name, fmt.Sprint(row.Nodes[0]), fmt.Sprint(row.Nodes[1]),
+			fmt.Sprint(row.Nodes[2]), fmt.Sprint(row.Nodes[3]))
+	}
+	return out + "\nTable 3: number of nodes in the SFG\n" + t2.String()
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Fig6Row is one benchmark's absolute accuracy on the baseline
+// configuration (paper Fig. 6 + the §4.2.3 EDP numbers).
+type Fig6Row struct {
+	Name                  string
+	EDSIPC, SSIPC, IPCErr float64
+	EDSEPC, SSEPC, EPCErr float64
+	EDSEDP, SSEDP, EDPErr float64
+}
+
+// Fig6Result is the full figure.
+type Fig6Result struct {
+	Scale Scale
+	Rows  []Fig6Row
+}
+
+// Fig6 runs the headline absolute-accuracy evaluation: statistical
+// simulation (k=1 SFG, delayed update) against execution-driven
+// simulation for IPC, EPC and EDP on the Table 2 baseline. The paper
+// reports average errors of 6.6% (IPC), 4% (EPC) and 11% (EDP).
+func Fig6(s Scale) (*Fig6Result, error) {
+	s = s.withDefaults()
+	ws, err := s.workloads()
+	if err != nil {
+		return nil, err
+	}
+	cfg := baseline()
+	rows, err := parallelMap(s, ws, func(w core.Workload) (Fig6Row, error) {
+		eds := core.Reference(cfg, w.Stream(s.ExecSeed, 0, s.RefInstructions))
+		ss, err := s.statSim(cfg, w, core.ProfileOptions{K: 1}, 3)
+		if err != nil {
+			return Fig6Row{}, err
+		}
+		return Fig6Row{
+			Name:   w.Name,
+			EDSIPC: eds.IPC(), SSIPC: ss.IPC(), IPCErr: stats.AbsError(ss.IPC(), eds.IPC()),
+			EDSEPC: eds.EPC(), SSEPC: ss.EPC(), EPCErr: stats.AbsError(ss.EPC(), eds.EPC()),
+			EDSEDP: eds.EDP(), SSEDP: ss.EDP(), EDPErr: stats.AbsError(ss.EDP(), eds.EDP()),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig6Result{Scale: s, Rows: rows}, nil
+}
+
+// Avg returns the benchmark-averaged errors (IPC, EPC, EDP).
+func (r *Fig6Result) Avg() (ipc, epc, edp float64) {
+	for _, row := range r.Rows {
+		ipc += row.IPCErr
+		epc += row.EPCErr
+		edp += row.EDPErr
+	}
+	n := float64(len(r.Rows))
+	return ipc / n, epc / n, edp / n
+}
+
+// Render returns the figure data as text.
+func (r *Fig6Result) Render() string {
+	t := &table{header: []string{"benchmark", "EDS-IPC", "SS-IPC", "err", "EDS-EPC", "SS-EPC", "err", "EDS-EDP", "SS-EDP", "err"}}
+	for _, row := range r.Rows {
+		t.add(row.Name,
+			f3(row.EDSIPC), f3(row.SSIPC), pct(row.IPCErr),
+			f2(row.EDSEPC), f2(row.SSEPC), pct(row.EPCErr),
+			f2(row.EDSEDP), f2(row.SSEDP), pct(row.EDPErr))
+	}
+	i, e, d := r.Avg()
+	t.add("avg", "", "", pct(i), "", "", pct(e), "", "", pct(d))
+	c := newBarChart("IPC prediction error per benchmark")
+	for _, row := range r.Rows {
+		c.addf(row.Name, row.IPCErr, "%s (EDS %.3f, SS %.3f)", pct(row.IPCErr), row.EDSIPC, row.SSIPC)
+	}
+	return "Figure 6 (+ §4.2.3): absolute accuracy of statistical simulation on the baseline\n" +
+		t.String() + "\n" + c.String()
+}

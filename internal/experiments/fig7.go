@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/hls"
+	"repro/internal/stats"
+)
+
+// Fig7Row is one benchmark's IPC error under HLS vs the SFG framework
+// ("SMART-HLS" in the paper's terminology).
+type Fig7Row struct {
+	Name     string
+	HLS      float64
+	SMARTHLS float64
+}
+
+// Fig7Result is the full figure.
+type Fig7Result struct {
+	Scale Scale
+	Rows  []Fig7Row
+}
+
+// Fig7 compares the HLS baseline (global i.i.d. workload model, Oskin
+// et al.) against this paper's SFG framework on the same trace-driven
+// simulator. The paper reports 10.1% vs 1.8% average IPC error.
+func Fig7(s Scale) (*Fig7Result, error) {
+	s = s.withDefaults()
+	ws, err := s.workloads()
+	if err != nil {
+		return nil, err
+	}
+	cfg := baseline()
+	rows, err := parallelMap(s, ws, func(w core.Workload) (Fig7Row, error) {
+		eds := core.Reference(cfg, w.Stream(s.ExecSeed, 0, s.RefInstructions))
+		smart, err := s.statSim(cfg, w, core.ProfileOptions{K: 1}, 3)
+		if err != nil {
+			return Fig7Row{}, err
+		}
+		hp, err := hls.ProfileStream(hls.Annotate(
+			w.Stream(s.ExecSeed, 0, s.RefInstructions), cfg.Hier, cfg.Bpred))
+		if err != nil {
+			return Fig7Row{}, err
+		}
+		hres := core.SimulateTrace(cfg, hp.NewTrace(s.SynthTarget, 1))
+		return Fig7Row{
+			Name:     w.Name,
+			HLS:      stats.AbsError(hres.IPC(), eds.IPC()),
+			SMARTHLS: stats.AbsError(smart.IPC(), eds.IPC()),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig7Result{Scale: s, Rows: rows}, nil
+}
+
+// Avg returns the benchmark-averaged errors (HLS, SMART-HLS).
+func (r *Fig7Result) Avg() (hlsErr, smartErr float64) {
+	for _, row := range r.Rows {
+		hlsErr += row.HLS
+		smartErr += row.SMARTHLS
+	}
+	n := float64(len(r.Rows))
+	return hlsErr / n, smartErr / n
+}
+
+// Render returns the figure data as text.
+func (r *Fig7Result) Render() string {
+	t := &table{header: []string{"benchmark", "HLS", "SMART-HLS"}}
+	for _, row := range r.Rows {
+		t.add(row.Name, pct(row.HLS), pct(row.SMARTHLS))
+	}
+	h, sm := r.Avg()
+	t.add("avg", pct(h), pct(sm))
+	c := newBarChart("")
+	for _, row := range r.Rows {
+		c.addf(row.Name+"/hls", row.HLS, "%s", pct(row.HLS))
+		c.addf(row.Name+"/sfg", row.SMARTHLS, "%s", pct(row.SMARTHLS))
+	}
+	return "Figure 7: IPC prediction error, HLS vs SMART-HLS (this framework)\n" + t.String() + "\n" + c.String()
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/power"
+	"repro/internal/simpoint"
+	"repro/internal/stats"
+)
+
+// Fig8Row is one benchmark's IPC error under the four phase-modeling
+// scenarios of §4.4.
+type Fig8Row struct {
+	Name      string
+	OneBig    float64 // one profile over the whole stream
+	TenMid    float64 // ten per-sample profiles, averaged
+	HundredSm float64 // one hundred smaller profiles, averaged
+	SimPoint  float64 // SimPoint-selected intervals, execution-driven
+	Points    int     // SimPoint count
+}
+
+// Fig8Result is the full figure.
+type Fig8Result struct {
+	Scale Scale
+	Units int
+	Rows  []Fig8Row
+}
+
+// Fig8 scales the paper's 10B-instruction phase study: the reference
+// stream is `units` x RefInstructions long (paper: 10 x 1B). Scenarios:
+// one statistical profile of everything; ten 1-unit profiles; one
+// hundred 0.1-unit profiles; and SimPoint sampling with 0.1-unit
+// intervals simulated execution-driven. The paper finds SimPoint most
+// accurate, phase-splitting only slightly helpful, and statistical
+// simulation dramatically cheaper.
+func Fig8(s Scale, units int) (*Fig8Result, error) {
+	s = s.withDefaults()
+	if units == 0 {
+		units = 10
+	}
+	ws, err := s.workloads()
+	if err != nil {
+		return nil, err
+	}
+	cfg := baseline()
+	unit := s.RefInstructions
+	total := uint64(units) * unit
+
+	rows, err := parallelMap(s, ws, func(w core.Workload) (Fig8Row, error) {
+		row := Fig8Row{Name: w.Name}
+		ref := core.Reference(cfg, w.Stream(s.ExecSeed, 0, total))
+
+		// Scenario A: one profile over the complete stream.
+		g, err := core.Profile(cfg, w.Stream(s.ExecSeed, 0, total), core.ProfileOptions{K: 1})
+		if err != nil {
+			return row, err
+		}
+		a, err := averageStatSim(cfg, g, core.ReductionFor(g, s.SynthTarget), 3)
+		if err != nil {
+			return row, err
+		}
+		row.OneBig = stats.AbsError(a.IPC(), ref.IPC())
+
+		// Scenarios B/C: split into pieces, profile each, average.
+		// Mid-stream pieces warm their locality structures on the
+		// preceding stream content first, as any sampling methodology
+		// must.
+		split := func(pieces int) (float64, error) {
+			var pooled cpu.Result
+			pieceLen := total / uint64(pieces)
+			for p := 0; p < pieces; p++ {
+				start := uint64(p) * pieceLen
+				warm := pieceLen
+				if warm > start {
+					warm = start
+				}
+				gp, err := core.Profile(cfg, w.Stream(s.ExecSeed, start-warm, warm+pieceLen),
+					core.ProfileOptions{K: 1, Warmup: warm})
+				if err != nil {
+					return 0, err
+				}
+				// Keep per-piece traces long enough that pipeline ramp
+				// effects do not dominate (the paper's per-sample traces
+				// are full-length).
+				target := s.SynthTarget / uint64(pieces)
+				if target < 5_000 {
+					target = 5_000
+				}
+				m, err := core.StatSim(cfg, gp, core.ReductionFor(gp, target), 1)
+				if err != nil {
+					return 0, err
+				}
+				pooled = poolResults(pooled, m.Result)
+			}
+			pm := core.Metrics{Result: pooled, Power: power.Estimate(cfg, pooled)}
+			return stats.AbsError(pm.IPC(), ref.IPC()), nil
+		}
+		if row.TenMid, err = split(units); err != nil {
+			return row, err
+		}
+		if row.HundredSm, err = split(10 * units); err != nil {
+			return row, err
+		}
+
+		// Scenario D: SimPoint with 0.1-unit intervals.
+		interval := unit / 10
+		pts, err := simpoint.Choose(w.Stream(s.ExecSeed, 0, total),
+			simpoint.Options{IntervalLen: interval, Seed: s.ExecSeed})
+		if err != nil {
+			return row, err
+		}
+		// SimPoint estimates whole-run CPI as the weighted mean of the
+		// representatives' CPIs (IPC does not average linearly).
+		var cpi float64
+		for _, p := range pts {
+			start := uint64(p.Interval) * interval
+			warm := interval
+			if warm > start {
+				warm = start
+			}
+			wcfg := cfg
+			wcfg.WarmupInsts = warm
+			m := core.Reference(wcfg, w.Stream(s.ExecSeed, start-warm, warm+interval))
+			if m.IPC() > 0 {
+				cpi += p.Weight / m.IPC()
+			}
+		}
+		ipc := 0.0
+		if cpi > 0 {
+			ipc = 1 / cpi
+		}
+		row.SimPoint = stats.AbsError(ipc, ref.IPC())
+		row.Points = len(pts)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig8Result{Scale: s, Units: units, Rows: rows}, nil
+}
+
+// Avg returns benchmark-averaged errors for the four scenarios.
+func (r *Fig8Result) Avg() (one, ten, hundred, sp float64) {
+	for _, row := range r.Rows {
+		one += row.OneBig
+		ten += row.TenMid
+		hundred += row.HundredSm
+		sp += row.SimPoint
+	}
+	n := float64(len(r.Rows))
+	return one / n, ten / n, hundred / n, sp / n
+}
+
+// Render returns the figure data as text.
+func (r *Fig8Result) Render() string {
+	t := &table{header: []string{"benchmark", "1 profile", "10 profiles", "100 profiles", "SimPoint", "points"}}
+	for _, row := range r.Rows {
+		t.add(row.Name, pct(row.OneBig), pct(row.TenMid), pct(row.HundredSm),
+			pct(row.SimPoint), f2(float64(row.Points)))
+	}
+	a, b, c, d := r.Avg()
+	t.add("avg", pct(a), pct(b), pct(c), pct(d), "")
+	return "Figure 8: phase modeling — statistical simulation granularities vs SimPoint (IPC error)\n" + t.String()
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Result is the common interface of all experiment outputs.
+type Result interface {
+	Render() string
+}
+
+// Runner executes one named experiment at a scale.
+type Runner func(Scale) (Result, error)
+
+// Registry maps experiment IDs (table/figure names from the paper) to
+// runners. Fig. 8 and the design-space exploration use their default
+// shapes (10 units, the full 1,792-point grid); call the functions
+// directly for custom shapes.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"table1":     func(s Scale) (Result, error) { return Table1(s) },
+		"fig3":       func(s Scale) (Result, error) { return Fig3(s) },
+		"fig4":       func(s Scale) (Result, error) { return Fig4(s) }, // includes table3
+		"fig5":       func(s Scale) (Result, error) { return Fig5(s) },
+		"cov":        func(s Scale) (Result, error) { return CoV(s, nil) },
+		"fig6":       func(s Scale) (Result, error) { return Fig6(s) },
+		"fig7":       func(s Scale) (Result, error) { return Fig7(s) },
+		"fig8":       func(s Scale) (Result, error) { return Fig8(s, 10) },
+		"table4":     func(s Scale) (Result, error) { return Table4(s) },
+		"dse":        func(s Scale) (Result, error) { return DSE(s, nil) },
+		"ablation":   func(s Scale) (Result, error) { return Ablation(s) },
+		"speed":      func(s Scale) (Result, error) { return Speed(s) },
+		"addrsweep":  func(s Scale) (Result, error) { return AddrSweep(s) },
+		"bpredkinds": func(s Scale) (Result, error) { return BpredKinds(s) },
+	}
+}
+
+// Names returns the registry keys in a stable order.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes one experiment by name.
+func Run(name string, s Scale) (Result, error) {
+	r, ok := Registry()[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(s)
+}

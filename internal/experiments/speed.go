@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// SpeedRow reports one benchmark's simulation-cost comparison.
+type SpeedRow struct {
+	Name        string
+	EDSSeconds  float64 // execution-driven simulation of the reference stream
+	ProfSeconds float64 // one-off statistical profiling cost
+	SSSeconds   float64 // synthetic-trace generation + simulation
+	Speedup     float64 // EDS time / SS time (excluding the one-off profile)
+	R           uint64
+}
+
+// SpeedResult is the §4.1 speed study. The paper reports 100x-1,000x
+// for 100M-instruction samples and 10,000x-100,000x at 10B; the speedup
+// here scales with R (reference length / synthetic length), so at our
+// reduced reference lengths the measured factors are proportionally
+// smaller — the per-instruction simulation rates are what carries.
+type SpeedResult struct {
+	Scale Scale
+	Rows  []SpeedRow
+}
+
+// Speed times execution-driven simulation against statistical
+// simulation on every benchmark. Unlike the other experiments this one
+// measures wall-clock and is therefore machine-dependent; it is
+// excluded from deterministic comparisons and exists to substantiate
+// the §4.1 claim that synthetic traces make simulation cost independent
+// of workload length.
+func Speed(s Scale) (*SpeedResult, error) {
+	s = s.withDefaults()
+	ws, err := s.workloads()
+	if err != nil {
+		return nil, err
+	}
+	cfg := baseline()
+	res := &SpeedResult{Scale: s}
+	// Sequential on purpose: timing runs must not contend.
+	for _, w := range ws {
+		t0 := time.Now()
+		core.Reference(cfg, w.Stream(s.ExecSeed, 0, s.RefInstructions))
+		edsT := time.Since(t0).Seconds()
+
+		t0 = time.Now()
+		g, err := core.Profile(cfg, w.Stream(s.ExecSeed, 0, s.RefInstructions), core.ProfileOptions{K: 1})
+		if err != nil {
+			return nil, err
+		}
+		profT := time.Since(t0).Seconds()
+
+		r := core.ReductionFor(g, s.SynthTarget)
+		t0 = time.Now()
+		if _, err := core.StatSim(cfg, g, r, 1); err != nil {
+			return nil, err
+		}
+		ssT := time.Since(t0).Seconds()
+
+		speedup := 0.0
+		if ssT > 0 {
+			speedup = edsT / ssT
+		}
+		res.Rows = append(res.Rows, SpeedRow{
+			Name: w.Name, EDSSeconds: edsT, ProfSeconds: profT,
+			SSSeconds: ssT, Speedup: speedup, R: r,
+		})
+	}
+	return res, nil
+}
+
+// Render returns the study as text.
+func (r *SpeedResult) Render() string {
+	t := &table{header: []string{"benchmark", "EDS (s)", "profile (s)", "statsim (s)", "speedup", "R"}}
+	var sum float64
+	for _, row := range r.Rows {
+		t.addf("%s\t%.3f\t%.3f\t%.3f\t%.1fx\t%d",
+			row.Name, row.EDSSeconds, row.ProfSeconds, row.SSSeconds, row.Speedup, row.R)
+		sum += row.Speedup
+	}
+	t.addf("avg\t\t\t\t%.1fx\t", sum/float64(len(r.Rows)))
+	return "Section 4.1: simulation cost, execution-driven vs statistical (speedup scales with R)\n" + t.String()
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Table1Row is one benchmark's baseline characterisation (paper
+// Table 1: the workloads and their baseline IPC).
+type Table1Row struct {
+	Name         string
+	StaticBlocks int
+	StaticInstrs int
+	Phases       int
+	IPC          float64
+	EPC          float64
+	MispredPerKI float64
+	L1DMissRate  float64
+}
+
+// Table1Result is the full table.
+type Table1Result struct {
+	Scale Scale
+	Rows  []Table1Row
+}
+
+// Table1 runs execution-driven simulation of every benchmark on the
+// Table 2 baseline configuration.
+func Table1(s Scale) (*Table1Result, error) {
+	s = s.withDefaults()
+	ws, err := s.workloads()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := parallelMap(s, ws, func(w core.Workload) (Table1Row, error) {
+		m := core.Reference(baseline(), w.Stream(s.ExecSeed, 0, s.RefInstructions))
+		missRate := 0.0
+		if m.Cache.DAccesses > 0 {
+			missRate = float64(m.Cache.L1DMisses) / float64(m.Cache.DAccesses)
+		}
+		return Table1Row{
+			Name:         w.Name,
+			StaticBlocks: len(w.Prog.Blocks),
+			StaticInstrs: w.Prog.NumStaticInstrs(),
+			Phases:       w.Pers.Phases,
+			IPC:          m.IPC(),
+			EPC:          m.EPC(),
+			MispredPerKI: m.Branch.MispredictsPerKI(m.Instructions),
+			L1DMissRate:  missRate,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Table1Result{Scale: s, Rows: rows}, nil
+}
+
+// Render returns the table as text.
+func (r *Table1Result) Render() string {
+	t := &table{header: []string{"benchmark", "blocks", "static-insts", "phases", "IPC", "EPC(W)", "mispred/KI", "L1D-miss"}}
+	for _, row := range r.Rows {
+		t.add(row.Name, fmt.Sprint(row.StaticBlocks), fmt.Sprint(row.StaticInstrs),
+			fmt.Sprint(row.Phases), f3(row.IPC), f2(row.EPC), f2(row.MispredPerKI), pct(row.L1DMissRate))
+	}
+	return "Table 1: benchmarks and baseline behaviour (execution-driven, Table 2 config)\n" + t.String()
+}

@@ -1,0 +1,152 @@
+package hls
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/sfg"
+	"repro/internal/stats"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func benchStream(seed uint64, blocks int, n uint64) trace.Source {
+	prog := program.MustGenerate(program.Personality{Name: "t", Seed: seed, TargetBlocks: blocks})
+	return &trace.LimitSource{Src: program.NewExecutor(prog, seed), N: n}
+}
+
+func annotated(seed uint64, blocks int, n uint64) trace.Source {
+	return Annotate(benchStream(seed, blocks, n), cache.DefaultConfig(), bpred.DefaultConfig())
+}
+
+func TestProfileStreamBasics(t *testing.T) {
+	p, err := ProfileStream(annotated(1, 80, 100_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instructions != 100_000 {
+		t.Fatalf("instructions = %d", p.Instructions)
+	}
+	if p.Blocks == 0 || p.BlockSizeMean <= 1 {
+		t.Errorf("block stats missing: %d blocks, mean %.2f", p.Blocks, p.BlockSizeMean)
+	}
+	if p.BrCount == 0 || p.BrMispredict == 0 {
+		t.Errorf("branch stats missing: %d/%d", p.BrMispredict, p.BrCount)
+	}
+	if p.Loads == 0 || p.L1DMiss == 0 || p.L1IMiss == 0 {
+		t.Errorf("cache stats missing: loads=%d l1d=%d l1i=%d", p.Loads, p.L1DMiss, p.L1IMiss)
+	}
+	if p.Dep.Total() == 0 {
+		t.Error("no dependencies observed")
+	}
+}
+
+func TestProfileStreamEmpty(t *testing.T) {
+	if _, err := ProfileStream(trace.NewSliceSource(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestHLSTraceShape(t *testing.T) {
+	p, err := ProfileStream(annotated(2, 80, 100_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := trace.Collect(p.NewTrace(50_000, 3), 0)
+	if len(got) != 50_000 {
+		t.Fatalf("trace length %d, want 50000", len(got))
+	}
+	// Global instruction mix preserved within tolerance.
+	var loads, branches float64
+	for i := range got {
+		if got[i].Class == isa.Load {
+			loads++
+		}
+		if got[i].Class.IsBranch() {
+			branches++
+		}
+	}
+	wantLoads := float64(p.Loads) / float64(p.Instructions)
+	wantBr := float64(p.BrCount) / float64(p.Instructions)
+	if math.Abs(loads/50000-wantLoads) > 0.03 {
+		t.Errorf("load fraction %.3f, want ~%.3f", loads/50000, wantLoads)
+	}
+	if math.Abs(branches/50000-wantBr) > 0.03 {
+		t.Errorf("branch fraction %.3f, want ~%.3f", branches/50000, wantBr)
+	}
+	// Dependencies never target branches/stores.
+	for i := range got {
+		for op := 0; op < int(got[i].NumSrcs); op++ {
+			if delta := got[i].DepDist[op]; delta > 0 {
+				prod := got[i].Seq - uint64(delta)
+				if !got[prod].Class.HasDest() {
+					t.Fatalf("dependency on %v", got[prod].Class)
+				}
+			}
+		}
+	}
+}
+
+func TestHLSDeterministic(t *testing.T) {
+	p, err := ProfileStream(annotated(3, 60, 50_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := trace.Collect(p.NewTrace(20_000, 9), 0)
+	b := trace.Collect(p.NewTrace(20_000, 9), 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}
+
+// The Fig. 7 property: on a workload whose blocks differ strongly in
+// their dependency structure, the SFG model predicts IPC better than
+// HLS's global mixing.
+func TestSFGBeatsHLS(t *testing.T) {
+	// A personality with diverse per-block behaviour.
+	pers := program.Personality{
+		Name: "mix", Seed: 77, TargetBlocks: 150,
+		LocalDepFrac: 0.8, BiasChoices: []float64{0.1, 0.5, 0.9},
+	}
+	prog := program.MustGenerate(pers)
+	const n = 250_000
+	mk := func(seed uint64) trace.Source {
+		return &trace.LimitSource{Src: program.NewExecutor(prog, seed), N: n}
+	}
+	cfg := cpu.DefaultConfig()
+	eds := cpu.NewExecutionDriven(cfg, mk(5)).Run()
+
+	g, err := sfg.Profile(mk(5), sfg.Options{K: 1, Hier: cfg.Hier, Bpred: cfg.Bpred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := synth.Reduce(g, synth.Options{R: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfgRes := cpu.NewTraceDriven(cfg, red.NewTrace(1)).Run()
+
+	hp, err := ProfileStream(Annotate(mk(5), cfg.Hier, cfg.Bpred))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hlsRes := cpu.NewTraceDriven(cfg, hp.NewTrace(n/5, 1)).Run()
+
+	sfgErr := stats.AbsError(sfgRes.IPC(), eds.IPC())
+	hlsErr := stats.AbsError(hlsRes.IPC(), eds.IPC())
+	t.Logf("EDS %.3f | SFG %.3f (%.1f%%) | HLS %.3f (%.1f%%)",
+		eds.IPC(), sfgRes.IPC(), 100*sfgErr, hlsRes.IPC(), 100*hlsErr)
+	if sfgErr > 0.15 {
+		t.Errorf("SFG error %.1f%% too large", 100*sfgErr)
+	}
+	if hlsErr < sfgErr {
+		t.Logf("note: HLS beat SFG on this workload (%.2f%% vs %.2f%%)", 100*hlsErr, 100*sfgErr)
+	}
+}

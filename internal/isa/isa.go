@@ -1,0 +1,151 @@
+// Package isa defines the abstract instruction set used throughout the
+// framework: the twelve semantic instruction classes of the paper
+// (§2.1.1), architectural registers, static instruction encodings and
+// default execution latencies.
+//
+// The ISA is deliberately minimal — statistical simulation only needs
+// instruction classes, operand structure and memory/branch behaviour,
+// not value semantics.
+package isa
+
+import "fmt"
+
+// Class is one of the twelve semantic instruction classes the paper
+// profiles (§2.1.1).
+type Class uint8
+
+const (
+	Load Class = iota
+	Store
+	IntBranch   // integer conditional branch
+	FPBranch    // floating-point conditional branch
+	IndirBranch // indirect branch (jumps through a register)
+	IntALU
+	IntMul
+	IntDiv
+	FPALU
+	FPMul
+	FPDiv
+	FPSqrt
+	NumClasses = 12
+)
+
+var classNames = [NumClasses]string{
+	"load", "store", "int-branch", "fp-branch", "indir-branch",
+	"int-alu", "int-mul", "int-div", "fp-alu", "fp-mul", "fp-div", "fp-sqrt",
+}
+
+// String returns the lowercase name of the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// IsBranch reports whether the class transfers control.
+func (c Class) IsBranch() bool {
+	return c == IntBranch || c == FPBranch || c == IndirBranch
+}
+
+// IsConditionalBranch reports whether the class is a taken/not-taken
+// conditional branch (as opposed to an indirect branch, which is always
+// taken and can only mispredict its target).
+func (c Class) IsConditionalBranch() bool {
+	return c == IntBranch || c == FPBranch
+}
+
+// IsMem reports whether the class accesses data memory.
+func (c Class) IsMem() bool { return c == Load || c == Store }
+
+// HasDest reports whether instructions of this class produce a register
+// result. Branches and stores do not (§2.2 step 4: dependencies must
+// not be generated on branches or stores).
+func (c Class) HasDest() bool {
+	return !c.IsBranch() && c != Store
+}
+
+// IsFP reports whether the class executes on floating-point units.
+func (c Class) IsFP() bool {
+	switch c {
+	case FPBranch, FPALU, FPMul, FPDiv, FPSqrt:
+		return true
+	}
+	return false
+}
+
+// Latency returns the default execution latency in cycles for the
+// class, excluding memory latencies (loads take the cache access time
+// determined by the hit/miss outcome). The values follow the
+// SimpleScalar defaults for an Alpha-like machine.
+func (c Class) Latency() int {
+	switch c {
+	case IntALU, IntBranch, IndirBranch, Store:
+		return 1
+	case Load:
+		return 1 // address generation; memory latency is added by the cache model
+	case IntMul:
+		return 3
+	case IntDiv:
+		return 20
+	case FPALU, FPBranch:
+		return 2
+	case FPMul:
+		return 4
+	case FPDiv:
+		return 12
+	case FPSqrt:
+		return 24
+	default:
+		return 1
+	}
+}
+
+// MaxSrcOperands is the largest number of source operands a static
+// instruction may carry. The profile records the actual per-instruction
+// count (§2.1.1: instructions in the same class may differ).
+const MaxSrcOperands = 3
+
+// Reg names an architectural register. The register file is modelled as
+// a flat space of NumRegs integer/FP registers; RAW distances — the only
+// dataflow property statistical simulation needs — are computed from
+// last-writer tracking over this space. Register 0 is a hardwired zero
+// register and never creates dependencies (as on Alpha/MIPS).
+type Reg uint8
+
+// NumRegs is the size of the architectural register space.
+const NumRegs = 64
+
+// ZeroReg never creates RAW dependencies.
+const ZeroReg Reg = 0
+
+// StaticInst is one instruction in a program's static code. Address
+// generation behaviour and branch behaviour are attached by the program
+// package; the ISA layer carries only class and register structure.
+type StaticInst struct {
+	Class Class
+	Dst   Reg   // meaningful only when Class.HasDest()
+	Srcs  []Reg // source registers; ZeroReg entries are ignored
+}
+
+// Validate checks the structural invariants of a static instruction.
+func (si *StaticInst) Validate() error {
+	if si.Class >= NumClasses {
+		return fmt.Errorf("isa: invalid class %d", si.Class)
+	}
+	if len(si.Srcs) > MaxSrcOperands {
+		return fmt.Errorf("isa: %d source operands exceeds max %d", len(si.Srcs), MaxSrcOperands)
+	}
+	if !si.Class.HasDest() && si.Dst != ZeroReg {
+		return fmt.Errorf("isa: %v cannot have a destination register", si.Class)
+	}
+	for _, s := range si.Srcs {
+		if s >= NumRegs {
+			return fmt.Errorf("isa: source register %d out of range", s)
+		}
+	}
+	if si.Dst >= NumRegs {
+		return fmt.Errorf("isa: destination register %d out of range", si.Dst)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package isa
+
+import "testing"
+
+func TestClassPredicates(t *testing.T) {
+	cases := []struct {
+		c                           Class
+		branch, cond, mem, dest, fp bool
+	}{
+		{Load, false, false, true, true, false},
+		{Store, false, false, true, false, false},
+		{IntBranch, true, true, false, false, false},
+		{FPBranch, true, true, false, false, true},
+		{IndirBranch, true, false, false, false, false},
+		{IntALU, false, false, false, true, false},
+		{IntMul, false, false, false, true, false},
+		{IntDiv, false, false, false, true, false},
+		{FPALU, false, false, false, true, true},
+		{FPMul, false, false, false, true, true},
+		{FPDiv, false, false, false, true, true},
+		{FPSqrt, false, false, false, true, true},
+	}
+	for _, tc := range cases {
+		if got := tc.c.IsBranch(); got != tc.branch {
+			t.Errorf("%v.IsBranch = %v, want %v", tc.c, got, tc.branch)
+		}
+		if got := tc.c.IsConditionalBranch(); got != tc.cond {
+			t.Errorf("%v.IsConditionalBranch = %v, want %v", tc.c, got, tc.cond)
+		}
+		if got := tc.c.IsMem(); got != tc.mem {
+			t.Errorf("%v.IsMem = %v, want %v", tc.c, got, tc.mem)
+		}
+		if got := tc.c.HasDest(); got != tc.dest {
+			t.Errorf("%v.HasDest = %v, want %v", tc.c, got, tc.dest)
+		}
+		if got := tc.c.IsFP(); got != tc.fp {
+			t.Errorf("%v.IsFP = %v, want %v", tc.c, got, tc.fp)
+		}
+	}
+}
+
+func TestClassCount(t *testing.T) {
+	if NumClasses != 12 {
+		t.Fatalf("paper defines 12 classes, got %d", NumClasses)
+	}
+	seen := map[string]bool{}
+	for c := Class(0); c < NumClasses; c++ {
+		name := c.String()
+		if seen[name] {
+			t.Errorf("duplicate class name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestLatenciesPositive(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if c.Latency() < 1 {
+			t.Errorf("%v latency %d < 1", c, c.Latency())
+		}
+	}
+	if IntDiv.Latency() <= IntMul.Latency() {
+		t.Error("divide should be slower than multiply")
+	}
+	if FPSqrt.Latency() <= FPALU.Latency() {
+		t.Error("sqrt should be slower than fp-alu")
+	}
+}
+
+func TestStaticInstValidate(t *testing.T) {
+	ok := StaticInst{Class: IntALU, Dst: 3, Srcs: []Reg{1, 2}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid inst rejected: %v", err)
+	}
+	badClass := StaticInst{Class: 99}
+	if badClass.Validate() == nil {
+		t.Error("invalid class accepted")
+	}
+	tooManySrcs := StaticInst{Class: IntALU, Srcs: []Reg{1, 2, 3, 4}}
+	if tooManySrcs.Validate() == nil {
+		t.Error("too many source operands accepted")
+	}
+	storeWithDest := StaticInst{Class: Store, Dst: 5, Srcs: []Reg{1}}
+	if storeWithDest.Validate() == nil {
+		t.Error("store with destination accepted")
+	}
+	branchWithDest := StaticInst{Class: IntBranch, Dst: 5}
+	if branchWithDest.Validate() == nil {
+		t.Error("branch with destination accepted")
+	}
+	outOfRange := StaticInst{Class: IntALU, Srcs: []Reg{NumRegs}}
+	if outOfRange.Validate() == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+func TestClassStringUnknown(t *testing.T) {
+	if got := Class(200).String(); got != "class(200)" {
+		t.Errorf("unknown class string = %q", got)
+	}
+}

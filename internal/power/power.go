@@ -1,0 +1,193 @@
+// Package power implements a Wattch-style architectural power model
+// (Brooks et al., ISCA 2000), as used by the paper to estimate energy
+// per cycle (EPC) from statistical simulation (§3: Wattch v1.02,
+// 0.18 µm, 1.2 GHz, base activity factor 0.5, aggressive cc3 clock
+// gating).
+//
+// Like Wattch, the model assigns each microarchitectural unit a maximum
+// power that scales with its configured size and port count, then
+// applies conditional clocking: a unit used for a fraction x of cycles
+// consumes x of its maximum power, and an unused unit still consumes
+// 10% (cc3). The absolute watt values are representative rather than
+// calibrated — the evaluation uses EPC only through relative errors and
+// trends, which depend on the scaling behaviour, not the constants.
+package power
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/cpu"
+)
+
+// Unit identifies one power-modelled structure.
+type Unit int
+
+const (
+	UnitFetch Unit = iota // fetch logic + IFQ
+	UnitICache
+	UnitBpred
+	UnitDispatch // decode/rename
+	UnitIssue    // selection logic
+	UnitRUU      // window storage/CAM
+	UnitLSQ
+	UnitRegfile
+	UnitIntALU
+	UnitIntMul
+	UnitFPU
+	UnitDCache
+	UnitL2
+	UnitClock
+	NumUnits
+)
+
+var unitNames = [NumUnits]string{
+	"fetch", "icache", "bpred", "dispatch", "issue", "ruu", "lsq",
+	"regfile", "intalu", "intmul", "fpu", "dcache", "l2", "clock",
+}
+
+// String returns the unit's short name.
+func (u Unit) String() string {
+	if int(u) < len(unitNames) {
+		return unitNames[u]
+	}
+	return "unit?"
+}
+
+// idleFraction is the cc3 floor: an unused clock-gated unit still burns
+// this fraction of its maximum power.
+const idleFraction = 0.10
+
+// Breakdown is the per-unit power result of one simulated run.
+type Breakdown struct {
+	// Watts[u] is the average power of unit u over the run.
+	Watts [NumUnits]float64
+	// MaxWatts[u] is the configured peak power of unit u.
+	MaxWatts [NumUnits]float64
+}
+
+// EPC returns total average power — the paper's "energy per cycle"
+// metric (Fig. 6 right, reported in Watt/cycle at fixed frequency).
+func (b Breakdown) EPC() float64 {
+	var t float64
+	for _, w := range b.Watts {
+		t += w
+	}
+	return t
+}
+
+// String renders the per-unit breakdown as a fixed-width table, units
+// ordered front-end to back-end.
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-9s %9s %9s %6s\n", "unit", "watts", "peak", "util")
+	for u := Unit(0); u < NumUnits; u++ {
+		util := 0.0
+		if b.MaxWatts[u] > 0 {
+			util = (b.Watts[u]/b.MaxWatts[u] - idleFraction) / (1 - idleFraction)
+			if util < 0 {
+				util = 0
+			}
+		}
+		fmt.Fprintf(&sb, "%-9s %9.2f %9.2f %5.1f%%\n", u, b.Watts[u], b.MaxWatts[u], 100*util)
+	}
+	fmt.Fprintf(&sb, "%-9s %9.2f\n", "total", b.EPC())
+	return sb.String()
+}
+
+// EDP returns the energy-delay product EPC * CPI^2 = EPC / IPC^2 (§4.2.3).
+func EDP(epc, ipc float64) float64 {
+	if ipc == 0 {
+		return math.Inf(1)
+	}
+	return epc / (ipc * ipc)
+}
+
+// maxPowers derives per-unit peak powers from the machine configuration.
+// Scaling follows Wattch's array models to first order: power grows
+// with the square root of capacity and with port count.
+func maxPowers(cfg cpu.Config) [NumUnits]float64 {
+	sq := math.Sqrt
+	var m [NumUnits]float64
+	m[UnitFetch] = 1.5 + 1.5*sq(float64(cfg.IFQSize)/32)
+	m[UnitICache] = 3.0 * sq(float64(cfg.Hier.L1I.SizeBytes)/float64(8<<10))
+	predBits := float64(cfg.Bpred.BimodalEntries + cfg.Bpred.PHTEntries +
+		cfg.Bpred.MetaEntries + 16*cfg.Bpred.LocalHistories + 64*cfg.Bpred.BTBEntries)
+	baseBits := float64(8<<10 + 8<<10 + 8<<10 + 16*(8<<10) + 64*512)
+	m[UnitBpred] = 2.5 * sq(predBits/baseBits)
+	m[UnitDispatch] = 3.5 * float64(cfg.DecodeWidth) / 8
+	m[UnitIssue] = 2.5 * float64(cfg.IssueWidth) / 8
+	m[UnitRUU] = 9.0 * sq(float64(cfg.RUUSize)/128) * sq(float64(cfg.IssueWidth)/8)
+	m[UnitLSQ] = 3.5 * sq(float64(cfg.LSQSize)/32) * sq(float64(cfg.LoadStore)/4)
+	m[UnitRegfile] = 7.0 * sq(float64(cfg.DecodeWidth)/8)
+	m[UnitIntALU] = 1.0 * float64(cfg.IntALUs)
+	m[UnitIntMul] = 1.0 * float64(cfg.IntMulDivs)
+	m[UnitFPU] = 1.5 * float64(cfg.FPAdders+cfg.FPMulDivs)
+	m[UnitDCache] = 8.0 * sq(float64(cfg.Hier.L1D.SizeBytes)/float64(16<<10)) *
+		sq(float64(cfg.LoadStore)/4)
+	m[UnitL2] = 12.0 * sq(float64(cfg.Hier.L2.SizeBytes)/float64(1<<20))
+	// The clock tree scales with everything it feeds (~30% of chip
+	// power in Wattch-era designs).
+	var sum float64
+	for u := UnitFetch; u < UnitClock; u++ {
+		sum += m[u]
+	}
+	m[UnitClock] = 0.35 * sum
+	return m
+}
+
+// Estimate converts a run's activity counters into per-unit average
+// power under the cc3 model: P = Pmax * (idle + (1-idle)*x), where x is
+// the unit's utilisation (accesses per cycle per port, clamped to 1).
+func Estimate(cfg cpu.Config, res cpu.Result) Breakdown {
+	var b Breakdown
+	b.MaxWatts = maxPowers(cfg)
+	if res.Cycles == 0 {
+		return b
+	}
+	cyc := float64(res.Cycles)
+	util := func(accesses uint64, ports int) float64 {
+		if ports < 1 {
+			ports = 1
+		}
+		x := float64(accesses) / (cyc * float64(ports))
+		if x > 1 {
+			x = 1
+		}
+		return x
+	}
+	a := res.Act
+	var x [NumUnits]float64
+	x[UnitFetch] = util(a.Fetched, cfg.FetchWidth())
+	x[UnitICache] = util(a.ICacheAccesses, cfg.FetchWidth())
+	x[UnitBpred] = util(a.BpredLookups+a.BpredUpdates+a.BTBAccesses, 3)
+	x[UnitDispatch] = util(a.Dispatched, cfg.DecodeWidth)
+	x[UnitIssue] = util(a.Issued, cfg.IssueWidth)
+	x[UnitRUU] = util(a.Dispatched+a.Issued+a.Committed,
+		cfg.DecodeWidth+cfg.IssueWidth+cfg.CommitWidth)
+	x[UnitLSQ] = util(a.LoadOps+a.StoreOps, cfg.LoadStore)
+	x[UnitRegfile] = util(a.RegReads+a.RegWrites, 3*cfg.DecodeWidth)
+	x[UnitIntALU] = util(a.IntALUOps, cfg.IntALUs)
+	x[UnitIntMul] = util(a.IntMulOps, cfg.IntMulDivs)
+	x[UnitFPU] = util(a.FPOps, cfg.FPAdders+cfg.FPMulDivs)
+	x[UnitDCache] = util(a.DCacheAccesses, cfg.LoadStore)
+	x[UnitL2] = util(a.L2Accesses, 1)
+	// Under cc3, gating a unit gates its clock subtree too: the clock
+	// network's activity is the capacitance-weighted activity of what it
+	// feeds (plus the global spine, which is never gated and is covered
+	// by the 10% idle floor).
+	var wsum, wact float64
+	for u := UnitFetch; u < UnitClock; u++ {
+		wsum += b.MaxWatts[u]
+		wact += b.MaxWatts[u] * x[u]
+	}
+	if wsum > 0 {
+		x[UnitClock] = wact / wsum
+	}
+
+	for u := Unit(0); u < NumUnits; u++ {
+		b.Watts[u] = b.MaxWatts[u] * (idleFraction + (1-idleFraction)*x[u])
+	}
+	return b
+}

@@ -1,0 +1,130 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+func baseResult(cycles uint64) cpu.Result {
+	r := cpu.Result{Cycles: cycles, Instructions: cycles * 2}
+	r.Act = cpu.Activity{
+		Fetched:        cycles * 4,
+		Dispatched:     cycles * 2,
+		Issued:         cycles * 2,
+		Committed:      cycles * 2,
+		ICacheAccesses: cycles * 4,
+		DCacheAccesses: cycles,
+		L2Accesses:     cycles / 10,
+		BpredLookups:   cycles / 4,
+		BpredUpdates:   cycles / 4,
+		RegReads:       cycles * 4,
+		RegWrites:      cycles * 2,
+		IntALUOps:      cycles,
+		LoadOps:        cycles / 2,
+		StoreOps:       cycles / 4,
+	}
+	return r
+}
+
+func TestEPCPositiveAndBounded(t *testing.T) {
+	cfg := cpu.DefaultConfig()
+	b := Estimate(cfg, baseResult(100000))
+	epc := b.EPC()
+	var peak float64
+	for _, m := range b.MaxWatts {
+		peak += m
+	}
+	if epc <= 0 {
+		t.Fatal("EPC must be positive")
+	}
+	if epc > peak {
+		t.Fatalf("EPC %.1f exceeds peak %.1f", epc, peak)
+	}
+	// With cc3, even a totally idle machine burns the 10% floor.
+	idle := Estimate(cfg, cpu.Result{Cycles: 1000})
+	var floor float64
+	for u := Unit(0); u < NumUnits; u++ {
+		floor += idle.MaxWatts[u] * idleFraction
+	}
+	if math.Abs(idle.EPC()-floor) > 1e-9 {
+		t.Errorf("idle EPC %.3f, want floor %.3f", idle.EPC(), floor)
+	}
+}
+
+func TestZeroCyclesSafe(t *testing.T) {
+	b := Estimate(cpu.DefaultConfig(), cpu.Result{})
+	if b.EPC() != 0 {
+		t.Errorf("zero-cycle EPC = %v, want 0", b.EPC())
+	}
+}
+
+func TestMoreActivityMorePower(t *testing.T) {
+	cfg := cpu.DefaultConfig()
+	lo := baseResult(100000)
+	hi := baseResult(100000)
+	hi.Act.Issued *= 3
+	hi.Act.IntALUOps *= 4
+	hi.Act.DCacheAccesses *= 3
+	if Estimate(cfg, hi).EPC() <= Estimate(cfg, lo).EPC() {
+		t.Error("more activity must consume more power")
+	}
+}
+
+func TestUtilisationClamped(t *testing.T) {
+	cfg := cpu.DefaultConfig()
+	r := baseResult(100)
+	r.Act.IntALUOps = 1 << 40 // absurd over-count
+	b := Estimate(cfg, r)
+	if b.Watts[UnitIntALU] > b.MaxWatts[UnitIntALU]+1e-9 {
+		t.Error("unit power exceeded its maximum")
+	}
+}
+
+func TestStructureSizeScalesPower(t *testing.T) {
+	small := cpu.DefaultConfig()
+	big := cpu.DefaultConfig()
+	big.RUUSize *= 4
+	big.Hier = big.Hier.Scale(4)
+	big.Bpred = big.Bpred.Scale(2)
+	r := baseResult(100000)
+	bs := Estimate(small, r)
+	bb := Estimate(big, r)
+	if bb.MaxWatts[UnitRUU] <= bs.MaxWatts[UnitRUU] {
+		t.Error("bigger RUU should have higher peak power")
+	}
+	if bb.MaxWatts[UnitDCache] <= bs.MaxWatts[UnitDCache] {
+		t.Error("bigger D-cache should have higher peak power")
+	}
+	if bb.MaxWatts[UnitBpred] <= bs.MaxWatts[UnitBpred] {
+		t.Error("bigger predictor should have higher peak power")
+	}
+	if bb.EPC() <= bs.EPC() {
+		t.Error("bigger structures at equal activity must burn more total power")
+	}
+}
+
+func TestEDP(t *testing.T) {
+	if got := EDP(10, 2); got != 2.5 {
+		t.Errorf("EDP(10,2) = %v, want 2.5 (10/4)", got)
+	}
+	if !math.IsInf(EDP(10, 0), 1) {
+		t.Error("EDP at zero IPC should be +Inf")
+	}
+	// Lower EPC at equal IPC and lower CPI at equal EPC both improve EDP.
+	if !(EDP(8, 2) < EDP(10, 2) && EDP(10, 2.5) < EDP(10, 2)) {
+		t.Error("EDP ordering broken")
+	}
+}
+
+func TestUnitNames(t *testing.T) {
+	seen := map[string]bool{}
+	for u := Unit(0); u < NumUnits; u++ {
+		n := u.String()
+		if n == "" || n == "unit?" || seen[n] {
+			t.Errorf("bad or duplicate unit name %q", n)
+		}
+		seen[n] = true
+	}
+}

@@ -1,0 +1,149 @@
+package program
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// branchProgram builds a two-block program whose block 0 ends in the
+// given branch spec: taken -> block 0 (self), not taken -> block 1,
+// which falls back to block 0.
+func branchProgram(t *testing.T, spec *BranchSpec, cls isa.Class) *Program {
+	t.Helper()
+	p := &Program{
+		Name: "br",
+		Blocks: []*Block{
+			{
+				ID: 0,
+				Instrs: []Inst{
+					{StaticInst: isa.StaticInst{Class: isa.IntALU, Dst: 16, Srcs: []isa.Reg{1}}},
+					{StaticInst: isa.StaticInst{Class: cls, Srcs: []isa.Reg{16}}},
+				},
+				Branch:      spec,
+				TakenTarget: 0,
+				FallTarget:  1,
+			},
+			{
+				ID:         1,
+				Instrs:     []Inst{{StaticInst: isa.StaticInst{Class: isa.IntALU, Dst: 17, Srcs: []isa.Reg{16}}}},
+				FallTarget: 0,
+			},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func branchDirections(p *Program, n int) []bool {
+	e := NewExecutor(p, 1)
+	var dirs []bool
+	d := e.Run(n)
+	for i := range d {
+		if d[i].Class.IsBranch() {
+			dirs = append(dirs, d[i].Taken)
+		}
+	}
+	return dirs
+}
+
+func TestPatternBranchLSBFirst(t *testing.T) {
+	// Pattern 0b0110 of length 4, LSB first: N T T N repeating.
+	p := branchProgram(t, &BranchSpec{Kind: BranchPattern, Pattern: 0b0110, PatternLen: 4}, isa.IntBranch)
+	dirs := branchDirections(p, 200)
+	want := []bool{false, true, true, false}
+	for i, d := range dirs[:40] {
+		if d != want[i%4] {
+			t.Fatalf("direction %d = %v, want pattern NTTN", i, d)
+		}
+	}
+}
+
+func TestLoopBranchExactTripCount(t *testing.T) {
+	p := branchProgram(t, &BranchSpec{Kind: BranchLoop, Count: 5}, isa.IntBranch)
+	dirs := branchDirections(p, 400)
+	// Taken 4x, not-taken once, repeating.
+	for i, d := range dirs[:40] {
+		want := (i % 5) != 4
+		if d != want {
+			t.Fatalf("loop direction %d = %v, want %v", i, d, want)
+		}
+	}
+}
+
+func TestBiasedBranchFrequency(t *testing.T) {
+	p := branchProgram(t, &BranchSpec{Kind: BranchBiased, P: 0.7}, isa.IntBranch)
+	dirs := branchDirections(p, 60_000)
+	taken := 0
+	for _, d := range dirs {
+		if d {
+			taken++
+		}
+	}
+	frac := float64(taken) / float64(len(dirs))
+	if frac < 0.66 || frac > 0.74 {
+		t.Errorf("biased branch taken fraction %.3f, want ~0.7", frac)
+	}
+}
+
+func TestIndirectBranchHotTargets(t *testing.T) {
+	// An indirect branch over 4 targets: the squared-uniform skew must
+	// make target 0 the hottest.
+	p := &Program{
+		Name: "ind",
+		Blocks: []*Block{
+			{
+				ID: 0,
+				Instrs: []Inst{
+					{StaticInst: isa.StaticInst{Class: isa.IndirBranch, Srcs: []isa.Reg{1}}},
+				},
+				Branch:      &BranchSpec{Kind: BranchIndirect, Targets: []int{1, 2, 3, 4}},
+				TakenTarget: 1,
+			},
+			{ID: 1, Instrs: []Inst{{StaticInst: isa.StaticInst{Class: isa.IntALU, Dst: 16}}}, FallTarget: 0},
+			{ID: 2, Instrs: []Inst{{StaticInst: isa.StaticInst{Class: isa.IntALU, Dst: 16}}}, FallTarget: 0},
+			{ID: 3, Instrs: []Inst{{StaticInst: isa.StaticInst{Class: isa.IntALU, Dst: 16}}}, FallTarget: 0},
+			{ID: 4, Instrs: []Inst{{StaticInst: isa.StaticInst{Class: isa.IntALU, Dst: 16}}}, FallTarget: 0},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e := NewExecutor(p, 1)
+	visits := map[int32]int{}
+	d := e.Run(40_000)
+	for i := range d {
+		if d[i].Index == 0 && d[i].BlockID != 0 {
+			visits[d[i].BlockID]++
+		}
+	}
+	if !(visits[1] > visits[2] && visits[2] > visits[3] && visits[3] > visits[4]) {
+		t.Errorf("indirect targets not skewed hot-first: %v", visits)
+	}
+	for b := int32(1); b <= 4; b++ {
+		if visits[b] == 0 {
+			t.Errorf("target %d never taken", b)
+		}
+	}
+}
+
+func TestMemStackStaysHot(t *testing.T) {
+	p := tinyProgram(t)
+	p.Blocks[0].Instrs[1].Mem = &MemSpec{Kind: MemStack, Base: StackBase, Size: 256}
+	e := NewExecutor(p, 1)
+	seen := map[uint64]bool{}
+	d := e.Run(5000)
+	for i := range d {
+		if d[i].Class == isa.Load {
+			if d[i].EffAddr < StackBase || d[i].EffAddr >= StackBase+256 {
+				t.Fatalf("stack access %#x outside region", d[i].EffAddr)
+			}
+			seen[d[i].EffAddr] = true
+		}
+	}
+	if len(seen) == 0 || len(seen) > 32 {
+		t.Errorf("stack accesses should reuse a handful of slots, saw %d", len(seen))
+	}
+}

@@ -1,0 +1,510 @@
+package program
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/stats"
+)
+
+// Personality parameterises the synthesis of a benchmark program. Each
+// SPECint stand-in (see personalities.go) is one Personality; the
+// generator turns it into a structured control-flow graph of loop
+// nests, if-diamonds and indirect switches.
+type Personality struct {
+	Name string
+	Seed uint64
+
+	// Static shape.
+	TargetBlocks int     // approximate number of basic blocks
+	AvgBlockLen  float64 // mean body instructions per block (terminator excluded)
+	SDBlockLen   float64
+
+	// Instruction mix (fractions of body instructions; remainder is
+	// integer ALU work).
+	LoadFrac, StoreFrac    float64
+	IntMulFrac, IntDivFrac float64
+	FPFrac                 float64 // split among fp-alu/mul/div/sqrt
+
+	// Dataflow.
+	LocalDepFrac    float64 // prob. a source reads a recently written register
+	GlobalWriteFrac float64 // prob. a result goes to a long-lived global register
+
+	// Control-flow component mix (relative weights).
+	LoopWeight, DiamondWeight, SwitchWeight, PlainWeight float64
+	LoopTripMin, LoopTripMax                             int
+	BiasChoices                                          []float64 // taken-probabilities for data-dependent branches
+	PatternFrac                                          float64   // fraction of diamond headers using periodic patterns
+	MaxDepth                                             int       // nesting depth limit
+
+	// Memory behaviour.
+	StackFrac  float64 // fraction of memory ops hitting the hot stack region
+	StrideFrac float64 // of the rest, fraction using stride walks
+	HotBytes   uint64  // hot randomly-accessed region size
+	ColdBytes  uint64  // cold region size
+	HotFrac    float64 // prob. a random/stride access targets the hot region
+
+	// Phase structure.
+	Phases   int    // number of top-level phase regions (>= 1)
+	PhaseLen uint64 // target dynamic instructions per phase activation
+}
+
+// applyDefaults fills zero-valued fields with sane defaults so partial
+// personalities (e.g. in tests) work.
+func (p Personality) applyDefaults() Personality {
+	def := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	if p.TargetBlocks == 0 {
+		p.TargetBlocks = 200
+	}
+	def(&p.AvgBlockLen, 6)
+	def(&p.SDBlockLen, 2)
+	def(&p.LoadFrac, 0.24)
+	def(&p.StoreFrac, 0.10)
+	def(&p.IntMulFrac, 0.01)
+	def(&p.LocalDepFrac, 0.6)
+	def(&p.GlobalWriteFrac, 0.12)
+	def(&p.LoopWeight, 0.30)
+	def(&p.DiamondWeight, 0.35)
+	def(&p.SwitchWeight, 0.05)
+	def(&p.PlainWeight, 0.30)
+	if p.LoopTripMin == 0 {
+		p.LoopTripMin = 4
+	}
+	if p.LoopTripMax < p.LoopTripMin {
+		p.LoopTripMax = p.LoopTripMin + 28
+	}
+	if len(p.BiasChoices) == 0 {
+		p.BiasChoices = []float64{0.08, 0.25, 0.5, 0.75, 0.92}
+	}
+	if p.MaxDepth == 0 {
+		p.MaxDepth = 3
+	}
+	def(&p.StackFrac, 0.25)
+	def(&p.StrideFrac, 0.45)
+	if p.HotBytes == 0 {
+		p.HotBytes = 16 << 10
+	}
+	if p.ColdBytes == 0 {
+		p.ColdBytes = 4 << 20
+	}
+	def(&p.HotFrac, 0.80)
+	if p.Phases == 0 {
+		p.Phases = 1
+	}
+	if p.PhaseLen == 0 {
+		p.PhaseLen = 250_000
+	}
+	return p
+}
+
+// Generate synthesises a Program from the personality. The result is
+// deterministic in Personality (including Seed) and always validates.
+func Generate(p Personality) (*Program, error) {
+	p = p.applyDefaults()
+	g := &gen{
+		p:    p,
+		rng:  stats.NewRNG(p.Seed),
+		prog: &Program{Name: p.Name},
+	}
+	g.build()
+	if err := g.prog.Validate(); err != nil {
+		return nil, fmt.Errorf("program: generated invalid program %q: %w", p.Name, err)
+	}
+	return g.prog, nil
+}
+
+// MustGenerate is Generate but panics on error; generation can only
+// fail on a generator bug, so most callers use this.
+func MustGenerate(p Personality) *Program {
+	prog, err := Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type gen struct {
+	p    Personality
+	rng  *stats.RNG
+	prog *Program
+
+	recent    []isa.Reg // recently written registers (dataflow locality)
+	nextLocal isa.Reg
+
+	phase    int
+	coldBase uint64
+}
+
+const (
+	globalRegLo = isa.Reg(1)
+	globalRegHi = isa.Reg(15)
+	localRegLo  = isa.Reg(16)
+)
+
+func (g *gen) build() {
+	type phaseInfo struct {
+		entry, exit int
+		est         float64
+		tail        int
+	}
+	phases := make([]phaseInfo, g.p.Phases)
+	perPhase := g.p.TargetBlocks / g.p.Phases
+	if perPhase < 4 {
+		perPhase = 4
+	}
+	for i := range phases {
+		g.phase = i
+		// Each phase touches its own slice of the cold region so that
+		// program phases have distinct data footprints.
+		g.coldBase = DataBase + 0x0800_0000 + uint64(i)*g.p.ColdBytes
+		budget := perPhase
+		entry, exit, est := g.region(0, &budget)
+		// Phase tail: a loop branch that re-runs the phase region.
+		tail := g.newBlock(g.bodyLen())
+		g.terminateLoop(tail, 1) // trip count patched below
+		g.wire(exit, tail)
+		g.prog.Blocks[tail].TakenTarget = entry
+		phases[i] = phaseInfo{entry: entry, exit: exit, est: est, tail: tail}
+	}
+	// Chain phases into an endless cycle and size their trip counts so
+	// one activation of each phase runs for about PhaseLen dynamic
+	// instructions.
+	for i, ph := range phases {
+		next := phases[(i+1)%len(phases)].entry
+		g.prog.Blocks[ph.tail].FallTarget = next
+		perIter := ph.est + float64(len(g.prog.Blocks[ph.tail].Instrs))
+		trips := int(float64(g.p.PhaseLen) / perIter)
+		if trips < 2 {
+			trips = 2
+		}
+		g.prog.Blocks[ph.tail].Branch.Count = trips
+	}
+	g.prog.Entry = phases[0].entry
+}
+
+// region generates a single-entry/single-exit sequence of components.
+// The returned exit block has an unwired fallthrough (patched by the
+// caller via wire). est is the expected dynamic instruction count of
+// one pass through the region.
+func (g *gen) region(depth int, budget *int) (entry, exit int, est float64) {
+	// Top-level regions keep adding components until the block budget is
+	// exhausted; nested regions stay small so depth stays bounded.
+	n := 1 + g.rng.Intn(3)
+	if depth == 0 {
+		n = 1 << 30
+	}
+	entry = -1
+	for i := 0; i < n && *budget > 0; i++ {
+		e, x, c := g.component(depth, budget)
+		if entry < 0 {
+			entry = e
+		} else {
+			g.wire(exit, e)
+		}
+		exit = x
+		est += c
+	}
+	if entry < 0 {
+		b := g.newBlock(g.bodyLen())
+		entry, exit = b, b
+		est = float64(len(g.prog.Blocks[b].Instrs))
+	}
+	return entry, exit, est
+}
+
+func (g *gen) component(depth int, budget *int) (entry, exit int, est float64) {
+	w := []float64{g.p.PlainWeight, g.p.LoopWeight, g.p.DiamondWeight, g.p.SwitchWeight}
+	if depth >= g.p.MaxDepth || *budget < 4 {
+		w[1], w[2], w[3] = 0, 0, 0
+	}
+	switch choose(g.rng, w) {
+	case 1:
+		return g.loop(depth, budget)
+	case 2:
+		return g.diamond(depth, budget)
+	case 3:
+		return g.indirSwitch(depth, budget)
+	default:
+		*budget--
+		b := g.newBlock(g.bodyLen())
+		return b, b, float64(len(g.prog.Blocks[b].Instrs))
+	}
+}
+
+// loop: body region followed by a tail block ending in a backward loop
+// branch (do-while shape).
+func (g *gen) loop(depth int, budget *int) (entry, exit int, est float64) {
+	*budget--
+	bodyEntry, bodyExit, bodyEst := g.region(depth+1, budget)
+	tail := g.newBlock(g.bodyLen())
+	trips := g.p.LoopTripMin + g.rng.Intn(g.p.LoopTripMax-g.p.LoopTripMin+1)
+	// Cap the trip count so one full pass of this loop stays well under
+	// the phase length; otherwise nested loops multiply into passes that
+	// dwarf the phase budget and starve block coverage.
+	if maxDyn := float64(g.p.PhaseLen) / 4; bodyEst*float64(trips) > maxDyn {
+		trips = int(maxDyn / (bodyEst + 1))
+		if trips < 2 {
+			trips = 2
+		}
+	}
+	g.terminateLoop(tail, trips)
+	g.wire(bodyExit, tail)
+	g.prog.Blocks[tail].TakenTarget = bodyEntry
+	perIter := bodyEst + float64(len(g.prog.Blocks[tail].Instrs))
+	return bodyEntry, tail, perIter * float64(trips)
+}
+
+// diamond: conditional header, two arm regions, merge block.
+func (g *gen) diamond(depth int, budget *int) (entry, exit int, est float64) {
+	*budget -= 2
+	head := g.newBlock(g.bodyLen())
+	g.terminateCond(head)
+	aEntry, aExit, aEst := g.region(depth+1, budget)
+	bEntry, bExit, bEst := g.region(depth+1, budget)
+	merge := g.newBlock(g.bodyLen())
+	hb := g.prog.Blocks[head]
+	hb.TakenTarget = aEntry
+	hb.FallTarget = bEntry
+	g.wire(aExit, merge)
+	g.wire(bExit, merge)
+	// Weight arms by the header's taken probability.
+	pTaken := 0.5
+	if hb.Branch.Kind == BranchBiased {
+		pTaken = hb.Branch.P
+	}
+	est = float64(len(hb.Instrs)) + pTaken*aEst + (1-pTaken)*bEst +
+		float64(len(g.prog.Blocks[merge].Instrs))
+	return head, merge, est
+}
+
+// indirSwitch: indirect-branch header fanning out to k small regions
+// that reconverge at a merge block.
+func (g *gen) indirSwitch(depth int, budget *int) (entry, exit int, est float64) {
+	*budget -= 2
+	head := g.newBlock(g.bodyLen())
+	k := 2 + g.rng.Intn(5)
+	targets := make([]int, 0, k)
+	merge := g.newBlock(g.bodyLen())
+	var sumEst float64
+	for i := 0; i < k && *budget > 0; i++ {
+		e, x, c := g.region(depth+1, budget)
+		targets = append(targets, e)
+		g.wire(x, merge)
+		sumEst += c
+	}
+	if len(targets) == 0 {
+		*budget--
+		b := g.newBlock(g.bodyLen())
+		targets = append(targets, b)
+		g.wire(b, merge)
+		sumEst = float64(len(g.prog.Blocks[b].Instrs))
+	}
+	g.terminateIndirect(head, targets)
+	hb := g.prog.Blocks[head]
+	est = float64(len(hb.Instrs)) + sumEst/float64(len(targets)) +
+		float64(len(g.prog.Blocks[merge].Instrs))
+	return head, merge, est
+}
+
+// wire sets the pending fallthrough successor of an exit block.
+func (g *gen) wire(from, to int) {
+	b := g.prog.Blocks[from]
+	if b.Branch != nil && b.Branch.Kind == BranchIndirect {
+		panic("program: cannot wire fallthrough of an indirect block")
+	}
+	b.FallTarget = to
+}
+
+// choose picks an index from relative weights (all zero → 0).
+func choose(rng *stats.RNG, w []float64) int {
+	var total float64
+	for _, x := range w {
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	u := rng.Float64() * total
+	for i, x := range w {
+		u -= x
+		if u < 0 {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+func (g *gen) bodyLen() int {
+	l := int(g.p.AvgBlockLen + g.p.SDBlockLen*g.rng.NormFloat64() + 0.5)
+	if l < 1 {
+		l = 1
+	}
+	if l > 48 {
+		l = 48
+	}
+	return l
+}
+
+// newBlock creates a block with n body instructions and no terminator;
+// FallTarget is left unwired (-1) until the caller patches it.
+func (g *gen) newBlock(n int) int {
+	id := len(g.prog.Blocks)
+	b := &Block{ID: id, FallTarget: -1, TakenTarget: -1}
+	for i := 0; i < n; i++ {
+		b.Instrs = append(b.Instrs, g.bodyInst())
+	}
+	g.prog.Blocks = append(g.prog.Blocks, b)
+	return id
+}
+
+func (g *gen) bodyInst() Inst {
+	c := g.pickClass()
+	in := Inst{StaticInst: isa.StaticInst{Class: c}}
+	switch c {
+	case isa.Load:
+		in.Srcs = []isa.Reg{g.srcReg()} // base register
+		in.Mem = g.memSpec()
+	case isa.Store:
+		in.Srcs = []isa.Reg{g.srcReg(), g.srcReg()} // data + base
+		in.Mem = g.memSpec()
+	case isa.IntDiv, isa.FPDiv, isa.FPSqrt:
+		in.Srcs = []isa.Reg{g.srcReg(), g.srcReg()}
+	default:
+		if g.rng.Float64() < 0.25 {
+			in.Srcs = []isa.Reg{g.srcReg()}
+		} else {
+			in.Srcs = []isa.Reg{g.srcReg(), g.srcReg()}
+		}
+	}
+	if c.HasDest() {
+		in.Dst = g.dstReg()
+	}
+	return in
+}
+
+func (g *gen) pickClass() isa.Class {
+	u := g.rng.Float64()
+	switch {
+	case u < g.p.LoadFrac:
+		return isa.Load
+	case u < g.p.LoadFrac+g.p.StoreFrac:
+		return isa.Store
+	default:
+	}
+	u = g.rng.Float64()
+	switch {
+	case u < g.p.IntMulFrac:
+		return isa.IntMul
+	case u < g.p.IntMulFrac+g.p.IntDivFrac:
+		return isa.IntDiv
+	case u < g.p.IntMulFrac+g.p.IntDivFrac+g.p.FPFrac:
+		switch g.rng.Intn(5) {
+		case 0:
+			return isa.FPMul
+		case 1:
+			return isa.FPDiv
+		case 2:
+			return isa.FPSqrt
+		default:
+			return isa.FPALU
+		}
+	default:
+		return isa.IntALU
+	}
+}
+
+func (g *gen) srcReg() isa.Reg {
+	if len(g.recent) > 0 && g.rng.Float64() < g.p.LocalDepFrac {
+		// Prefer the most recently written registers (short RAW
+		// distances), with a geometric-ish fall-off.
+		i := len(g.recent) - 1 - min(g.rng.Intn(4), g.rng.Intn(len(g.recent)))
+		return g.recent[i]
+	}
+	return globalRegLo + isa.Reg(g.rng.Intn(int(globalRegHi-globalRegLo)+1))
+}
+
+func (g *gen) dstReg() isa.Reg {
+	var r isa.Reg
+	if g.rng.Float64() < g.p.GlobalWriteFrac {
+		r = globalRegLo + isa.Reg(g.rng.Intn(int(globalRegHi-globalRegLo)+1))
+	} else {
+		r = localRegLo + g.nextLocal
+		g.nextLocal = (g.nextLocal + 1) % (isa.NumRegs - localRegLo)
+	}
+	g.recent = append(g.recent, r)
+	if len(g.recent) > 8 {
+		g.recent = g.recent[1:]
+	}
+	return r
+}
+
+func (g *gen) memSpec() *MemSpec {
+	u := g.rng.Float64()
+	if u < g.p.StackFrac {
+		return &MemSpec{Kind: MemStack, Base: StackBase, Size: 512}
+	}
+	hot := g.rng.Float64() < g.p.HotFrac
+	base, size := DataBase, g.p.HotBytes
+	if !hot {
+		base, size = g.coldBase, g.p.ColdBytes
+	}
+	if size < 64 {
+		size = 64
+	}
+	if g.rng.Float64() < g.p.StrideFrac {
+		strides := []uint64{8, 8, 16, 32, 64}
+		off := (uint64(g.rng.Intn(int(size/16))) * 8) % size
+		return &MemSpec{
+			Kind:   MemStride,
+			Base:   base + off,
+			Size:   size - off,
+			Stride: strides[g.rng.Intn(len(strides))],
+		}
+	}
+	return &MemSpec{Kind: MemRandom, Base: base, Size: size}
+}
+
+// terminateCond appends a conditional-branch terminator to block id.
+func (g *gen) terminateCond(id int) {
+	b := g.prog.Blocks[id]
+	br := Inst{StaticInst: isa.StaticInst{Class: isa.IntBranch, Srcs: []isa.Reg{g.srcReg()}}}
+	if g.p.FPFrac > 0.05 && g.rng.Float64() < 0.3 {
+		br.Class = isa.FPBranch
+	}
+	b.Instrs = append(b.Instrs, br)
+	if g.rng.Float64() < g.p.PatternFrac {
+		plen := 3 + g.rng.Intn(10)
+		b.Branch = &BranchSpec{
+			Kind:       BranchPattern,
+			Pattern:    g.rng.Uint64(),
+			PatternLen: plen,
+		}
+	} else {
+		b.Branch = &BranchSpec{
+			Kind: BranchBiased,
+			P:    g.p.BiasChoices[g.rng.Intn(len(g.p.BiasChoices))],
+		}
+	}
+}
+
+// terminateLoop appends a loop-branch terminator with the given trip
+// count to block id.
+func (g *gen) terminateLoop(id, trips int) {
+	b := g.prog.Blocks[id]
+	b.Instrs = append(b.Instrs,
+		Inst{StaticInst: isa.StaticInst{Class: isa.IntBranch, Srcs: []isa.Reg{g.srcReg()}}})
+	b.Branch = &BranchSpec{Kind: BranchLoop, Count: trips}
+}
+
+// terminateIndirect appends an indirect-branch terminator to block id.
+func (g *gen) terminateIndirect(id int, targets []int) {
+	b := g.prog.Blocks[id]
+	b.Instrs = append(b.Instrs,
+		Inst{StaticInst: isa.StaticInst{Class: isa.IndirBranch, Srcs: []isa.Reg{g.srcReg()}}})
+	b.Branch = &BranchSpec{Kind: BranchIndirect, Targets: targets}
+	b.TakenTarget = targets[0]
+}

@@ -1,0 +1,228 @@
+package program
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestGenerateAllBenchmarksValid(t *testing.T) {
+	for _, p := range Benchmarks() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog, err := Generate(p)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if prog.Name != p.Name {
+				t.Errorf("name = %q", prog.Name)
+			}
+			if len(prog.Blocks) < p.TargetBlocks/2 {
+				t.Errorf("generated %d blocks, target %d", len(prog.Blocks), p.TargetBlocks)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Benchmarks()[0]
+	a := MustGenerate(p)
+	b := MustGenerate(p)
+	if len(a.Blocks) != len(b.Blocks) {
+		t.Fatalf("block counts differ: %d vs %d", len(a.Blocks), len(b.Blocks))
+	}
+	for i := range a.Blocks {
+		ab, bb := a.Blocks[i], b.Blocks[i]
+		if len(ab.Instrs) != len(bb.Instrs) || ab.TakenTarget != bb.TakenTarget ||
+			ab.FallTarget != bb.FallTarget {
+			t.Fatalf("block %d differs", i)
+		}
+		for j := range ab.Instrs {
+			if ab.Instrs[j].Class != bb.Instrs[j].Class || ab.Instrs[j].Dst != bb.Instrs[j].Dst {
+				t.Fatalf("block %d inst %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGeneratedCodeSizeOrdering(t *testing.T) {
+	// Table 3's SFG node-count ordering implies gcc must have by far
+	// the largest static footprint and vpr the smallest.
+	sizes := map[string]int{}
+	for _, p := range Benchmarks() {
+		sizes[p.Name] = MustGenerate(p).NumStaticInstrs()
+	}
+	if sizes["gcc"] <= 2*sizes["vortex"] {
+		t.Errorf("gcc (%d) should dwarf vortex (%d)", sizes["gcc"], sizes["vortex"])
+	}
+	if sizes["vpr"] >= sizes["bzip2"] {
+		t.Errorf("vpr (%d) should be smaller than bzip2 (%d)", sizes["vpr"], sizes["bzip2"])
+	}
+}
+
+func TestGeneratedProgramsExecute(t *testing.T) {
+	// Every benchmark program must run indefinitely, visit a healthy
+	// fraction of its blocks, and contain branches and memory ops in
+	// plausible proportions.
+	for _, p := range Benchmarks() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog := MustGenerate(p)
+			e := NewExecutor(prog, 1)
+			// Long enough to cycle through every phase a few times.
+			n := 3*p.Phases*int(p.PhaseLen) + 200_000
+			if n > 4_000_000 {
+				n = 4_000_000
+			}
+			visited := make([]bool, len(prog.Blocks))
+			var branches, mems, taken int
+			d := e.Run(n)
+			for i := range d {
+				visited[d[i].BlockID] = true
+				if d[i].Class.IsBranch() {
+					branches++
+					if d[i].Taken {
+						taken++
+					}
+				}
+				if d[i].Class.IsMem() {
+					mems++
+					if d[i].EffAddr == 0 {
+						t.Fatal("memory op with zero effective address")
+					}
+				}
+			}
+			brFrac := float64(branches) / float64(n)
+			if brFrac < 0.03 || brFrac > 0.35 {
+				t.Errorf("branch fraction %.3f outside [0.03, 0.35]", brFrac)
+			}
+			memFrac := float64(mems) / float64(n)
+			if memFrac < 0.10 || memFrac > 0.55 {
+				t.Errorf("memory fraction %.3f outside [0.10, 0.55]", memFrac)
+			}
+			if taken == 0 || taken == branches {
+				t.Errorf("degenerate taken ratio %d/%d", taken, branches)
+			}
+			cov := 0
+			for _, v := range visited {
+				if v {
+					cov++
+				}
+			}
+			if float64(cov)/float64(len(visited)) < 0.3 {
+				t.Errorf("only %d/%d blocks visited in %d instructions", cov, len(visited), n)
+			}
+		})
+	}
+}
+
+func TestGeneratedDependencyDistancesSpread(t *testing.T) {
+	prog := MustGenerate(Benchmarks()[0])
+	e := NewExecutor(prog, 1)
+	short, long, total := 0, 0, 0
+	d := e.Run(100_000)
+	for i := range d {
+		for op := 0; op < int(d[i].NumSrcs); op++ {
+			dd := d[i].DepDist[op]
+			if dd == 0 {
+				continue
+			}
+			total++
+			if dd <= 4 {
+				short++
+			}
+			if dd > 64 {
+				long++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no dependencies at all")
+	}
+	if float64(short)/float64(total) < 0.2 {
+		t.Errorf("too few short dependencies: %d/%d", short, total)
+	}
+	if long == 0 {
+		t.Error("no long-range dependencies")
+	}
+}
+
+func TestGenerateArbitrarySeedsAlwaysValid(t *testing.T) {
+	f := func(seed uint64, blocks uint16) bool {
+		p := Personality{
+			Name:         "fuzz",
+			Seed:         seed,
+			TargetBlocks: int(blocks%500) + 4,
+		}
+		prog, err := Generate(p)
+		if err != nil {
+			return false
+		}
+		// Short execution must not panic and must produce valid classes.
+		e := NewExecutor(prog, seed)
+		d := e.Run(500)
+		for i := range d {
+			if d[i].Class >= isa.NumClasses {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("gcc"); err != nil {
+		t.Errorf("ByName(gcc): %v", err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+	names := BenchmarkNames()
+	if len(names) != 10 {
+		t.Fatalf("want 10 benchmarks, got %d", len(names))
+	}
+	if names[0] != "bzip2" || names[9] != "vpr" {
+		t.Errorf("canonical order broken: %v", names)
+	}
+}
+
+func TestPhaseFootprintsDiffer(t *testing.T) {
+	// Programs with multiple phases must touch different cold data in
+	// different phases (this is what makes Fig. 8 meaningful).
+	p, err := ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := MustGenerate(p)
+	e := NewExecutor(prog, 1)
+	// Run two windows far apart and compare coarse address sets.
+	seen := func(n int) map[uint64]bool {
+		m := map[uint64]bool{}
+		d := e.Run(n)
+		for i := range d {
+			if d[i].Class.IsMem() && d[i].EffAddr >= DataBase+0x0800_0000 {
+				m[d[i].EffAddr>>22] = true // 4 MB granules
+			}
+		}
+		return m
+	}
+	a := seen(150_000)
+	e.Skip(500_000)
+	b := seen(150_000)
+	if len(a) == 0 || len(b) == 0 {
+		t.Skip("no cold accesses observed in window")
+	}
+	onlyB := 0
+	for g := range b {
+		if !a[g] {
+			onlyB++
+		}
+	}
+	if onlyB == 0 {
+		t.Error("later phase touched no new cold-data granules; phases indistinct")
+	}
+}

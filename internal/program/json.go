@@ -1,0 +1,73 @@
+package program
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// PersonalityFromJSON decodes a workload personality from JSON, so
+// users can define custom benchmarks without recompiling (the statsim
+// CLI's -workload-file flag). Unknown fields are rejected to catch
+// typos; zero-valued fields fall back to the generator defaults.
+func PersonalityFromJSON(data []byte) (Personality, error) {
+	var p Personality
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Personality{}, fmt.Errorf("program: decoding personality: %w", err)
+	}
+	if p.Name == "" {
+		return Personality{}, fmt.Errorf("program: personality requires a name")
+	}
+	if err := p.check(); err != nil {
+		return Personality{}, err
+	}
+	return p, nil
+}
+
+// JSON encodes the personality, producing a template users can edit.
+func (p Personality) JSON() ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// check validates user-supplied parameter ranges; the generator's
+// defaults handle zeros, so only actively harmful values are rejected.
+func (p Personality) check() error {
+	frac := func(v float64, what string) error {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("program: %s = %v outside [0,1]", what, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		v    float64
+		what string
+	}{
+		{p.LoadFrac, "LoadFrac"}, {p.StoreFrac, "StoreFrac"},
+		{p.IntMulFrac, "IntMulFrac"}, {p.IntDivFrac, "IntDivFrac"},
+		{p.FPFrac, "FPFrac"}, {p.LocalDepFrac, "LocalDepFrac"},
+		{p.GlobalWriteFrac, "GlobalWriteFrac"}, {p.PatternFrac, "PatternFrac"},
+		{p.StackFrac, "StackFrac"}, {p.StrideFrac, "StrideFrac"}, {p.HotFrac, "HotFrac"},
+	} {
+		if err := frac(f.v, f.what); err != nil {
+			return err
+		}
+	}
+	if p.LoadFrac+p.StoreFrac > 0.9 {
+		return fmt.Errorf("program: LoadFrac+StoreFrac = %v leaves no room for computation",
+			p.LoadFrac+p.StoreFrac)
+	}
+	for _, b := range p.BiasChoices {
+		if b < 0 || b > 1 {
+			return fmt.Errorf("program: bias choice %v outside [0,1]", b)
+		}
+	}
+	if p.TargetBlocks < 0 || p.Phases < 0 || p.MaxDepth < 0 {
+		return fmt.Errorf("program: negative structural parameter")
+	}
+	if p.LoopTripMin < 0 || (p.LoopTripMax != 0 && p.LoopTripMax < p.LoopTripMin) {
+		return fmt.Errorf("program: loop trip range [%d,%d] invalid", p.LoopTripMin, p.LoopTripMax)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package program
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPersonalityJSONRoundTrip(t *testing.T) {
+	orig := Benchmarks()[0]
+	data, err := orig.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := PersonalityFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.Seed != orig.Seed || got.TargetBlocks != orig.TargetBlocks {
+		t.Errorf("round trip changed personality: %+v", got)
+	}
+	// Programs generated from both must be identical.
+	a, b := MustGenerate(orig), MustGenerate(got)
+	if len(a.Blocks) != len(b.Blocks) {
+		t.Error("round-tripped personality generates a different program")
+	}
+}
+
+func TestPersonalityFromJSONMinimal(t *testing.T) {
+	p, err := PersonalityFromJSON([]byte(`{"Name":"mine","Seed":7,"TargetBlocks":50}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "mine" || len(prog.Blocks) == 0 {
+		t.Error("minimal personality did not generate")
+	}
+}
+
+func TestPersonalityFromJSONRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        `{{{`,
+		"unknown field":  `{"Name":"x","Bogus":1}`,
+		"missing name":   `{"Seed":1}`,
+		"bad fraction":   `{"Name":"x","LoadFrac":1.5}`,
+		"mem crowds out": `{"Name":"x","LoadFrac":0.6,"StoreFrac":0.5}`,
+		"bad bias":       `{"Name":"x","BiasChoices":[2.0]}`,
+		"bad loop range": `{"Name":"x","LoopTripMin":10,"LoopTripMax":5}`,
+		"negative":       `{"Name":"x","TargetBlocks":-1}`,
+	}
+	for what, in := range cases {
+		if _, err := PersonalityFromJSON([]byte(in)); err == nil {
+			t.Errorf("%s accepted", what)
+		}
+	}
+}
+
+func TestPersonalityJSONIsEditableTemplate(t *testing.T) {
+	data, err := Benchmarks()[0].JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, field := range []string{"Name", "TargetBlocks", "LoadFrac", "Phases", "HotBytes"} {
+		if !strings.Contains(s, field) {
+			t.Errorf("template missing field %s:\n%s", field, s)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package program
+
+import "fmt"
+
+// Benchmarks returns the ten SPEC CINT2000 stand-in personalities used
+// throughout the evaluation (Table 1 of the paper). Each personality is
+// tuned so the *relative* workload properties track its namesake:
+//
+//   - static code size ordering follows Table 3's SFG node counts
+//     (gcc ≫ vortex > parser > crafty > bzip2 > eon ≈ twolf ≈ perlbmk >
+//     gzip > vpr), scaled down to laptop-size programs;
+//   - branch predictability spans the Fig. 3 range: vortex very
+//     predictable, eon/perlbmk/twolf/crafty mispredict-prone, with
+//     eon and perlbmk the most delayed-update-sensitive (interpreter
+//     dispatch / virtual-call style indirect branches);
+//   - memory behaviour spans stride-friendly compressors (gzip, bzip2)
+//     to pointer-chasing, cache-hostile workloads (twolf, vpr, crafty);
+//   - phase counts follow the number of SimPoint intervals in Table 1
+//     (gcc 8, bzip2 3, parser 2, gzip/vpr/... 1-2).
+//
+// All seeds are fixed: every call returns identical personalities, and
+// the generated programs are bit-reproducible.
+func Benchmarks() []Personality {
+	return []Personality{
+		{
+			Name: "bzip2", Seed: 0xb21b2001, TargetBlocks: 250,
+			AvgBlockLen: 7, SDBlockLen: 2,
+			LoadFrac: 0.26, StoreFrac: 0.09,
+			LoopWeight: 0.45, DiamondWeight: 0.30, SwitchWeight: 0.02, PlainWeight: 0.23,
+			LoopTripMin: 8, LoopTripMax: 64,
+			BiasChoices: []float64{0.05, 0.12, 0.85, 0.95}, PatternFrac: 0.30,
+			StackFrac: 0.20, StrideFrac: 0.70, HotBytes: 64 << 10, ColdBytes: 8 << 20, HotFrac: 0.72,
+			LocalDepFrac: 0.70, Phases: 3, PhaseLen: 200_000,
+		},
+		{
+			Name: "crafty", Seed: 0xc4a5f731, TargetBlocks: 600,
+			AvgBlockLen: 5, SDBlockLen: 2,
+			LoadFrac: 0.30, StoreFrac: 0.08, IntMulFrac: 0.02,
+			LoopWeight: 0.22, DiamondWeight: 0.48, SwitchWeight: 0.05, PlainWeight: 0.25,
+			LoopTripMin: 2, LoopTripMax: 10,
+			BiasChoices: []float64{0.35, 0.45, 0.5, 0.55, 0.65}, PatternFrac: 0.10,
+			StackFrac: 0.15, StrideFrac: 0.15, HotBytes: 32 << 10, ColdBytes: 24 << 20, HotFrac: 0.45,
+			LocalDepFrac: 0.45, Phases: 1, PhaseLen: 400_000,
+		},
+		{
+			Name: "eon", Seed: 0xe0e0e003, TargetBlocks: 180,
+			AvgBlockLen: 6, SDBlockLen: 2, FPFrac: 0.12,
+			LoadFrac: 0.25, StoreFrac: 0.12,
+			LoopWeight: 0.25, DiamondWeight: 0.38, SwitchWeight: 0.14, PlainWeight: 0.23,
+			LoopTripMin: 2, LoopTripMax: 8,
+			BiasChoices: []float64{0.3, 0.4, 0.5, 0.6, 0.7}, PatternFrac: 0.08,
+			StackFrac: 0.35, StrideFrac: 0.40, HotBytes: 24 << 10, ColdBytes: 2 << 20, HotFrac: 0.85,
+			LocalDepFrac: 0.40, Phases: 1, PhaseLen: 300_000,
+		},
+		{
+			Name: "gcc", Seed: 0x6cc00004, TargetBlocks: 3500,
+			AvgBlockLen: 5, SDBlockLen: 3,
+			LoadFrac: 0.26, StoreFrac: 0.12,
+			LoopWeight: 0.20, DiamondWeight: 0.42, SwitchWeight: 0.08, PlainWeight: 0.30,
+			LoopTripMin: 2, LoopTripMax: 16,
+			BiasChoices: []float64{0.1, 0.3, 0.5, 0.7, 0.9}, PatternFrac: 0.12,
+			StackFrac: 0.30, StrideFrac: 0.30, HotBytes: 48 << 10, ColdBytes: 8 << 20, HotFrac: 0.70,
+			LocalDepFrac: 0.55, Phases: 8, PhaseLen: 120_000,
+		},
+		{
+			Name: "gzip", Seed: 0x671b0005, TargetBlocks: 120,
+			AvgBlockLen: 8, SDBlockLen: 2,
+			LoadFrac: 0.22, StoreFrac: 0.08,
+			LoopWeight: 0.50, DiamondWeight: 0.25, SwitchWeight: 0.02, PlainWeight: 0.23,
+			LoopTripMin: 12, LoopTripMax: 96,
+			BiasChoices: []float64{0.04, 0.1, 0.9, 0.96}, PatternFrac: 0.25,
+			StackFrac: 0.20, StrideFrac: 0.75, HotBytes: 96 << 10, ColdBytes: 2 << 20, HotFrac: 0.85,
+			LocalDepFrac: 0.72, Phases: 1, PhaseLen: 250_000,
+		},
+		{
+			Name: "parser", Seed: 0x9a45e306, TargetBlocks: 800,
+			AvgBlockLen: 5, SDBlockLen: 2,
+			LoadFrac: 0.30, StoreFrac: 0.10,
+			LoopWeight: 0.25, DiamondWeight: 0.42, SwitchWeight: 0.06, PlainWeight: 0.27,
+			LoopTripMin: 2, LoopTripMax: 12,
+			BiasChoices: []float64{0.2, 0.4, 0.5, 0.6, 0.8}, PatternFrac: 0.10,
+			StackFrac: 0.22, StrideFrac: 0.18, HotBytes: 32 << 10, ColdBytes: 12 << 20, HotFrac: 0.60,
+			LocalDepFrac: 0.50, Phases: 2, PhaseLen: 300_000,
+		},
+		{
+			Name: "perlbmk", Seed: 0x9e51b007, TargetBlocks: 160,
+			AvgBlockLen: 5, SDBlockLen: 2,
+			LoadFrac: 0.27, StoreFrac: 0.12,
+			LoopWeight: 0.20, DiamondWeight: 0.32, SwitchWeight: 0.22, PlainWeight: 0.26,
+			LoopTripMin: 2, LoopTripMax: 8,
+			BiasChoices: []float64{0.3, 0.45, 0.55, 0.7}, PatternFrac: 0.05,
+			StackFrac: 0.32, StrideFrac: 0.30, HotBytes: 32 << 10, ColdBytes: 4 << 20, HotFrac: 0.80,
+			LocalDepFrac: 0.45, Phases: 1, PhaseLen: 300_000,
+		},
+		{
+			Name: "twolf", Seed: 0x79019008, TargetBlocks: 170,
+			AvgBlockLen: 6, SDBlockLen: 2, FPFrac: 0.06,
+			LoadFrac: 0.28, StoreFrac: 0.09, IntMulFrac: 0.03,
+			LoopWeight: 0.28, DiamondWeight: 0.42, SwitchWeight: 0.03, PlainWeight: 0.27,
+			LoopTripMin: 2, LoopTripMax: 10,
+			BiasChoices: []float64{0.35, 0.45, 0.55, 0.65}, PatternFrac: 0.08,
+			StackFrac: 0.12, StrideFrac: 0.12, HotBytes: 16 << 10, ColdBytes: 20 << 20, HotFrac: 0.40,
+			LocalDepFrac: 0.42, Phases: 1, PhaseLen: 350_000,
+		},
+		{
+			Name: "vortex", Seed: 0x40e7e009, TargetBlocks: 1100,
+			AvgBlockLen: 6, SDBlockLen: 2,
+			LoadFrac: 0.28, StoreFrac: 0.14,
+			LoopWeight: 0.30, DiamondWeight: 0.32, SwitchWeight: 0.04, PlainWeight: 0.34,
+			LoopTripMin: 4, LoopTripMax: 24,
+			BiasChoices: []float64{0.03, 0.08, 0.92, 0.97}, PatternFrac: 0.15,
+			StackFrac: 0.30, StrideFrac: 0.45, HotBytes: 64 << 10, ColdBytes: 6 << 20, HotFrac: 0.75,
+			LocalDepFrac: 0.60, Phases: 2, PhaseLen: 250_000,
+		},
+		{
+			Name: "vpr", Seed: 0x59120010, TargetBlocks: 60,
+			AvgBlockLen: 6, SDBlockLen: 2, FPFrac: 0.10,
+			LoadFrac: 0.28, StoreFrac: 0.08, IntMulFrac: 0.02,
+			LoopWeight: 0.30, DiamondWeight: 0.40, SwitchWeight: 0.03, PlainWeight: 0.27,
+			LoopTripMin: 2, LoopTripMax: 12,
+			BiasChoices: []float64{0.3, 0.4, 0.5, 0.6, 0.7}, PatternFrac: 0.10,
+			StackFrac: 0.15, StrideFrac: 0.15, HotBytes: 16 << 10, ColdBytes: 16 << 20, HotFrac: 0.45,
+			LocalDepFrac: 0.45, Phases: 1, PhaseLen: 350_000,
+		},
+	}
+}
+
+// BenchmarkNames returns the names of all benchmark personalities in
+// their canonical (paper) order.
+func BenchmarkNames() []string {
+	ps := Benchmarks()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ByName returns the personality with the given name.
+func ByName(name string) (Personality, error) {
+	for _, p := range Benchmarks() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Personality{}, fmt.Errorf("program: unknown benchmark %q", name)
+}

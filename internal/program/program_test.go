@@ -1,0 +1,265 @@
+package program
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// tinyProgram builds a minimal two-block hand-written program:
+// block 0 (alu, load, loop-branch) -> itself x3, then block 1
+// block 1 (alu) -> falls back to block 0.
+func tinyProgram(t *testing.T) *Program {
+	t.Helper()
+	p := &Program{
+		Name: "tiny",
+		Blocks: []*Block{
+			{
+				ID: 0,
+				Instrs: []Inst{
+					{StaticInst: isa.StaticInst{Class: isa.IntALU, Dst: 16, Srcs: []isa.Reg{1}}},
+					{StaticInst: isa.StaticInst{Class: isa.Load, Dst: 17, Srcs: []isa.Reg{16}},
+						Mem: &MemSpec{Kind: MemStride, Base: DataBase, Size: 1024, Stride: 8}},
+					{StaticInst: isa.StaticInst{Class: isa.IntBranch, Srcs: []isa.Reg{17}}},
+				},
+				Branch:      &BranchSpec{Kind: BranchLoop, Count: 3},
+				TakenTarget: 0,
+				FallTarget:  1,
+			},
+			{
+				ID: 1,
+				Instrs: []Inst{
+					{StaticInst: isa.StaticInst{Class: isa.IntALU, Dst: 1, Srcs: []isa.Reg{17, 16}}},
+				},
+				FallTarget: 0,
+			},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("tiny program invalid: %v", err)
+	}
+	return p
+}
+
+func TestValidateCatchesBrokenPrograms(t *testing.T) {
+	base := tinyProgram(t)
+
+	t.Run("empty block", func(t *testing.T) {
+		p := tinyProgram(t)
+		p.Blocks[1].Instrs = nil
+		if p.Validate() == nil {
+			t.Error("empty block accepted")
+		}
+	})
+	t.Run("branch mid-block", func(t *testing.T) {
+		p := tinyProgram(t)
+		p.Blocks[0].Instrs[0].Class = isa.IntBranch
+		p.Blocks[0].Instrs[0].Dst = 0
+		if p.Validate() == nil {
+			t.Error("mid-block branch accepted")
+		}
+	})
+	t.Run("mem without spec", func(t *testing.T) {
+		p := tinyProgram(t)
+		p.Blocks[0].Instrs[1].Mem = nil
+		if p.Validate() == nil {
+			t.Error("load without MemSpec accepted")
+		}
+	})
+	t.Run("target out of range", func(t *testing.T) {
+		p := tinyProgram(t)
+		p.Blocks[0].TakenTarget = 99
+		if p.Validate() == nil {
+			t.Error("out-of-range target accepted")
+		}
+	})
+	t.Run("unreachable block", func(t *testing.T) {
+		p := tinyProgram(t)
+		p.Blocks = append(p.Blocks, &Block{
+			ID:         2,
+			Instrs:     []Inst{{StaticInst: isa.StaticInst{Class: isa.IntALU, Dst: 16}}},
+			FallTarget: 0,
+		})
+		if p.Validate() == nil {
+			t.Error("unreachable block accepted")
+		}
+	})
+	t.Run("bad loop count", func(t *testing.T) {
+		p := tinyProgram(t)
+		p.Blocks[0].Branch.Count = 0
+		if p.Validate() == nil {
+			t.Error("loop count 0 accepted")
+		}
+	})
+	t.Run("bad bias", func(t *testing.T) {
+		p := tinyProgram(t)
+		p.Blocks[0].Branch = &BranchSpec{Kind: BranchBiased, P: 1.5}
+		if p.Validate() == nil {
+			t.Error("bias > 1 accepted")
+		}
+	})
+	t.Run("indirect without targets", func(t *testing.T) {
+		p := tinyProgram(t)
+		p.Blocks[0].Instrs[2].Class = isa.IndirBranch
+		p.Blocks[0].Branch = &BranchSpec{Kind: BranchIndirect}
+		if p.Validate() == nil {
+			t.Error("indirect branch without targets accepted")
+		}
+	})
+
+	// The unmodified program still validates (tinyProgram already
+	// validated once; re-validate to catch accidental mutation above).
+	if err := base.Validate(); err != nil {
+		t.Errorf("base program became invalid: %v", err)
+	}
+}
+
+func TestPCLayout(t *testing.T) {
+	p := tinyProgram(t)
+	if got := p.PC(0, 0); got != CodeBase {
+		t.Errorf("PC(0,0) = %#x, want %#x", got, CodeBase)
+	}
+	if got := p.PC(0, 2); got != CodeBase+2*InstBytes {
+		t.Errorf("PC(0,2) = %#x", got)
+	}
+	if got := p.PC(1, 0); got != CodeBase+3*InstBytes {
+		t.Errorf("PC(1,0) = %#x, want block 1 to start after block 0", got)
+	}
+	if p.CodeBytes() != 4*InstBytes {
+		t.Errorf("CodeBytes = %d, want %d", p.CodeBytes(), 4*InstBytes)
+	}
+}
+
+func TestExecutorLoopSemantics(t *testing.T) {
+	p := tinyProgram(t)
+	e := NewExecutor(p, 1)
+	// One loop activation: block 0 runs 3 times (taken, taken, not
+	// taken), then block 1 once. Sequence of block IDs:
+	want := []int32{0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0}
+	got := e.Run(len(want))
+	for i, d := range got {
+		if d.BlockID != want[i]/1*want[i] { // identity; keep explicit below
+			break
+		}
+	}
+	// Check block sequence and branch directions explicitly.
+	blocks := []int32{}
+	for _, d := range got {
+		if d.Index == 0 {
+			blocks = append(blocks, d.BlockID)
+		}
+	}
+	wantBlocks := []int32{0, 0, 0, 1}
+	for i, b := range wantBlocks {
+		if blocks[i] != b {
+			t.Fatalf("block sequence %v, want prefix %v", blocks, wantBlocks)
+		}
+	}
+	// Branch directions: taken, taken, not-taken.
+	var dirs []bool
+	for _, d := range got {
+		if d.Class.IsBranch() {
+			dirs = append(dirs, d.Taken)
+		}
+	}
+	if len(dirs) < 3 || dirs[0] != true || dirs[1] != true || dirs[2] != false {
+		t.Errorf("loop branch directions = %v, want [t t f ...]", dirs)
+	}
+}
+
+func TestExecutorDependencyDistances(t *testing.T) {
+	p := tinyProgram(t)
+	e := NewExecutor(p, 1)
+	got := e.Run(4)
+	// inst1 (load) reads r16 written by inst0: distance 1.
+	if got[1].DepDist[0] != 1 {
+		t.Errorf("load dep distance = %d, want 1", got[1].DepDist[0])
+	}
+	// inst2 (branch) reads r17 written by inst1: distance 1.
+	if got[2].DepDist[0] != 1 {
+		t.Errorf("branch dep distance = %d, want 1", got[2].DepDist[0])
+	}
+	// First inst reads r1, never written yet: no dependency.
+	if got[0].DepDist[0] != 0 {
+		t.Errorf("first inst dep = %d, want 0", got[0].DepDist[0])
+	}
+	// Second iteration of block 0: inst0 reads r1 (still unwritten),
+	// inst at seq 3 is block0/inst0 again; its src r1 unwritten => 0.
+	if got[3].BlockID != 0 || got[3].Index != 0 {
+		t.Fatalf("seq 3 is block %d idx %d, want 0/0", got[3].BlockID, got[3].Index)
+	}
+}
+
+func TestExecutorStrideAddresses(t *testing.T) {
+	p := tinyProgram(t)
+	e := NewExecutor(p, 1)
+	var addrs []uint64
+	var d = e.Run(30)
+	for _, di := range d {
+		if di.Class == isa.Load {
+			addrs = append(addrs, di.EffAddr)
+		}
+	}
+	if len(addrs) < 3 {
+		t.Fatalf("too few loads: %d", len(addrs))
+	}
+	for i := 1; i < len(addrs); i++ {
+		if addrs[i] != addrs[i-1]+8 && addrs[i] != DataBase {
+			t.Fatalf("stride walk broken: %#x -> %#x", addrs[i-1], addrs[i])
+		}
+	}
+}
+
+func TestExecutorDeterminism(t *testing.T) {
+	prog := MustGenerate(Personality{Name: "det", Seed: 77, TargetBlocks: 60})
+	a := NewExecutor(prog, 5).Run(5000)
+	b := NewExecutor(prog, 5).Run(5000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("executor diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := NewExecutor(prog, 6).Run(5000)
+	diff := 0
+	for i := range a {
+		if a[i] != c[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different executor seeds produced identical streams")
+	}
+}
+
+func TestExecutorSkipMatchesRun(t *testing.T) {
+	prog := MustGenerate(Personality{Name: "skip", Seed: 3, TargetBlocks: 40})
+	a := NewExecutor(prog, 9)
+	a.Skip(1000)
+	gotA := a.Run(100)
+	b := NewExecutor(prog, 9)
+	b.Run(1000)
+	gotB := b.Run(100)
+	for i := range gotA {
+		if gotA[i] != gotB[i] {
+			t.Fatalf("Skip and Run diverge at %d", i)
+		}
+	}
+	if a.Seq() != 1100 {
+		t.Errorf("Seq = %d, want 1100", a.Seq())
+	}
+}
+
+func TestExecutorNextPCConsistency(t *testing.T) {
+	prog := MustGenerate(Personality{Name: "nextpc", Seed: 12, TargetBlocks: 80})
+	e := NewExecutor(prog, 4)
+	var prev uint64
+	var have bool
+	var d = e.Run(20000)
+	for i, di := range d {
+		if have && di.PC != prev {
+			t.Fatalf("inst %d PC %#x != predecessor NextPC %#x", i, di.PC, prev)
+		}
+		prev = di.NextPC
+		have = true
+	}
+}

@@ -1,0 +1,72 @@
+package sfg
+
+// AddrProfile captures the address-generation behaviour of one memory
+// instruction slot, enabling the synthetic-address extension: instead
+// of only assigning hit/miss outcomes for the structures that were
+// profiled (§2.1.2's pragmatic approach), a synthetic trace can carry
+// synthetic *addresses* whose stride and footprint statistics match the
+// original, so caches can be simulated live on the synthetic trace and
+// the cache design space explored without re-profiling.
+//
+// The model is deliberately simple: a bounded histogram of successive
+// address deltas for the slot, plus its footprint bounds. Slots with
+// more distinct deltas than the bound are treated as uniformly random
+// within their observed footprint — which is exactly how the workload
+// substrate's MemRandom slots behave, and a conservative approximation
+// for anything else.
+type AddrProfile struct {
+	Count uint64 // dynamic instances observed
+	First uint64 // first address observed
+	Min   uint64 // footprint lower bound (inclusive)
+	Max   uint64 // footprint upper bound (inclusive)
+
+	// Strides maps signed address deltas between consecutive instances
+	// to occurrence counts; bounded to MaxDistinctStrides entries.
+	Strides map[int64]uint64
+	// Overflow counts deltas that arrived after the map filled and were
+	// not already present (the slot is then mostly random).
+	Overflow uint64
+
+	prev    uint64 // profiling state, not serialised
+	hasPrev bool
+}
+
+// MaxDistinctStrides bounds the per-slot stride table; beyond it a slot
+// is modelled as random within its footprint.
+const MaxDistinctStrides = 64
+
+// observe records the next address of the slot.
+func (a *AddrProfile) observe(addr uint64) {
+	a.Count++
+	if a.Count == 1 {
+		a.First, a.Min, a.Max = addr, addr, addr
+	} else {
+		if addr < a.Min {
+			a.Min = addr
+		}
+		if addr > a.Max {
+			a.Max = addr
+		}
+		delta := int64(addr) - int64(a.prev)
+		if _, ok := a.Strides[delta]; ok || len(a.Strides) < MaxDistinctStrides {
+			if a.Strides == nil {
+				a.Strides = make(map[int64]uint64)
+			}
+			a.Strides[delta]++
+		} else {
+			a.Overflow++
+		}
+	}
+	a.prev = addr
+	a.hasPrev = true
+}
+
+// MostlyRandom reports whether the slot's deltas overflowed the stride
+// table badly enough that random-within-footprint is the better model.
+func (a *AddrProfile) MostlyRandom() bool {
+	var tracked uint64
+	for _, c := range a.Strides {
+		tracked += c
+	}
+	return a.Overflow > tracked/4
+}

@@ -1,0 +1,116 @@
+package sfg
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// TestDependencyDistributionsAreContextConditioned exercises the SFG's
+// defining feature (§2.1.1): the same basic block, reached through
+// different predecessor histories, keeps *separate* dependency-distance
+// distributions — P[D | Bn, Bn-1] — where a k=0 profile would merge
+// them.
+//
+// The program: block C reads r5. Predecessor A writes r5 immediately
+// before C (distance 1 from C's perspective... A's write is the last
+// instruction before C's read). Predecessor B writes r5 and then pads
+// with three unrelated instructions, so C's read sees distance 4.
+func TestDependencyDistributionsAreContextConditioned(t *testing.T) {
+	alu := func(dst, src isa.Reg) program.Inst {
+		return program.Inst{StaticInst: isa.StaticInst{Class: isa.IntALU, Dst: dst, Srcs: []isa.Reg{src}}}
+	}
+	br := func() program.Inst {
+		return program.Inst{StaticInst: isa.StaticInst{Class: isa.IntBranch, Srcs: []isa.Reg{20}}}
+	}
+	p := &program.Program{
+		Name: "ctx",
+		Blocks: []*program.Block{
+			{ // 0: dispatcher — alternates between A and B.
+				ID:          0,
+				Instrs:      []program.Inst{alu(20, 1), br()},
+				Branch:      &program.BranchSpec{Kind: program.BranchPattern, Pattern: 0b10, PatternLen: 2},
+				TakenTarget: 1, // A
+				FallTarget:  2, // B
+			},
+			{ // 1: A — writes r5 as its last instruction, falls to C.
+				ID:         1,
+				Instrs:     []program.Inst{alu(21, 1), alu(5, 1)},
+				FallTarget: 3,
+			},
+			{ // 2: B — writes r5 then pads, falls to C.
+				ID:         2,
+				Instrs:     []program.Inst{alu(5, 1), alu(22, 1), alu(23, 1), alu(24, 1)},
+				FallTarget: 3,
+			},
+			{ // 3: C — reads r5 first, loops back to the dispatcher.
+				ID:         3,
+				Instrs:     []program.Inst{alu(25, 5)},
+				FallTarget: 0,
+			},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	src := &trace.LimitSource{Src: program.NewExecutor(p, 1), N: 20_000}
+	g, err := Profile(src, defaultOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find the two edges into block C (id 3).
+	var viaA, viaB *Edge
+	for _, e := range g.Edges {
+		if e.Block != 3 {
+			continue
+		}
+		switch g.Nodes[e.From].CurrentBlock() {
+		case 1:
+			viaA = e
+		case 2:
+			viaB = e
+		}
+	}
+	if viaA == nil || viaB == nil {
+		t.Fatalf("missing context edges into C: viaA=%v viaB=%v", viaA, viaB)
+	}
+	hA := viaA.Insts[0].Dep[0]
+	hB := viaB.Insts[0].Dep[0]
+	if hA == nil || hB == nil {
+		t.Fatal("dependency histograms not recorded")
+	}
+	// Via A: the r5 write is the immediately preceding instruction.
+	if got := hA.Mean(); got != 1 {
+		t.Errorf("C-via-A dependency distance = %v, want exactly 1", got)
+	}
+	// Via B: three pad instructions separate the write from the read.
+	if got := hB.Mean(); got != 4 {
+		t.Errorf("C-via-B dependency distance = %v, want exactly 4", got)
+	}
+
+	// The k=0 profile merges the two contexts into one distribution.
+	src2 := &trace.LimitSource{Src: program.NewExecutor(p, 1), N: 20_000}
+	g0, err := Profile(src2, defaultOpts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g0.Edges {
+		if e.Block != 3 {
+			continue
+		}
+		h := e.Insts[0].Dep[0]
+		if h == nil {
+			t.Fatal("k=0 histogram missing")
+		}
+		if h.Count(1) == 0 || h.Count(4) == 0 {
+			t.Errorf("k=0 should merge both distances: count(1)=%d count(4)=%d", h.Count(1), h.Count(4))
+		}
+		m := h.Mean()
+		if m <= 1.2 || m >= 3.8 {
+			t.Errorf("k=0 merged mean = %v, want strictly between the per-context means", m)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package sfg
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Options configures statistical profiling.
+type Options struct {
+	// K is the SFG order (history length); the paper uses k = 1.
+	K int
+	// Hier configures the cache structures used to measure the locality
+	// events annotated to edges (§2.1.2: functional simulation extended
+	// with caches, à la sim-cache).
+	Hier cache.HierarchyConfig
+	// Bpred configures the branch predictor being profiled.
+	Bpred bpred.Config
+	// ImmediateUpdate selects the naive profiling discipline of §2.1.3
+	// (update right after lookup). The default, false, is the paper's
+	// delayed-update FIFO profiling.
+	ImmediateUpdate bool
+	// FIFOSize is the delayed-update FIFO depth; it should equal the
+	// instruction fetch queue size for speculative update at dispatch
+	// (Table 2: 32). Defaults to 32.
+	FIFOSize int
+	// DepMax bounds dependency-distance distributions; defaults to
+	// stats.MaxDependencyDistance (512).
+	DepMax int
+	// Warmup is the number of leading stream instructions that only
+	// warm the cache and predictor state without being recorded in the
+	// graph — used when profiling a sample from the middle of a longer
+	// execution (§4.4's per-phase profiles).
+	Warmup uint64
+}
+
+// warmupTag marks branch-profiler feeds from the warmup window; their
+// outcomes are discarded.
+const warmupTag = ^uint64(0)
+
+func (o Options) withDefaults() Options {
+	if o.FIFOSize == 0 {
+		o.FIFOSize = 32
+	}
+	if o.DepMax == 0 {
+		o.DepMax = stats.MaxDependencyDistance
+	}
+	return o
+}
+
+// Profile builds an order-k statistical flow graph from the committed
+// instruction stream src (step 1 of Figure 1). The stream must carry
+// valid BlockID/Index annotations (as produced by the functional
+// executor).
+func Profile(src trace.Source, opts Options) (*Graph, error) {
+	opts = opts.withDefaults()
+	if opts.K < 0 || opts.K > MaxK {
+		return nil, fmt.Errorf("sfg: order %d outside [0,%d]", opts.K, MaxK)
+	}
+	if err := opts.Hier.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Bpred.Validate(); err != nil {
+		return nil, err
+	}
+
+	g := NewGraph(opts.K)
+	hier := cache.NewHierarchy(opts.Hier)
+	pred := bpred.New(opts.Bpred)
+
+	onBranch := func(tag uint64, o bpred.Outcome) {
+		if tag == warmupTag {
+			return
+		}
+		e := g.Edges[tag]
+		e.BrCount++
+		if o.Taken {
+			e.BrTaken++
+		}
+		if o.Mispredicted {
+			e.BrMispredict++
+		} else if o.FetchRedirect {
+			e.BrRedirect++
+		}
+	}
+	var bprof bpred.BranchProfiler
+	if opts.ImmediateUpdate {
+		bprof = &bpred.ImmediateProfiler{Pred: pred, Emit: onBranch}
+	} else {
+		bprof = bpred.NewDelayedProfiler(pred, opts.FIFOSize, onBranch)
+	}
+
+	hist := emptyHist()
+	var cur *Edge
+	var d trace.DynInst
+	warmLeft := opts.Warmup
+	for src.Next(&d) {
+		if d.BlockID < 0 {
+			return nil, fmt.Errorf("sfg: instruction %d lacks a basic-block annotation", d.Seq)
+		}
+		// Warm until the budget is spent AND a block boundary is reached,
+		// so recording never starts mid-block (phantom instruction slots
+		// would otherwise pollute the first edge).
+		if warmLeft > 0 || (opts.Warmup > 0 && cur == nil && d.Index != 0) {
+			if warmLeft > 0 {
+				warmLeft--
+			}
+			hier.AccessI(d.PC)
+			if d.Class.IsMem() {
+				hier.AccessD(d.EffAddr)
+			}
+			if d.Class.IsBranch() {
+				bprof.Feed(d.PC, d.Class, d.Taken, d.NextPC, warmupTag)
+			} else {
+				bprof.Feed(d.PC, d.Class, false, 0, warmupTag)
+			}
+			continue
+		}
+		if d.Index == 0 || cur == nil {
+			from := g.node(hist)
+			cur = g.edge(from, d.BlockID)
+			cur.Count++
+			hist = hist.shift(d.BlockID, g.K)
+			g.Nodes[g.nodeIdx[hist]].Occ++
+			g.TotalBlocks++
+		}
+		g.TotalInstructions++
+
+		// Instruction slot profile (classes are static per block; grow
+		// the slot list the first time each slot is seen).
+		idx := int(d.Index)
+		for len(cur.Insts) <= idx {
+			cur.Insts = append(cur.Insts, InstProfile{})
+		}
+		ip := &cur.Insts[idx]
+		// Classes and operand counts are static per block; (re)assigning
+		// them on every instance is cheaper than tracking first-sighting.
+		ip.Class = d.Class
+		ip.NumSrcs = d.NumSrcs
+
+		// Dependency distances, conditioned on this edge (§2.1.1).
+		for op := 0; op < int(d.NumSrcs); op++ {
+			if dd := d.DepDist[op]; dd > 0 {
+				if ip.Dep[op] == nil {
+					ip.Dep[op] = stats.NewHistogram(opts.DepMax)
+				}
+				ip.Dep[op].Add(int(dd))
+			}
+		}
+		if d.WAWDist > 0 {
+			if ip.WAW == nil {
+				ip.WAW = stats.NewHistogram(opts.DepMax)
+			}
+			ip.WAW.Add(int(d.WAWDist))
+		}
+
+		// I-side locality (§2.1.2), resolved to the instruction slot.
+		cur.Fetches++
+		ir := hier.AccessI(d.PC)
+		if ir.L1Miss {
+			cur.L1IMiss++
+			ip.L1IMiss++
+			if ir.L2Miss {
+				cur.L2IMiss++
+				ip.L2IMiss++
+			}
+		}
+		if ir.TLBMiss {
+			cur.ITLBMiss++
+			ip.ITLBMiss++
+		}
+
+		// D-side locality. Stores access the hierarchy (they disturb
+		// cache state) but only load events parameterise the synthetic
+		// trace, matching §2.2 step 5.
+		if d.Class.IsMem() {
+			if ip.Addr == nil {
+				ip.Addr = &AddrProfile{}
+			}
+			ip.Addr.observe(d.EffAddr)
+			dr := hier.AccessD(d.EffAddr)
+			if d.Class == isa.Store {
+				cur.Stores++
+			} else {
+				cur.Loads++
+				if dr.L1Miss {
+					cur.L1DMiss++
+					ip.L1DMiss++
+					if dr.L2Miss {
+						cur.L2DMiss++
+						ip.L2DMiss++
+					}
+				}
+				if dr.TLBMiss {
+					cur.DTLBMiss++
+					ip.DTLBMiss++
+				}
+			}
+		}
+
+		// Branch behaviour, through the configured update discipline.
+		if d.Class.IsBranch() {
+			bprof.Feed(d.PC, d.Class, d.Taken, d.NextPC, uint64(cur.ID))
+		} else {
+			bprof.Feed(d.PC, d.Class, false, 0, 0)
+		}
+	}
+	bprof.Flush()
+	return g, nil
+}
+
+// MispredictsPerKI returns branch mispredictions per 1,000 profiled
+// instructions (the Fig. 3 metric, for the profiling disciplines).
+func (g *Graph) MispredictsPerKI() float64 {
+	if g.TotalInstructions == 0 {
+		return 0
+	}
+	var m uint64
+	for _, e := range g.Edges {
+		m += e.BrMispredict
+	}
+	return 1000 * float64(m) / float64(g.TotalInstructions)
+}

@@ -1,0 +1,169 @@
+package sfg
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+	"repro/internal/stats"
+)
+
+// Wire formats: flat, fully exported mirrors of the graph structures.
+// The node/edge indexes and adjacency lists are rebuilt on load.
+
+type nodeWire struct {
+	HistN uint8
+	Hist  [MaxK]int32
+	Occ   uint64
+}
+
+// depWire holds one operand's dependency histogram; only operands that
+// observed dependencies are serialised (gob cannot encode nil
+// GobEncoder pointers). Op == isa.MaxSrcOperands encodes the WAW
+// (output-dependency) histogram.
+type depWire struct {
+	Op int8
+	H  *stats.Histogram
+}
+
+const wawOp = int8(isa.MaxSrcOperands)
+
+type instWire struct {
+	Class   uint8
+	NumSrcs uint8
+	Dep     []depWire
+
+	L1IMiss, L2IMiss, ITLBMiss uint64
+	L1DMiss, L2DMiss, DTLBMiss uint64
+
+	// Addr is nil for non-memory slots; gob omits nil pointer fields
+	// (they are zero values), unlike nil array elements.
+	Addr *AddrProfile
+}
+
+type edgeWire struct {
+	From, To, Block int32
+	Count           uint64
+	Insts           []instWire
+
+	BrCount, BrTaken, BrMispredict, BrRedirect uint64
+	Fetches, L1IMiss, L2IMiss, ITLBMiss        uint64
+	Loads, L1DMiss, L2DMiss, DTLBMiss          uint64
+	Stores                                     uint64
+}
+
+type graphWire struct {
+	Version           int
+	K                 int
+	TotalInstructions uint64
+	TotalBlocks       uint64
+	Nodes             []nodeWire
+	Edges             []edgeWire
+}
+
+const wireVersion = 1
+
+// Save serialises the graph (gob encoding) so a statistical profile can
+// be measured once and reused across many design-space simulations.
+func (g *Graph) Save(w io.Writer) error {
+	gw := graphWire{
+		Version:           wireVersion,
+		K:                 g.K,
+		TotalInstructions: g.TotalInstructions,
+		TotalBlocks:       g.TotalBlocks,
+	}
+	for _, n := range g.Nodes {
+		gw.Nodes = append(gw.Nodes, nodeWire{HistN: n.Hist.n, Hist: n.Hist.b, Occ: n.Occ})
+	}
+	for _, e := range g.Edges {
+		ew := edgeWire{
+			From: e.From, To: e.To, Block: e.Block, Count: e.Count,
+			BrCount: e.BrCount, BrTaken: e.BrTaken,
+			BrMispredict: e.BrMispredict, BrRedirect: e.BrRedirect,
+			Fetches: e.Fetches, L1IMiss: e.L1IMiss, L2IMiss: e.L2IMiss, ITLBMiss: e.ITLBMiss,
+			Loads: e.Loads, L1DMiss: e.L1DMiss, L2DMiss: e.L2DMiss, DTLBMiss: e.DTLBMiss,
+			Stores: e.Stores,
+		}
+		for i := range e.Insts {
+			ip := &e.Insts[i]
+			iw := instWire{
+				Class: uint8(ip.Class), NumSrcs: ip.NumSrcs,
+				L1IMiss: ip.L1IMiss, L2IMiss: ip.L2IMiss, ITLBMiss: ip.ITLBMiss,
+				L1DMiss: ip.L1DMiss, L2DMiss: ip.L2DMiss, DTLBMiss: ip.DTLBMiss,
+				Addr: ip.Addr,
+			}
+			for op, h := range ip.Dep {
+				if h != nil {
+					iw.Dep = append(iw.Dep, depWire{Op: int8(op), H: h})
+				}
+			}
+			if ip.WAW != nil {
+				iw.Dep = append(iw.Dep, depWire{Op: wawOp, H: ip.WAW})
+			}
+			ew.Insts = append(ew.Insts, iw)
+		}
+		gw.Edges = append(gw.Edges, ew)
+	}
+	return gob.NewEncoder(w).Encode(gw)
+}
+
+// Load deserialises a graph written by Save, rebuilding indexes and
+// adjacency, and validates the result.
+func Load(r io.Reader) (*Graph, error) {
+	var gw graphWire
+	if err := gob.NewDecoder(r).Decode(&gw); err != nil {
+		return nil, fmt.Errorf("sfg: decoding profile: %w", err)
+	}
+	if gw.Version != wireVersion {
+		return nil, fmt.Errorf("sfg: unsupported profile version %d", gw.Version)
+	}
+	g := NewGraph(gw.K)
+	g.TotalInstructions = gw.TotalInstructions
+	g.TotalBlocks = gw.TotalBlocks
+	for i, nw := range gw.Nodes {
+		n := &Node{ID: int32(i), Hist: histKey{n: nw.HistN, b: nw.Hist}, Occ: nw.Occ}
+		g.Nodes = append(g.Nodes, n)
+		g.nodeIdx[n.Hist] = n.ID
+	}
+	for i, ew := range gw.Edges {
+		if int(ew.From) >= len(g.Nodes) || int(ew.To) >= len(g.Nodes) {
+			return nil, fmt.Errorf("sfg: edge %d endpoints out of range", i)
+		}
+		e := &Edge{
+			ID: int32(i), From: ew.From, To: ew.To, Block: ew.Block, Count: ew.Count,
+			BrCount: ew.BrCount, BrTaken: ew.BrTaken,
+			BrMispredict: ew.BrMispredict, BrRedirect: ew.BrRedirect,
+			Fetches: ew.Fetches, L1IMiss: ew.L1IMiss, L2IMiss: ew.L2IMiss, ITLBMiss: ew.ITLBMiss,
+			Loads: ew.Loads, L1DMiss: ew.L1DMiss, L2DMiss: ew.L2DMiss, DTLBMiss: ew.DTLBMiss,
+			Stores: ew.Stores,
+		}
+		for _, iw := range ew.Insts {
+			ip := InstProfile{
+				Class: isa.Class(iw.Class), NumSrcs: iw.NumSrcs,
+				L1IMiss: iw.L1IMiss, L2IMiss: iw.L2IMiss, ITLBMiss: iw.ITLBMiss,
+				L1DMiss: iw.L1DMiss, L2DMiss: iw.L2DMiss, DTLBMiss: iw.DTLBMiss,
+				Addr: iw.Addr,
+			}
+			for _, dw := range iw.Dep {
+				if dw.Op < 0 || dw.Op > wawOp || dw.H == nil {
+					return nil, fmt.Errorf("sfg: edge %d has corrupt dependency record", i)
+				}
+				if dw.Op == wawOp {
+					ip.WAW = dw.H
+				} else {
+					ip.Dep[dw.Op] = dw.H
+				}
+			}
+			e.Insts = append(e.Insts, ip)
+		}
+		g.Edges = append(g.Edges, e)
+		g.edgeIdx[edgeKey{from: e.From, block: e.Block}] = e.ID
+		g.Nodes[e.From].Out = append(g.Nodes[e.From].Out, e.ID)
+		g.Nodes[e.To].In = append(g.Nodes[e.To].In, e.ID)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("sfg: loaded profile invalid: %w", err)
+	}
+	return g, nil
+}

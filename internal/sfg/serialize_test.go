@@ -1,0 +1,65 @@
+package sfg
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	prog := program.MustGenerate(program.Personality{Name: "t", Seed: 3, TargetBlocks: 80})
+	src := &trace.LimitSource{Src: program.NewExecutor(prog, 1), N: 60_000}
+	g, err := Profile(src, defaultOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.K != g.K || g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape changed: %d/%d nodes, %d/%d edges",
+			g.NumNodes(), g2.NumNodes(), g.NumEdges(), g2.NumEdges())
+	}
+	if g2.TotalInstructions != g.TotalInstructions || g2.TotalBlocks != g.TotalBlocks {
+		t.Error("totals changed")
+	}
+	for i := range g.Edges {
+		a, b := g.Edges[i], g2.Edges[i]
+		if a.Count != b.Count || a.BrMispredict != b.BrMispredict ||
+			a.L1DMiss != b.L1DMiss || len(a.Insts) != len(b.Insts) {
+			t.Fatalf("edge %d differs", i)
+		}
+		for j := range a.Insts {
+			ia, ib := &a.Insts[j], &b.Insts[j]
+			if ia.Class != ib.Class || ia.NumSrcs != ib.NumSrcs || ia.L1DMiss != ib.L1DMiss {
+				t.Fatalf("edge %d inst %d differs", i, j)
+			}
+			for op := range ia.Dep {
+				ha, hb := ia.Dep[op], ib.Dep[op]
+				if (ha == nil) != (hb == nil) {
+					t.Fatalf("edge %d inst %d op %d: histogram presence differs", i, j, op)
+				}
+				if ha != nil && (ha.Total() != hb.Total() || ha.Mean() != hb.Mean()) {
+					t.Fatalf("edge %d inst %d op %d: histogram content differs", i, j, op)
+				}
+			}
+		}
+	}
+	// Mispredict summary must survive the round trip.
+	if g.MispredictsPerKI() != g2.MispredictsPerKI() {
+		t.Error("mispredict rate changed")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a profile"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,244 @@
+package sfg
+
+import (
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+func defaultOpts(k int) Options {
+	return Options{K: k, Hier: cache.DefaultConfig(), Bpred: bpred.DefaultConfig()}
+}
+
+// blockStream builds a one-instruction-per-block stream following the
+// given block sequence (the paper's Figure 2 style example).
+func blockStream(seq []int32) []trace.DynInst {
+	out := make([]trace.DynInst, len(seq))
+	for i, b := range seq {
+		out[i] = trace.DynInst{
+			Seq:     uint64(i),
+			PC:      0x400000 + uint64(b)*64,
+			NextPC:  0x400000 + uint64(seq[(i+1)%len(seq)])*64,
+			Class:   isa.IntALU,
+			BlockID: b,
+			Index:   0,
+		}
+	}
+	return out
+}
+
+// Figure 2 of the paper: basic block sequence AABAABCABC.
+var fig2 = []int32{0, 0, 1, 0, 0, 1, 2, 0, 1, 2} // A=0 B=1 C=2
+
+func TestFigure2FirstOrderSFG(t *testing.T) {
+	g, err := Profile(trace.NewSliceSource(blockStream(fig2)), defaultOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Nodes: warm-up root (empty history) + A, B, C.
+	occ := map[int32]uint64{}
+	for _, n := range g.Nodes {
+		occ[n.CurrentBlock()] = n.Occ
+	}
+	if occ[0] != 5 || occ[1] != 3 || occ[2] != 2 {
+		t.Errorf("occurrences A=%d B=%d C=%d, want 5/3/2 (paper Fig. 2)", occ[0], occ[1], occ[2])
+	}
+	// Transitions (excluding the warm-up entry edge): A->A:2 A->B:3
+	// B->A:1 B->C:2 C->A:1.
+	counts := map[[2]int32]uint64{}
+	for _, e := range g.Edges {
+		from := g.Nodes[e.From].CurrentBlock()
+		counts[[2]int32{from, e.Block}] = e.Count
+	}
+	want := map[[2]int32]uint64{
+		{0, 0}: 2, {0, 1}: 3, {1, 0}: 1, {1, 2}: 2, {2, 0}: 1, {-1, 0}: 1,
+	}
+	for k, w := range want {
+		if counts[k] != w {
+			t.Errorf("edge %v count = %d, want %d", k, counts[k], w)
+		}
+	}
+	if len(counts) != len(want) {
+		t.Errorf("edge set %v, want exactly %v", counts, want)
+	}
+}
+
+func TestFigure2SecondOrderSFG(t *testing.T) {
+	g, err := Profile(trace.NewSliceSource(blockStream(fig2)), defaultOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Paper Fig. 2: full-history nodes AA:2 AB:3 BA:1 BC:2 CA:1 (plus
+	// our warm-up states (), (A)).
+	occ := map[[2]int32]uint64{}
+	for _, n := range g.Nodes {
+		if n.Hist.n == 2 {
+			occ[[2]int32{n.Hist.b[0], n.Hist.b[1]}] = n.Occ
+		}
+	}
+	want := map[[2]int32]uint64{
+		{0, 0}: 2, {0, 1}: 3, {1, 0}: 1, {1, 2}: 2, {2, 0}: 1,
+	}
+	for k, w := range want {
+		if occ[k] != w {
+			t.Errorf("node %v occ = %d, want %d", k, occ[k], w)
+		}
+	}
+}
+
+func TestZeroOrderHasSingleEffectiveNode(t *testing.T) {
+	g, err := Profile(trace.NewSliceSource(blockStream(fig2)), defaultOpts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1 {
+		t.Fatalf("k=0 should collapse to 1 node, got %d", g.NumNodes())
+	}
+	if g.Nodes[0].Occ != 10 {
+		t.Errorf("k=0 node occ = %d, want 10", g.Nodes[0].Occ)
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("k=0 edges = %d, want 3 (one per block)", g.NumEdges())
+	}
+}
+
+func TestOrderIncreasesNodeCount(t *testing.T) {
+	prog := program.MustGenerate(program.Personality{Name: "t", Seed: 5, TargetBlocks: 120})
+	prev := 0
+	for k := 0; k <= 3; k++ {
+		src := &trace.LimitSource{Src: program.NewExecutor(prog, 1), N: 100_000}
+		g, err := Profile(src, defaultOpts(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if g.NumNodes() < prev {
+			t.Errorf("k=%d has %d nodes, fewer than k-1's %d (Table 3 property)", k, g.NumNodes(), prev)
+		}
+		prev = g.NumNodes()
+	}
+}
+
+func TestProfileRecordsEverything(t *testing.T) {
+	prog := program.MustGenerate(program.Personality{Name: "t", Seed: 9, TargetBlocks: 100})
+	src := &trace.LimitSource{Src: program.NewExecutor(prog, 2), N: 120_000}
+	g, err := Profile(src, defaultOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalInstructions != 120_000 {
+		t.Fatalf("instructions = %d", g.TotalInstructions)
+	}
+	var deps, loads, l1d, branches, fetches, l1i uint64
+	for _, e := range g.Edges {
+		fetches += e.Fetches
+		l1i += e.L1IMiss
+		loads += e.Loads
+		l1d += e.L1DMiss
+		branches += e.BrCount
+		for i := range e.Insts {
+			for _, h := range e.Insts[i].Dep {
+				if h != nil {
+					deps += h.Total()
+				}
+			}
+		}
+	}
+	if fetches != g.TotalInstructions {
+		t.Errorf("per-edge fetches %d != instructions %d", fetches, g.TotalInstructions)
+	}
+	if deps == 0 || loads == 0 || branches == 0 {
+		t.Errorf("missing statistics: deps=%d loads=%d branches=%d", deps, loads, branches)
+	}
+	if l1d == 0 || l1i == 0 {
+		t.Errorf("no cache misses recorded: l1d=%d l1i=%d", l1d, l1i)
+	}
+	if g.MispredictsPerKI() <= 0 {
+		t.Error("no mispredictions recorded")
+	}
+}
+
+func TestDelayedVsImmediateProfiles(t *testing.T) {
+	// §2.1.3 / Fig. 3: delayed-update profiling records more
+	// mispredictions than immediate-update profiling.
+	prog := program.MustGenerate(program.Personality{Name: "t", Seed: 4, TargetBlocks: 150})
+	run := func(immediate bool) float64 {
+		src := &trace.LimitSource{Src: program.NewExecutor(prog, 2), N: 150_000}
+		opts := defaultOpts(1)
+		opts.ImmediateUpdate = immediate
+		g, err := Profile(src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.MispredictsPerKI()
+	}
+	imm, del := run(true), run(false)
+	if del <= imm {
+		t.Errorf("delayed update should see more mispredictions: immediate=%.2f delayed=%.2f /KI", imm, del)
+	}
+}
+
+func TestProfileRejectsUnannotatedStream(t *testing.T) {
+	bad := []trace.DynInst{{Seq: 0, Class: isa.IntALU, BlockID: -1}}
+	if _, err := Profile(trace.NewSliceSource(bad), defaultOpts(1)); err == nil {
+		t.Error("stream without block annotations accepted")
+	}
+}
+
+func TestProfileRejectsBadOptions(t *testing.T) {
+	if _, err := Profile(trace.NewSliceSource(nil), defaultOpts(99)); err == nil {
+		t.Error("order 99 accepted")
+	}
+	opts := defaultOpts(1)
+	opts.Hier.L1I.BlockBytes = 33
+	if _, err := Profile(trace.NewSliceSource(nil), opts); err == nil {
+		t.Error("invalid hierarchy accepted")
+	}
+}
+
+func TestHistKeyShift(t *testing.T) {
+	h := emptyHist()
+	h = h.shift(1, 2)
+	h = h.shift(2, 2)
+	h = h.shift(3, 2)
+	if h.n != 2 || h.b[0] != 2 || h.b[1] != 3 {
+		t.Errorf("shift broken: %+v", h)
+	}
+	h0 := emptyHist().shift(7, 0)
+	if h0 != emptyHist() {
+		t.Error("k=0 shift must be identity")
+	}
+}
+
+func TestProfileDeterministic(t *testing.T) {
+	prog := program.MustGenerate(program.Personality{Name: "t", Seed: 11, TargetBlocks: 60})
+	run := func() *Graph {
+		src := &trace.LimitSource{Src: program.NewExecutor(prog, 1), N: 50_000}
+		g, err := Profile(src, defaultOpts(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, b := run(), run()
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("profile shape not deterministic")
+	}
+	for i := range a.Edges {
+		if a.Edges[i].Count != b.Edges[i].Count || a.Edges[i].BrMispredict != b.Edges[i].BrMispredict {
+			t.Fatalf("edge %d stats differ", i)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package simpoint
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// twoPhaseStream alternates between two disjoint block vocabularies in
+// long runs, giving an unmistakable two-cluster structure.
+func twoPhaseStream(nIntervals int, intervalLen int) []trace.DynInst {
+	out := make([]trace.DynInst, 0, nIntervals*intervalLen)
+	seq := uint64(0)
+	for iv := 0; iv < nIntervals; iv++ {
+		base := int32(0)
+		if (iv/2)%2 == 1 {
+			base = 100
+		}
+		for i := 0; i < intervalLen; i++ {
+			out = append(out, trace.DynInst{
+				Seq:     seq,
+				Class:   isa.IntALU,
+				BlockID: base + int32(i%5),
+				Index:   0,
+			})
+			seq++
+		}
+	}
+	return out
+}
+
+func TestBBVsIntervalCount(t *testing.T) {
+	s := twoPhaseStream(8, 1000)
+	vecs, err := BBVs(trace.NewSliceSource(s), Options{IntervalLen: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vecs) != 8 {
+		t.Fatalf("got %d intervals, want 8", len(vecs))
+	}
+}
+
+func TestBBVsTooShort(t *testing.T) {
+	if _, err := BBVs(trace.NewSliceSource(nil), Options{IntervalLen: 1000}); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := BBVs(trace.NewSliceSource(nil), Options{}); err == nil {
+		t.Error("zero interval length accepted")
+	}
+}
+
+func TestChooseFindsPhases(t *testing.T) {
+	s := twoPhaseStream(16, 1000)
+	pts, err := Choose(trace.NewSliceSource(s), Options{IntervalLen: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 2 {
+		t.Fatalf("expected at least 2 simulation points for a 2-phase stream, got %d", len(pts))
+	}
+	var w float64
+	for _, p := range pts {
+		if p.Interval < 0 || p.Interval >= 16 {
+			t.Fatalf("interval %d out of range", p.Interval)
+		}
+		w += p.Weight
+	}
+	if math.Abs(w-1) > 1e-9 {
+		t.Errorf("weights sum to %v, want 1", w)
+	}
+	// The two phases should each be represented.
+	phases := map[bool]bool{}
+	for _, p := range pts {
+		phases[(p.Interval/2)%2 == 1] = true
+	}
+	if len(phases) != 2 {
+		t.Error("both phases should have a representative")
+	}
+}
+
+func TestChooseUniformStreamFewPoints(t *testing.T) {
+	// A homogeneous stream should need very few points.
+	s := make([]trace.DynInst, 12000)
+	for i := range s {
+		s[i] = trace.DynInst{Seq: uint64(i), Class: isa.IntALU, BlockID: int32(i % 7)}
+	}
+	pts, err := Choose(trace.NewSliceSource(s), Options{IntervalLen: 1000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) > 3 {
+		t.Errorf("homogeneous stream yielded %d points, want few", len(pts))
+	}
+}
+
+func TestChooseDeterministic(t *testing.T) {
+	prog := program.MustGenerate(program.Personality{Name: "t", Seed: 6, TargetBlocks: 100, Phases: 3, PhaseLen: 30_000})
+	run := func() []Point {
+		src := &trace.LimitSource{Src: program.NewExecutor(prog, 1), N: 200_000}
+		pts, err := Choose(src, Options{IntervalLen: 20_000, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic point count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic points")
+		}
+	}
+}

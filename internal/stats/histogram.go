@@ -1,0 +1,187 @@
+package stats
+
+// MaxDependencyDistance bounds the dependency-distance distributions
+// recorded during statistical profiling. The paper (§2.1.1) limits the
+// distribution to 512 entries, "which still allows the modeling of a
+// wide range of current and near-future microprocessors": any RAW
+// dependency further away than the largest plausible instruction window
+// never stalls issue, so clamping it loses no timing information.
+const MaxDependencyDistance = 512
+
+// Histogram is a bounded integer histogram over [1, Max]. Values larger
+// than Max are clamped to Max; values < 1 are rejected. It is the
+// storage format for dependency-distance distributions in the
+// statistical flow graph.
+type Histogram struct {
+	Max    int
+	counts []uint64
+	total  uint64
+
+	// Sparse cumulative cache for sampling: (value, cumulative-count)
+	// pairs over the non-empty buckets, rebuilt lazily after mutation.
+	// Profiling mutates histograms heavily and never samples; synthesis
+	// samples heavily and never mutates — the cache serves the latter
+	// without taxing the former.
+	cum []cumEntry
+}
+
+type cumEntry struct {
+	v int32
+	c uint64
+}
+
+// NewHistogram returns an empty histogram over [1, max].
+func NewHistogram(max int) *Histogram {
+	if max < 1 {
+		panic("stats: histogram max must be >= 1")
+	}
+	return &Histogram{Max: max}
+}
+
+// Add records one observation of v. Values above Max are clamped to Max,
+// matching the paper's bounded dependency distribution; non-positive
+// values panic since a RAW distance is at least 1.
+func (h *Histogram) Add(v int) {
+	if v < 1 {
+		panic("stats: histogram value must be >= 1")
+	}
+	if v > h.Max {
+		v = h.Max
+	}
+	if h.counts == nil {
+		h.counts = make([]uint64, h.Max+1)
+	}
+	h.counts[v]++
+	h.total++
+	h.cum = nil
+}
+
+// AddN records n observations of v.
+func (h *Histogram) AddN(v int, n uint64) {
+	if n == 0 {
+		return
+	}
+	if v < 1 {
+		panic("stats: histogram value must be >= 1")
+	}
+	if v > h.Max {
+		v = h.Max
+	}
+	if h.counts == nil {
+		h.counts = make([]uint64, h.Max+1)
+	}
+	h.counts[v] += n
+	h.total += n
+	h.cum = nil
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Count returns the number of observations equal to v (after clamping).
+func (h *Histogram) Count(v int) uint64 {
+	if h.counts == nil || v < 1 {
+		return 0
+	}
+	if v > h.Max {
+		v = h.Max
+	}
+	return h.counts[v]
+}
+
+// Mean returns the mean observation, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// Sample draws a value from the empirical distribution using u, a
+// uniform variate in [0,1). It panics on an empty histogram.
+func (h *Histogram) Sample(u float64) int {
+	if h.total == 0 {
+		panic("stats: sampling empty histogram")
+	}
+	if h.cum == nil {
+		h.buildCum()
+	}
+	target := uint64(u * float64(h.total))
+	if target >= h.total {
+		target = h.total - 1
+	}
+	lo, hi := 0, len(h.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.cum[mid].c <= target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int(h.cum[lo].v)
+}
+
+func (h *Histogram) buildCum() {
+	var run uint64
+	for v, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		run += c
+		h.cum = append(h.cum, cumEntry{v: int32(v), c: run})
+	}
+}
+
+// Quantile returns the smallest value v such that at least fraction q of
+// the mass lies at or below v. q is clamped to [0,1].
+func (h *Histogram) Quantile(q float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.total))
+	var cum uint64
+	for v, c := range h.counts {
+		cum += c
+		if cum >= target && c > 0 {
+			return v
+		}
+	}
+	return h.Max
+}
+
+// Merge adds all observations from o into h. The histograms must have
+// the same bound.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	if o.Max != h.Max {
+		panic("stats: merging histograms with different bounds")
+	}
+	if h.counts == nil {
+		h.counts = make([]uint64, h.Max+1)
+	}
+	for v, c := range o.counts {
+		h.counts[v] += c
+	}
+	h.total += o.total
+	h.cum = nil
+}
+
+// Clone returns a deep copy of h.
+func (h *Histogram) Clone() *Histogram {
+	c := NewHistogram(h.Max)
+	c.Merge(h)
+	return c
+}

@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// histogramWire is the serialised form: sparse (value, count) pairs.
+type histogramWire struct {
+	Max    int
+	Values []int32
+	Counts []uint64
+}
+
+// GobEncode implements gob.GobEncoder with a sparse encoding, since
+// dependency-distance histograms are typically concentrated on a few
+// distances.
+func (h *Histogram) GobEncode() ([]byte, error) {
+	w := histogramWire{Max: h.Max}
+	for v, c := range h.counts {
+		if c != 0 {
+			w.Values = append(w.Values, int32(v))
+			w.Counts = append(w.Counts, c)
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (h *Histogram) GobDecode(data []byte) error {
+	var w histogramWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	h.Max = w.Max
+	h.counts = nil
+	h.total = 0
+	for i, v := range w.Values {
+		h.AddN(int(v), w.Counts[i])
+	}
+	return nil
+}

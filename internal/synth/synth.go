@@ -1,0 +1,428 @@
+// Package synth implements steps 2 of the statistical simulation
+// framework (Figure 1): reducing a statistical flow graph by the trace
+// reduction factor R and generating a synthetic trace by a stochastic
+// walk over the reduced graph (the nine-step algorithm of §2.2).
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/sfg"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Options configures synthetic trace generation.
+type Options struct {
+	// R is the synthetic trace reduction factor: the synthetic trace is
+	// ~1/R the length of the profiled execution (typical paper values
+	// are 1,000-100,000 against 100M-10B instruction streams; scale R to
+	// keep synthetic traces in the 50k-1M range).
+	R uint64
+	// Seed drives all stochastic choices; different seeds yield
+	// different traces from the same profile (used by the CoV study).
+	Seed uint64
+	// MaxDepRetries bounds the §2.2-step-4 rejection loop that avoids
+	// making an instruction depend on a branch or store (default 1,000,
+	// as in the paper; the dependency is squashed when exhausted).
+	MaxDepRetries int
+	// EdgeAverageLocality assigns locality events from the paper's
+	// literal per-edge aggregate rates instead of the slot-resolved
+	// rates this implementation defaults to. Kept as an ablation: with
+	// heterogeneous loads inside one block, edge averaging moves memory
+	// latency onto the wrong dependency chains (see sfg.InstProfile).
+	EdgeAverageLocality bool
+	// SyntheticAddresses makes the generated trace carry effective
+	// addresses synthesised from the profiled per-slot stride/footprint
+	// statistics (sfg.AddrProfile), instead of only pre-assigned
+	// hit/miss flags. Combined with cpu.Config.SimulateDCache this lets
+	// the data-cache design space be explored from one profile without
+	// re-profiling — the extension the paper's §2.1.2 pragmatics trade
+	// away.
+	SyntheticAddresses bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDepRetries == 0 {
+		o.MaxDepRetries = 1000
+	}
+	return o
+}
+
+// Reduced is a reduced statistical flow graph: node occurrences divided
+// by R (floored), zero-occurrence nodes removed along with their edges
+// (§2.2). Each NewTrace call walks a private copy of the occurrence
+// counters, but trace sources sharing one Reduced must not run
+// concurrently: sampling lazily caches cumulative distributions inside
+// the underlying profile's histograms.
+type Reduced struct {
+	g    *sfg.Graph
+	opts Options
+
+	occ      []uint64 // floored node occurrences
+	alive    []bool
+	aliveOut [][]int32    // per node: surviving out-edge IDs
+	inCDF    []*stats.CDF // per node: CDF over ALL in-edge counts (entry stats)
+	total    uint64       // sum of floored occurrences
+}
+
+// Reduce builds the reduced graph for the given options.
+func Reduce(g *sfg.Graph, opts Options) (*Reduced, error) {
+	opts = opts.withDefaults()
+	if opts.R == 0 {
+		return nil, fmt.Errorf("synth: reduction factor R must be >= 1")
+	}
+	r := &Reduced{
+		g:        g,
+		opts:     opts,
+		occ:      make([]uint64, len(g.Nodes)),
+		alive:    make([]bool, len(g.Nodes)),
+		aliveOut: make([][]int32, len(g.Nodes)),
+		inCDF:    make([]*stats.CDF, len(g.Nodes)),
+	}
+	for i, n := range g.Nodes {
+		r.occ[i] = n.Occ / opts.R
+		r.alive[i] = r.occ[i] > 0
+		r.total += r.occ[i]
+	}
+	if r.total == 0 {
+		return nil, fmt.Errorf("synth: R=%d removes every node (profile has %d blocks)", opts.R, g.TotalBlocks)
+	}
+	for i, n := range g.Nodes {
+		if !r.alive[i] {
+			continue
+		}
+		var out []int32
+		for _, eid := range n.Out {
+			if r.alive[g.Edges[eid].To] {
+				out = append(out, eid)
+			}
+		}
+		r.aliveOut[i] = out
+		if len(n.In) > 0 {
+			wi := make([]uint64, len(n.In))
+			for j, eid := range n.In {
+				wi[j] = g.Edges[eid].Count
+			}
+			r.inCDF[i] = stats.NewCDF(wi)
+		}
+	}
+	return r, nil
+}
+
+// ExpectedLength returns the approximate synthetic trace length in
+// instructions.
+func (r *Reduced) ExpectedLength() uint64 {
+	return r.g.TotalInstructions / r.opts.R
+}
+
+// AliveNodes returns the number of surviving nodes.
+func (r *Reduced) AliveNodes() int {
+	n := 0
+	for _, a := range r.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// TraceSource generates the synthetic trace lazily, block by block; it
+// implements trace.Source so the timing simulator can consume traces of
+// any length in constant memory.
+type TraceSource struct {
+	r   *Reduced
+	rng *stats.RNG
+
+	nodeOcc   *stats.WeightedSampler
+	remaining uint64
+
+	cur    int32 // current node, -1 before the first step-1 selection
+	seq    uint64
+	buf    []trace.DynInst // instructions of the current block instance
+	bufPos int
+	done   bool
+
+	// Scratch buffers for the per-step outgoing-edge choice.
+	candEdges   []int32
+	candWeights []uint64
+
+	// Synthetic-address state (SyntheticAddresses option): per-slot
+	// walk positions and sampling-ready stride tables.
+	addrStates map[int64]*addrState
+	strideCDFs map[*sfg.AddrProfile]*strideCDF
+
+	// hasDest[seq % ring] records whether the instruction at that
+	// sequence number produces a register value (for the step-4
+	// dependency rejection rule).
+	hasDest []bool
+}
+
+const destRing = 2048 // > MaxDependencyDistance, power of two
+
+// NewTrace starts a fresh stochastic walk over the reduced graph.
+func (r *Reduced) NewTrace(seed uint64) *TraceSource {
+	t := &TraceSource{
+		r:         r,
+		rng:       stats.NewRNG(seed),
+		nodeOcc:   stats.NewWeightedSampler(r.occ),
+		remaining: r.total,
+		cur:       -1,
+		hasDest:   make([]bool, destRing),
+	}
+	if r.opts.SyntheticAddresses {
+		t.addrStates = make(map[int64]*addrState)
+		t.strideCDFs = make(map[*sfg.AddrProfile]*strideCDF)
+	}
+	return t
+}
+
+// Next implements trace.Source.
+func (t *TraceSource) Next(out *trace.DynInst) bool {
+	for t.bufPos >= len(t.buf) {
+		if !t.step() {
+			return false
+		}
+	}
+	*out = t.buf[t.bufPos]
+	t.bufPos++
+	return true
+}
+
+// step advances the walk by one basic block, refilling the buffer.
+// It returns false when the trace is complete.
+//
+// Occurrence accounting follows §2.2 with depleted nodes treated as
+// removed: step 9 only follows edges whose target still has occurrences
+// left, so the walk re-anchors through the step-1 occurrence CDF when
+// its neighbourhood is consumed, and the emitted block frequencies
+// match the reduced occurrences exactly.
+func (t *TraceSource) step() bool {
+	if t.done {
+		return false
+	}
+	if t.remaining == 0 {
+		t.done = true
+		return false
+	}
+	// Step 9: follow an outgoing edge by transition probability, among
+	// targets that still have occurrence budget.
+	if t.cur >= 0 {
+		t.candEdges = t.candEdges[:0]
+		t.candWeights = t.candWeights[:0]
+		var total uint64
+		for _, eid := range t.r.aliveOut[t.cur] {
+			e := t.r.g.Edges[eid]
+			if t.nodeOcc.Weight(int(e.To)) > 0 {
+				t.candEdges = append(t.candEdges, eid)
+				t.candWeights = append(t.candWeights, e.Count)
+				total += e.Count
+			}
+		}
+		if total > 0 {
+			target := uint64(t.rng.Float64() * float64(total))
+			var cum uint64
+			eid := t.candEdges[len(t.candEdges)-1]
+			for i, w := range t.candWeights {
+				cum += w
+				if target < cum {
+					eid = t.candEdges[i]
+					break
+				}
+			}
+			e := t.r.g.Edges[eid]
+			t.emitBlock(e)
+			t.cur = e.To
+			t.consume(t.cur)
+			return true
+		}
+	}
+	// Step 1: select a node through the cumulative occurrence
+	// distribution; terminate when all occurrences are consumed.
+	if t.nodeOcc.Total() == 0 {
+		t.done = true
+		return false
+	}
+	node := t.nodeOcc.Sample(t.rng.Float64())
+	// The block's execution characteristics live on the edges into the
+	// node; entering "from nowhere", draw a context-weighted incoming
+	// edge.
+	in := t.r.inCDF[node]
+	if in == nil {
+		// A start-of-stream warm-up node with no predecessors: consume
+		// its occurrence and re-anchor without emitting.
+		t.consume(int32(node))
+		return !t.done
+	}
+	e := t.r.g.Edges[t.r.g.Nodes[node].In[in.Sample(t.rng.Float64())]]
+	t.emitBlock(e)
+	t.cur = int32(node)
+	t.consume(t.cur)
+	return true
+}
+
+// consume decrements the occurrence of node n (step 2).
+func (t *TraceSource) consume(n int32) {
+	if t.nodeOcc.Decrement(int(n)) {
+		t.remaining--
+	}
+	if t.remaining == 0 {
+		t.done = true
+	}
+}
+
+// emitBlock materialises one instance of the basic block described by
+// edge e into the buffer (steps 3-8).
+func (t *TraceSource) emitBlock(e *sfg.Edge) {
+	t.buf = t.buf[:0]
+	t.bufPos = 0
+	for i := range e.Insts {
+		ip := &e.Insts[i]
+		d := trace.DynInst{
+			Seq:     t.seq,
+			PC:      uint64(e.Block)<<20 | uint64(i)<<3,
+			Class:   ip.Class,
+			NumSrcs: ip.NumSrcs,
+			BlockID: e.Block,
+			Index:   int16(i),
+		}
+
+		// Step 4: dependency distances with branch/store rejection.
+		for op := 0; op < int(ip.NumSrcs); op++ {
+			if delta, ok := t.sampleDep(ip.Dep[op], e.Count); ok {
+				d.DepDist[op] = delta
+			}
+		}
+		// Output (WAW) dependency — consumed only by in-order
+		// configurations, where renaming does not hide it.
+		if ip.Class.HasDest() {
+			if delta, ok := t.sampleDep(ip.WAW, e.Count); ok {
+				d.WAWDist = delta
+			}
+		}
+
+		// Synthetic effective addresses (opt-in extension).
+		if t.addrStates != nil && ip.Class.IsMem() && ip.Addr != nil {
+			key := int64(e.ID)<<8 | int64(i)
+			st := t.addrStates[key]
+			if st == nil {
+				st = &addrState{}
+				t.addrStates[key] = st
+			}
+			cdf := t.strideCDFs[ip.Addr]
+			if cdf == nil {
+				cdf = buildStrideCDF(ip.Addr)
+				t.strideCDFs[ip.Addr] = cdf
+			}
+			d.EffAddr = t.synthesizeAddr(ip.Addr, st, cdf)
+		}
+
+		// Steps 5 and 7: locality events. Slot-resolved by default (see
+		// sfg.InstProfile for why slots rather than edge averages); the
+		// paper-literal edge-average assignment is kept as an ablation.
+		if t.r.opts.EdgeAverageLocality {
+			if e.Fetches > 0 {
+				if t.bernoulli(e.L1IMiss, e.Fetches) {
+					d.Flags |= trace.FlagL1IMiss
+					if t.bernoulli(e.L2IMiss, e.L1IMiss) {
+						d.Flags |= trace.FlagL2IMiss
+					}
+				}
+				if t.bernoulli(e.ITLBMiss, e.Fetches) {
+					d.Flags |= trace.FlagITLBMiss
+				}
+			}
+			if ip.Class == isa.Load && e.Loads > 0 {
+				if t.bernoulli(e.L1DMiss, e.Loads) {
+					d.Flags |= trace.FlagL1DMiss
+					if t.bernoulli(e.L2DMiss, e.L1DMiss) {
+						d.Flags |= trace.FlagL2DMiss
+					}
+				}
+				if t.bernoulli(e.DTLBMiss, e.Loads) {
+					d.Flags |= trace.FlagDTLBMiss
+				}
+			}
+		} else {
+			if t.bernoulli(ip.L1IMiss, e.Count) {
+				d.Flags |= trace.FlagL1IMiss
+				if t.bernoulli(ip.L2IMiss, ip.L1IMiss) {
+					d.Flags |= trace.FlagL2IMiss
+				}
+			}
+			if t.bernoulli(ip.ITLBMiss, e.Count) {
+				d.Flags |= trace.FlagITLBMiss
+			}
+			if ip.Class == isa.Load {
+				if t.bernoulli(ip.L1DMiss, e.Count) {
+					d.Flags |= trace.FlagL1DMiss
+					if t.bernoulli(ip.L2DMiss, ip.L1DMiss) {
+						d.Flags |= trace.FlagL2DMiss
+					}
+				}
+				if t.bernoulli(ip.DTLBMiss, e.Count) {
+					d.Flags |= trace.FlagDTLBMiss
+				}
+			}
+		}
+
+		// Step 6: the block-terminating branch.
+		if ip.Class.IsBranch() && e.BrCount > 0 {
+			d.Taken = t.bernoulli(e.BrTaken, e.BrCount)
+			u := t.rng.Float64() * float64(e.BrCount)
+			switch {
+			case u < float64(e.BrMispredict):
+				d.Flags |= trace.FlagBrMispredict
+			case u < float64(e.BrMispredict+e.BrRedirect):
+				d.Flags |= trace.FlagBrFetchRedirect
+			}
+		}
+
+		t.hasDest[t.seq%destRing] = ip.Class.HasDest()
+		t.seq++
+		t.buf = append(t.buf, d)
+	}
+}
+
+// sampleDep draws one dependency distance from h, reproducing the
+// probability that a dynamic instance carries the dependency at all
+// (h covers only instances that did, out of count instances) and
+// applying the §2.2-step-4 rejection rule: the producer must be an
+// instruction with a register result, retried up to MaxDepRetries
+// times and squashed otherwise.
+func (t *TraceSource) sampleDep(h *stats.Histogram, count uint64) (uint32, bool) {
+	if h == nil || h.Total() == 0 {
+		return 0, false
+	}
+	if t.rng.Float64() >= float64(h.Total())/float64(count) {
+		return 0, false
+	}
+	for try := 0; try < t.r.opts.MaxDepRetries; try++ {
+		delta := uint64(h.Sample(t.rng.Float64()))
+		if delta > t.seq {
+			continue // before the start of the trace
+		}
+		if !t.hasDest[(t.seq-delta)%destRing] {
+			continue // would depend on a branch or store: reject
+		}
+		return uint32(delta), true
+	}
+	return 0, false
+}
+
+// bernoulli draws true with probability num/den.
+func (t *TraceSource) bernoulli(num, den uint64) bool {
+	if num == 0 {
+		return false
+	}
+	if num >= den {
+		return true
+	}
+	return t.rng.Float64()*float64(den) < float64(num)
+}
+
+// Generated returns how many instructions have been emitted so far.
+func (t *TraceSource) Generated() uint64 { return t.seq }
+
+var _ trace.Source = (*TraceSource)(nil)

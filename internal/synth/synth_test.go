@@ -1,0 +1,266 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/sfg"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func profileBenchmark(t *testing.T, seed uint64, blocks int, n uint64, k int) *sfg.Graph {
+	t.Helper()
+	prog := program.MustGenerate(program.Personality{Name: "t", Seed: seed, TargetBlocks: blocks})
+	src := &trace.LimitSource{Src: program.NewExecutor(prog, seed), N: n}
+	g, err := sfg.Profile(src, sfg.Options{K: k, Hier: cache.DefaultConfig(), Bpred: bpred.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestReduceRejectsBadR(t *testing.T) {
+	g := profileBenchmark(t, 1, 60, 20_000, 1)
+	if _, err := Reduce(g, Options{R: 0}); err == nil {
+		t.Error("R=0 accepted")
+	}
+	if _, err := Reduce(g, Options{R: 1 << 60}); err == nil {
+		t.Error("absurd R accepted (empties the graph)")
+	}
+}
+
+func TestReduceFloorsOccurrences(t *testing.T) {
+	g := profileBenchmark(t, 2, 80, 50_000, 1)
+	r, err := Reduce(g, Options{R: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AliveNodes() > g.NumNodes() {
+		t.Error("reduction grew the graph")
+	}
+	if r.AliveNodes() == 0 {
+		t.Error("no nodes survived a mild reduction")
+	}
+	// Rare nodes (occ < R) must be removed.
+	for i, n := range g.Nodes {
+		if n.Occ < 10 && r.alive[i] {
+			t.Fatalf("node %d with occ %d survived R=10", i, n.Occ)
+		}
+	}
+}
+
+func TestTraceLengthNearExpected(t *testing.T) {
+	g := profileBenchmark(t, 3, 80, 100_000, 1)
+	r, err := Reduce(g, Options{R: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := trace.Collect(r.NewTrace(1), 0)
+	want := float64(r.ExpectedLength())
+	if f := float64(len(got)); f < want*0.7 || f > want*1.3 {
+		t.Errorf("trace length %d, expected ~%.0f", len(got), want)
+	}
+}
+
+func TestSyntheticPreservesInstructionMix(t *testing.T) {
+	g := profileBenchmark(t, 4, 100, 200_000, 1)
+	r, err := Reduce(g, Options{R: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth := trace.Collect(r.NewTrace(7), 0)
+
+	var origCls, synthCls [isa.NumClasses]float64
+	var origN, synthN float64
+	for _, e := range g.Edges {
+		for i := range e.Insts {
+			origCls[e.Insts[i].Class] += float64(e.Count)
+			origN += float64(e.Count)
+		}
+	}
+	for i := range synth {
+		synthCls[synth[i].Class]++
+		synthN++
+	}
+	for c := 0; c < isa.NumClasses; c++ {
+		o, s := origCls[c]/origN, synthCls[c]/synthN
+		if math.Abs(o-s) > 0.02 {
+			t.Errorf("class %v: original %.4f vs synthetic %.4f", isa.Class(c), o, s)
+		}
+	}
+}
+
+func TestSyntheticPreservesBlockFrequencies(t *testing.T) {
+	g := profileBenchmark(t, 5, 60, 150_000, 1)
+	r, err := Reduce(g, Options{R: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth := trace.Collect(r.NewTrace(3), 0)
+	orig := map[int32]float64{}
+	var origN float64
+	for _, n := range g.Nodes {
+		if b := n.CurrentBlock(); b >= 0 {
+			orig[b] += float64(n.Occ)
+			origN += float64(n.Occ)
+		}
+	}
+	syn := map[int32]float64{}
+	var synN float64
+	for i := range synth {
+		if synth[i].Index == 0 {
+			syn[synth[i].BlockID]++
+			synN++
+		}
+	}
+	// The hottest original blocks must stay hot with similar shares.
+	for b, o := range orig {
+		if o/origN > 0.02 {
+			if math.Abs(o/origN-syn[b]/synN) > 0.02 {
+				t.Errorf("block %d: original share %.4f vs synthetic %.4f", b, o/origN, syn[b]/synN)
+			}
+		}
+	}
+}
+
+func TestDependencyRejectionRule(t *testing.T) {
+	// §2.2 step 4: no generated dependency may point at a branch or a
+	// store (they produce no register value).
+	g := profileBenchmark(t, 6, 80, 100_000, 1)
+	r, err := Reduce(g, Options{R: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth := trace.Collect(r.NewTrace(5), 0)
+	for i := range synth {
+		for op := 0; op < int(synth[i].NumSrcs); op++ {
+			delta := synth[i].DepDist[op]
+			if delta == 0 {
+				continue
+			}
+			if uint64(delta) > synth[i].Seq {
+				t.Fatalf("inst %d depends before trace start", i)
+			}
+			prod := synth[i].Seq - uint64(delta)
+			if !synth[prod].Class.HasDest() {
+				t.Fatalf("inst %d depends on %v at %d", i, synth[prod].Class, prod)
+			}
+		}
+	}
+}
+
+func TestSyntheticMissRatesMatchProfile(t *testing.T) {
+	g := profileBenchmark(t, 7, 100, 200_000, 1)
+	r, err := Reduce(g, Options{R: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth := trace.Collect(r.NewTrace(9), 0)
+
+	var profL1D, profLoads, profL1I, profFetch, profMis, profBr float64
+	for _, e := range g.Edges {
+		profL1D += float64(e.L1DMiss)
+		profLoads += float64(e.Loads)
+		profL1I += float64(e.L1IMiss)
+		profFetch += float64(e.Fetches)
+		profMis += float64(e.BrMispredict)
+		profBr += float64(e.BrCount)
+	}
+	var sL1D, sLoads, sL1I, sFetch, sMis, sBr float64
+	for i := range synth {
+		sFetch++
+		if synth[i].Flags.Has(trace.FlagL1IMiss) {
+			sL1I++
+		}
+		if synth[i].Class == isa.Load {
+			sLoads++
+			if synth[i].Flags.Has(trace.FlagL1DMiss) {
+				sL1D++
+			}
+		}
+		if synth[i].Class.IsBranch() {
+			sBr++
+			if synth[i].Flags.Has(trace.FlagBrMispredict) {
+				sMis++
+			}
+		}
+	}
+	check := func(name string, a, b float64) {
+		t.Helper()
+		if math.Abs(a-b) > 0.015+0.25*a {
+			t.Errorf("%s rate: profile %.4f vs synthetic %.4f", name, a, b)
+		}
+	}
+	check("L1D miss", profL1D/profLoads, sL1D/sLoads)
+	check("L1I miss", profL1I/profFetch, sL1I/sFetch)
+	check("mispredict", profMis/profBr, sMis/sBr)
+}
+
+func TestTraceDeterministicPerSeed(t *testing.T) {
+	g := profileBenchmark(t, 8, 60, 60_000, 1)
+	r, err := Reduce(g, Options{R: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := trace.Collect(r.NewTrace(42), 0)
+	b := trace.Collect(r.NewTrace(42), 0)
+	if len(a) != len(b) {
+		t.Fatal("same seed, different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	c := trace.Collect(r.NewTrace(43), 0)
+	same := len(a) == len(c)
+	if same {
+		diff := 0
+		for i := range a {
+			if a[i] != c[i] {
+				diff++
+			}
+		}
+		same = diff == 0
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestEndToEndIPCAccuracy(t *testing.T) {
+	// The headline property (Fig. 4, k=1): with perfect caches and
+	// perfect branch prediction, synthetic-trace IPC should track
+	// execution-driven IPC within a few percent.
+	prog := program.MustGenerate(program.Personality{Name: "t", Seed: 21, TargetBlocks: 120})
+	cfg := cpu.DefaultConfig()
+	cfg.PerfectCaches = true
+	cfg.PerfectBpred = true
+
+	const n = 300_000
+	eds := cpu.NewExecutionDriven(cfg,
+		&trace.LimitSource{Src: program.NewExecutor(prog, 3), N: n}).Run()
+
+	g, err := sfg.Profile(&trace.LimitSource{Src: program.NewExecutor(prog, 3), N: n},
+		sfg.Options{K: 1, Hier: cache.DefaultConfig(), Bpred: bpred.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Reduce(g, Options{R: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn := cpu.NewTraceDriven(cfg, r.NewTrace(1)).Run()
+
+	ae := stats.AbsError(syn.IPC(), eds.IPC())
+	t.Logf("EDS IPC %.3f, synthetic IPC %.3f, error %.2f%%", eds.IPC(), syn.IPC(), 100*ae)
+	if ae > 0.10 {
+		t.Errorf("k=1 perfect-structure IPC error %.1f%% exceeds 10%%", 100*ae)
+	}
+}

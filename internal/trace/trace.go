@@ -1,0 +1,135 @@
+// Package trace defines the dynamic instruction stream exchanged
+// between the functional executor, the statistical profiler and the
+// superscalar timing core.
+//
+// A single record type, DynInst, serves both execution-driven
+// simulation (where locality events — cache misses, branch
+// mispredictions — are computed live by cache and predictor models) and
+// synthetic-trace simulation (where the statistical trace generator
+// pre-assigns the same events as per-instruction flags, §2.2 steps 5-7).
+package trace
+
+import "repro/internal/isa"
+
+// Flags carries the pre-assigned locality events of a synthetic-trace
+// record. Execution-driven simulation ignores them and computes the
+// events from live cache/branch-predictor state instead.
+type Flags uint16
+
+const (
+	FlagL1IMiss Flags = 1 << iota // instruction misses in the L1 I-cache
+	FlagL2IMiss                   // ... and in the unified L2
+	FlagITLBMiss
+	FlagL1DMiss // load/store misses in the L1 D-cache
+	FlagL2DMiss // ... and in the unified L2
+	FlagDTLBMiss
+	FlagBrMispredict    // branch direction (or indirect target) mispredicted
+	FlagBrFetchRedirect // BTB miss with correct direction prediction
+)
+
+// Has reports whether all bits in f are set.
+func (fl Flags) Has(f Flags) bool { return fl&f == f }
+
+// DynInst is one dynamic instruction. The zero value is an int-alu
+// instruction with no operands.
+type DynInst struct {
+	Seq     uint64 // position in the committed-path stream, starting at 0
+	PC      uint64 // instruction address
+	NextPC  uint64 // address of the next dynamic instruction (target or fall-through)
+	EffAddr uint64 // effective address for loads/stores
+
+	// DepDist holds the RAW dependency distance of each source operand:
+	// the number of dynamic instructions between the producer and this
+	// consumer (1 = the immediately preceding instruction). 0 means the
+	// operand carries no modelled dependency.
+	DepDist [isa.MaxSrcOperands]uint32
+
+	// WAWDist is the distance to the previous writer of this
+	// instruction's destination register (0 = none). Register renaming
+	// removes these dependencies, so out-of-order simulation ignores
+	// them; the in-order pipeline extension (§2.1.1's suggested
+	// extension) enforces them.
+	WAWDist uint32
+
+	BlockID int32 // static basic-block id, -1 if unknown
+	Index   int16 // index of the instruction within its basic block
+	NumSrcs uint8 // number of source operands actually used
+	Class   isa.Class
+	Taken   bool  // actual branch direction (branches only)
+	Flags   Flags // pre-assigned locality events (synthetic mode)
+}
+
+// IsBranch reports whether the instruction transfers control.
+func (d *DynInst) IsBranch() bool { return d.Class.IsBranch() }
+
+// Source produces a dynamic instruction stream. Next fills *out and
+// reports whether an instruction was produced; once it returns false the
+// stream is exhausted and subsequent calls must keep returning false.
+type Source interface {
+	Next(out *DynInst) bool
+}
+
+// SliceSource replays a pre-materialised stream. It is primarily used
+// by tests and by the synthetic-trace pipeline when traces are small
+// enough to hold in memory.
+type SliceSource struct {
+	Insts []DynInst
+	pos   int
+}
+
+// NewSliceSource returns a Source over insts.
+func NewSliceSource(insts []DynInst) *SliceSource {
+	return &SliceSource{Insts: insts}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next(out *DynInst) bool {
+	if s.pos >= len(s.Insts) {
+		return false
+	}
+	*out = s.Insts[s.pos]
+	s.pos++
+	return true
+}
+
+// Reset rewinds the source to the beginning of the stream.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// LimitSource truncates an underlying source after N instructions.
+type LimitSource struct {
+	Src  Source
+	N    uint64
+	seen uint64
+}
+
+// Next implements Source.
+func (l *LimitSource) Next(out *DynInst) bool {
+	if l.seen >= l.N {
+		return false
+	}
+	if !l.Src.Next(out) {
+		return false
+	}
+	l.seen++
+	return true
+}
+
+// Collect drains up to max instructions from src into a slice. A max of
+// 0 means no limit.
+func Collect(src Source, max int) []DynInst {
+	var out []DynInst
+	var d DynInst
+	for src.Next(&d) {
+		out = append(out, d)
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// FuncSource adapts a closure to the Source interface.
+type FuncSource func(out *DynInst) bool
+
+// Next implements Source.
+func (f FuncSource) Next(out *DynInst) bool { return f(out) }

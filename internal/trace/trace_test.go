@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestFlags(t *testing.T) {
+	f := FlagL1DMiss | FlagL2DMiss
+	if !f.Has(FlagL1DMiss) || !f.Has(FlagL2DMiss) {
+		t.Error("set flags not detected")
+	}
+	if f.Has(FlagL1IMiss) {
+		t.Error("unset flag detected")
+	}
+	if !f.Has(FlagL1DMiss | FlagL2DMiss) {
+		t.Error("Has must require all bits")
+	}
+	if f.Has(FlagL1DMiss | FlagBrMispredict) {
+		t.Error("Has must not accept partial matches")
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	s := NewSliceSource([]DynInst{{Seq: 0}, {Seq: 1}})
+	var d DynInst
+	for i := uint64(0); i < 2; i++ {
+		if !s.Next(&d) || d.Seq != i {
+			t.Fatalf("Next %d failed", i)
+		}
+	}
+	if s.Next(&d) {
+		t.Error("exhausted source returned true")
+	}
+	if s.Next(&d) {
+		t.Error("Next after exhaustion must keep returning false")
+	}
+	s.Reset()
+	if !s.Next(&d) || d.Seq != 0 {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestLimitSource(t *testing.T) {
+	inner := NewSliceSource(make([]DynInst, 10))
+	l := &LimitSource{Src: inner, N: 3}
+	var d DynInst
+	n := 0
+	for l.Next(&d) {
+		n++
+	}
+	if n != 3 {
+		t.Errorf("limit delivered %d, want 3", n)
+	}
+	short := &LimitSource{Src: NewSliceSource(make([]DynInst, 2)), N: 5}
+	n = 0
+	for short.Next(&d) {
+		n++
+	}
+	if n != 2 {
+		t.Errorf("short stream delivered %d, want 2", n)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	src := NewSliceSource(make([]DynInst, 10))
+	if got := Collect(src, 4); len(got) != 4 {
+		t.Errorf("Collect(4) = %d", len(got))
+	}
+	src.Reset()
+	if got := Collect(src, 0); len(got) != 10 {
+		t.Errorf("Collect(0) = %d, want all", len(got))
+	}
+}
+
+func TestFuncSource(t *testing.T) {
+	n := 0
+	f := FuncSource(func(out *DynInst) bool {
+		if n >= 2 {
+			return false
+		}
+		out.Seq = uint64(n)
+		n++
+		return true
+	})
+	if got := Collect(f, 0); len(got) != 2 || got[1].Seq != 1 {
+		t.Errorf("FuncSource broken: %v", got)
+	}
+}
+
+func TestIsBranch(t *testing.T) {
+	d := DynInst{Class: isa.IntBranch}
+	if !d.IsBranch() {
+		t.Error("IntBranch not a branch")
+	}
+	d.Class = isa.Load
+	if d.IsBranch() {
+		t.Error("Load is not a branch")
+	}
+}

@@ -1,0 +1,58 @@
+package statsim
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	w, err := LoadWorkload("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	const n = 200_000
+	eds := Reference(cfg, w.Stream(1, 0, n))
+	g, err := Profile(cfg, w.Stream(1, 0, n), ProfileOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := StatSim(cfg, g, ReductionFor(g, 40_000), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := stats.AbsError(ss.IPC(), eds.IPC()); e > 0.20 {
+		t.Errorf("public-API pipeline IPC error %.1f%%", 100*e)
+	}
+	if ss.EPC() <= 0 || ss.EDP() <= 0 {
+		t.Error("power metrics missing")
+	}
+}
+
+func TestNewSyntheticTrace(t *testing.T) {
+	w, _ := LoadWorkload("vpr")
+	cfg := DefaultConfig()
+	g, err := Profile(cfg, w.Stream(1, 0, 60_000), ProfileOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSyntheticTrace(g, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := trace.Collect(src, 0)
+	if len(insts) < 3_000 {
+		t.Errorf("synthetic trace too short: %d", len(insts))
+	}
+	if _, err := NewSyntheticTrace(g, 1<<60, 1); err == nil {
+		t.Error("absurd R accepted")
+	}
+}
+
+func TestWorkloadsPublic(t *testing.T) {
+	if got := len(Workloads()); got != 10 {
+		t.Fatalf("Workloads() = %d, want 10", got)
+	}
+}
