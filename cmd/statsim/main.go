@@ -10,6 +10,7 @@
 //	statsim profile  -benchmark gzip -n 1000000 -k 1 -o gzip.sfg
 //	statsim simulate -profile gzip.sfg -target 100000 [config flags]
 //	statsim compare  -benchmark gzip -n 1000000 -target 100000 [config flags]
+//	statsim sweep    -benchmark gzip -n 1000000 -grid quick -target 100000
 package main
 
 import (
@@ -45,6 +46,8 @@ func main() {
 		err = cmdSimulate(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
 	case "personality":
 		err = cmdPersonality(os.Args[2:])
 	case "inspect":
@@ -72,6 +75,7 @@ commands:
   generate     generate a synthetic trace file from a saved profile
   simulate     run statistical simulation from a saved profile or trace file
   compare      run both and report prediction errors
+  sweep        parallel design-space sweep from one profile
   inspect      summarise a saved statistical profile
   personality  dump a benchmark's workload definition as editable JSON
 

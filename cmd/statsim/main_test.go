@@ -121,3 +121,24 @@ func TestCmdListAndPersonality(t *testing.T) {
 		t.Error("unknown benchmark accepted")
 	}
 }
+
+func TestCmdSweep(t *testing.T) {
+	if err := cmdSweep([]string{"-benchmark", "vpr", "-n", "30000", "-grid", "quick", "-target", "5000"}); err != nil {
+		t.Fatal(err)
+	}
+	// Saved profiles drive the same path without re-profiling.
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "p.sfg")
+	if err := cmdProfile([]string{"-benchmark", "vpr", "-n", "30000", "-o", prof}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSweep([]string{"-profile", prof, "-grid", "quick", "-target", "5000", "-top", "3", "-workers", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSweep([]string{"-benchmark", "vpr", "-grid", "nope"}); err == nil {
+		t.Error("unknown grid accepted")
+	}
+	if err := cmdSweep([]string{"-profile", filepath.Join(dir, "missing"), "-grid", "quick"}); err == nil {
+		t.Error("missing profile accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/sfg"
+)
+
+// cmdSweep runs a parallel design-space sweep from one statistical
+// profile — the same code path (service.Sweep) the statsimd daemon's
+// POST /v1/sweep and the §4.6 DSE experiment use, driven locally.
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	load := workloadFlags(fs)
+	prof := fs.String("profile", "", "saved profile from `statsim profile` (skips profiling)")
+	n := fs.Uint64("n", 1_000_000, "instructions to profile (ignored with -profile)")
+	seed := fs.Uint64("seed", 1, "execution seed (ignored with -profile)")
+	k := fs.Int("k", 1, "SFG order (ignored with -profile)")
+	grid := fs.String("grid", "quick", "design space: quick (9 points) or paper (1792 points)")
+	target := fs.Uint64("target", 100_000, "synthetic trace length target per point")
+	simSeed := fs.Uint64("sim-seed", 1, "synthetic trace generation seed")
+	workers := fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	top := fs.Int("top", 0, "print only the N lowest-EDP points (0 = all, in grid order)")
+	mkCfg := configFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	points, err := service.GridByName(*grid)
+	if err != nil {
+		return err
+	}
+
+	var g *sfg.Graph
+	if *prof != "" {
+		if g, err = loadProfile(*prof); err != nil {
+			return err
+		}
+	} else {
+		w, err := load()
+		if err != nil {
+			return err
+		}
+		if g, err = core.Profile(mkCfg(), w.Stream(*seed, 0, *n), core.ProfileOptions{K: *k}); err != nil {
+			return err
+		}
+	}
+
+	pool := service.NewPool(*workers)
+	defer pool.Drain(context.Background())
+	results, err := service.Sweep(context.Background(), pool, mkCfg(), g,
+		points, core.ReductionFor(g, *target), *simSeed)
+	if err != nil {
+		return err
+	}
+
+	best := 0
+	for i, res := range results {
+		if res.Metrics.EDP() < results[best].Metrics.EDP() {
+			best = i
+		}
+	}
+	rows := results
+	if *top > 0 && *top < len(results) {
+		rows = append([]service.SweepResult(nil), results...)
+		sort.SliceStable(rows, func(a, b int) bool { return rows[a].Metrics.EDP() < rows[b].Metrics.EDP() })
+		rows = rows[:*top]
+	}
+	fmt.Printf("%-28s %8s %8s %8s\n", "point", "IPC", "EPC(W)", "EDP")
+	for _, res := range rows {
+		fmt.Printf("%-28s %8.4f %8.2f %8.3f\n",
+			res.Point.String(), res.Metrics.IPC(), res.Metrics.EPC(), res.Metrics.EDP())
+	}
+	fmt.Printf("best: %s  EDP=%.3f  (%d points)\n",
+		results[best].Point, results[best].Metrics.EDP(), len(results))
+	return nil
+}

@@ -1,0 +1,110 @@
+// Command statsimd is the statistical-simulation daemon: a long-running
+// HTTP/JSON service that keeps statistical flow graphs resident so the
+// expensive profiling step is paid once per (workload, k, n, seed) and
+// every subsequent simulation or design-space sweep reuses it.
+//
+// Endpoints:
+//
+//	POST /v1/profile    profile a workload into a cached SFG
+//	POST /v1/simulate   statistical simulation of one configuration
+//	POST /v1/sweep      parallel design-space sweep from one profile
+//	GET  /v1/workloads  list the built-in benchmarks
+//	GET  /healthz       liveness and load
+//	GET  /metrics       cache/pool/latency statistics (JSON)
+//
+// See the "Running statsimd" section of README.md for curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+// daemonConfig is the parsed command line.
+type daemonConfig struct {
+	addr         string
+	opts         service.Options
+	drainTimeout time.Duration
+}
+
+func parseFlags(args []string) (daemonConfig, error) {
+	fs := flag.NewFlagSet("statsimd", flag.ContinueOnError)
+	var c daemonConfig
+	fs.StringVar(&c.addr, "addr", "127.0.0.1:8417", "listen address")
+	fs.IntVar(&c.opts.Workers, "workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	fs.IntVar(&c.opts.CacheSize, "cache", 16, "resident statistical profiles (LRU)")
+	fs.DurationVar(&c.opts.JobTimeout, "job-timeout", 5*time.Minute, "per-job timeout (0 = none)")
+	fs.DurationVar(&c.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown budget on SIGTERM")
+	fs.Uint64Var(&c.opts.MaxProfileInstructions, "max-profile-insts", 50_000_000,
+		"largest accepted profiling stream length")
+	if err := fs.Parse(args); err != nil {
+		return c, err
+	}
+	if fs.NArg() != 0 {
+		return c, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return c, nil
+}
+
+func main() {
+	c, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, c, log.New(os.Stderr, "statsimd: ", log.LstdFlags)); err != nil {
+		fmt.Fprintln(os.Stderr, "statsimd:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is cancelled (SIGINT/SIGTERM in main), then
+// drains in-flight work within the drain budget.
+func run(ctx context.Context, c daemonConfig, logger *log.Logger) error {
+	svc := service.New(c.opts)
+	httpSrv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("listening on http://%s (workers=%d cache=%d)",
+		ln.Addr(), svc.Pool().Stats().Workers, c.opts.CacheSize)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down: draining for up to %s", c.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), c.drainTimeout)
+	defer cancel()
+	// Stop accepting connections and wait for handlers first, then for
+	// the pool's queued jobs.
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Close(drainCtx); err != nil && !errors.Is(err, service.ErrPoolClosed) {
+		logger.Printf("pool drain: %v", err)
+	}
+	logger.Printf("bye")
+	return nil
+}

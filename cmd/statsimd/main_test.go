@@ -1,0 +1,55 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log"
+	"testing"
+	"time"
+)
+
+func TestParseFlags(t *testing.T) {
+	c, err := parseFlags([]string{"-addr", ":0", "-workers", "3", "-cache", "2", "-job-timeout", "1s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.addr != ":0" || c.opts.Workers != 3 || c.opts.CacheSize != 2 || c.opts.JobTimeout != time.Second {
+		t.Errorf("flags not applied: %+v", c)
+	}
+	if _, err := parseFlags([]string{"stray"}); err == nil {
+		t.Error("stray positional argument accepted")
+	}
+	if _, err := parseFlags([]string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunStartsAndDrains(t *testing.T) {
+	c, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "5s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, c, log.New(io.Discard, "", 0)) }()
+	time.Sleep(100 * time.Millisecond) // let the listener come up
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+func TestRunRejectsBadAddr(t *testing.T) {
+	c, err := parseFlags([]string{"-addr", "256.0.0.1:bad"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), c, log.New(io.Discard, "", 0)); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}

@@ -1,66 +1,27 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/core"
-	"repro/internal/cpu"
+	"repro/internal/service"
 )
 
-// DSEPoint is one design point of the §4.6 exploration.
-type DSEPoint struct {
-	RUU, LSQ, Decode, Issue, Commit int
-}
-
-func (p DSEPoint) String() string {
-	return fmt.Sprintf("ruu=%d lsq=%d d=%d i=%d c=%d", p.RUU, p.LSQ, p.Decode, p.Issue, p.Commit)
-}
-
-func (p DSEPoint) apply(base cpu.Config) cpu.Config {
-	base.RUUSize = p.RUU
-	base.LSQSize = p.LSQ
-	base.DecodeWidth = p.Decode
-	base.IssueWidth = p.Issue
-	base.CommitWidth = p.Commit
-	return base
-}
+// DSEPoint is one design point of the §4.6 exploration. It is the
+// service layer's sweep point: the CLI sweep, the statsimd daemon and
+// this experiment all walk the same design space through the same
+// parallel sweep implementation.
+type DSEPoint = service.SweepPoint
 
 // PaperGrid returns the paper's 1,792-point design space: RUU in
 // {8..128} x LSQ in {4..64} with LSQ <= RUU/2 (28 pairs), and decode,
 // issue and commit widths each in {2,4,6,8}.
-func PaperGrid() []DSEPoint {
-	ruus := []int{8, 16, 32, 48, 64, 96, 128}
-	lsqs := []int{4, 8, 16, 24, 32, 48, 64}
-	widths := []int{2, 4, 6, 8}
-	var pts []DSEPoint
-	for _, r := range ruus {
-		for _, l := range lsqs {
-			if l > r/2 {
-				continue
-			}
-			for _, d := range widths {
-				for _, i := range widths {
-					for _, c := range widths {
-						pts = append(pts, DSEPoint{RUU: r, LSQ: l, Decode: d, Issue: i, Commit: c})
-					}
-				}
-			}
-		}
-	}
-	return pts
-}
+func PaperGrid() []DSEPoint { return service.PaperGrid() }
 
 // QuickGrid is a reduced design space for tests and smoke runs.
-func QuickGrid() []DSEPoint {
-	var pts []DSEPoint
-	for _, r := range []int{16, 64, 128} {
-		for _, d := range []int{2, 4, 8} {
-			pts = append(pts, DSEPoint{RUU: r, LSQ: r / 2, Decode: d, Issue: d, Commit: d})
-		}
-	}
-	return pts
-}
+func QuickGrid() []DSEPoint { return service.QuickGrid() }
 
 // DSEBenchResult is the exploration outcome for one benchmark.
 type DSEBenchResult struct {
@@ -108,6 +69,12 @@ func DSE(s Scale, grid []DSEPoint) (*DSEResult, error) {
 		perPoint = 5_000
 	}
 
+	// One pool serves every benchmark's per-point sweep; the results of
+	// service.Sweep come back in grid order, so the parallel exploration
+	// is byte-identical to the serial per-point loop it replaced.
+	pool := service.NewPool(s.Parallelism)
+	defer pool.Drain(context.Background())
+
 	rows, err := parallelMap(s, ws, func(w core.Workload) (DSEBenchResult, error) {
 		row := DSEBenchResult{Name: w.Name}
 		g, err := core.Profile(base, w.Stream(s.ExecSeed, 0, s.RefInstructions), core.ProfileOptions{K: 1})
@@ -116,13 +83,13 @@ func DSE(s Scale, grid []DSEPoint) (*DSEResult, error) {
 		}
 		r := core.ReductionFor(g, perPoint)
 
+		swept, err := service.Sweep(context.Background(), pool, base, g, grid, r, 1)
+		if err != nil {
+			return row, err
+		}
 		edps := make([]float64, len(grid))
-		for i, pt := range grid {
-			m, err := core.StatSim(pt.apply(base), g, r, 1)
-			if err != nil {
-				return row, err
-			}
-			edps[i] = m.EDP()
+		for i := range swept {
+			edps[i] = swept[i].Metrics.EDP()
 		}
 		bestIdx := 0
 		for i := range edps {
@@ -154,7 +121,7 @@ func DSE(s Scale, grid []DSEPoint) (*DSEResult, error) {
 		bestEDS := -1.0
 		var ssEDS float64
 		for _, c := range cands {
-			m := core.Reference(grid[c.idx].apply(base), w.Stream(s.ExecSeed, 0, s.RefInstructions))
+			m := core.Reference(grid[c.idx].Apply(base), w.Stream(s.ExecSeed, 0, s.RefInstructions))
 			edp := m.EDP()
 			if c.idx == bestIdx {
 				ssEDS = edp

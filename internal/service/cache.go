@@ -1,0 +1,164 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sfg"
+)
+
+// ProfileKey identifies one statistical profile. Profiling is
+// deterministic in these inputs (the workload personality is itself
+// fully determined by its name and fixed seed), so two requests with
+// equal keys denote bit-identical graphs — the property that makes
+// caching sound (see DESIGN.md).
+type ProfileKey struct {
+	Workload string `json:"workload"` // personality name
+	K        int    `json:"k"`        // SFG order
+	N        uint64 `json:"n"`        // profiled stream length
+	Seed     uint64 `json:"seed"`     // functional execution seed
+	// Immediate selects immediate-update branch profiling (§2.1.3); the
+	// default false is the paper's delayed-update discipline. Part of
+	// the key because it changes the measured branch statistics.
+	Immediate bool `json:"immediate,omitempty"`
+}
+
+// profileCall is one in-flight profiling run that coalesced requests
+// wait on.
+type profileCall struct {
+	wg  sync.WaitGroup
+	g   *sfg.Graph
+	err error
+}
+
+// cacheEntry is one resident profile.
+type cacheEntry struct {
+	key ProfileKey
+	g   *sfg.Graph
+}
+
+// GraphCache is an LRU cache of statistical flow graphs with
+// singleflight-style request coalescing: concurrent GetOrProfile calls
+// for the same key run the profiler once and share the result. Cached
+// graphs are frozen (sfg.Graph.Freeze) before publication so any
+// number of simulations can sample them concurrently.
+type GraphCache struct {
+	capacity int
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[ProfileKey]*list.Element
+	calls map[ProfileKey]*profileCall
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// NewGraphCache returns a cache holding at most capacity profiles
+// (minimum 1).
+func NewGraphCache(capacity int) *GraphCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &GraphCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[ProfileKey]*list.Element),
+		calls:    make(map[ProfileKey]*profileCall),
+	}
+}
+
+// GetOrProfile returns the graph for key, running profile to produce it
+// on a miss. The returned bool reports whether the graph came from the
+// cache (or from another caller's concurrent profiling run) rather than
+// from this call's own profile invocation. Errors are not cached:
+// a failed profile leaves the key absent.
+func (c *GraphCache) GetOrProfile(key ProfileKey, profile func() (*sfg.Graph, error)) (*sfg.Graph, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		g := el.Value.(*cacheEntry).g
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return g, true, nil
+	}
+	if call, ok := c.calls[key]; ok {
+		c.mu.Unlock()
+		c.coalesced.Add(1)
+		call.wg.Wait()
+		return call.g, true, call.err
+	}
+	call := &profileCall{}
+	call.wg.Add(1)
+	c.calls[key] = call
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	g, err := profile()
+	if err == nil && g != nil {
+		// Freeze before any other goroutine can see the graph: after
+		// this, every read path through it is immutable.
+		g.Freeze()
+	}
+	call.g, call.err = g, err
+
+	c.mu.Lock()
+	delete(c.calls, key)
+	if err == nil && g != nil {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, g: g})
+		for c.ll.Len() > c.capacity {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*cacheEntry).key)
+			c.evictions.Add(1)
+		}
+	}
+	c.mu.Unlock()
+	call.wg.Done()
+	return g, false, err
+}
+
+// Keys returns the resident keys, most recently used first.
+func (c *GraphCache) Keys() []ProfileKey {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]ProfileKey, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*cacheEntry).key)
+	}
+	return keys
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Size      int     `json:"size"`
+	Capacity  int     `json:"capacity"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Coalesced uint64  `json:"coalesced"`
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// Stats reports cache effectiveness. Coalesced waits count as hits for
+// the hit rate: they did not pay for profiling.
+func (c *GraphCache) Stats() CacheStats {
+	c.mu.Lock()
+	size := c.ll.Len()
+	c.mu.Unlock()
+	s := CacheStats{
+		Size:      size,
+		Capacity:  c.capacity,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	if total := s.Hits + s.Coalesced + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits+s.Coalesced) / float64(total)
+	}
+	return s
+}

@@ -1,0 +1,143 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/sfg"
+)
+
+// testGraph profiles a tiny real workload once per call.
+func testGraph(t testing.TB) *sfg.Graph {
+	t.Helper()
+	w, err := core.LoadWorkload("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.Profile(cpu.DefaultConfig(), w.Stream(1, 0, 20_000), core.ProfileOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func key(name string) ProfileKey { return ProfileKey{Workload: name, K: 1, N: 20_000, Seed: 1} }
+
+func TestCacheHitAndMiss(t *testing.T) {
+	c := NewGraphCache(4)
+	g := testGraph(t)
+	calls := 0
+	profile := func() (*sfg.Graph, error) { calls++; return g, nil }
+
+	got, cached, err := c.GetOrProfile(key("a"), profile)
+	if err != nil || cached || got != g {
+		t.Fatalf("first get: g=%p cached=%v err=%v", got, cached, err)
+	}
+	got, cached, err = c.GetOrProfile(key("a"), profile)
+	if err != nil || !cached || got != g {
+		t.Fatalf("second get: cached=%v err=%v", cached, err)
+	}
+	if calls != 1 {
+		t.Errorf("profiled %d times", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	if st.HitRate != 0.5 {
+		t.Errorf("hit rate %v", st.HitRate)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewGraphCache(2)
+	g := testGraph(t)
+	var calls atomic.Int64
+	profile := func() (*sfg.Graph, error) { calls.Add(1); return g, nil }
+
+	c.GetOrProfile(key("a"), profile)
+	c.GetOrProfile(key("b"), profile)
+	c.GetOrProfile(key("a"), profile) // refresh a: b is now LRU
+	c.GetOrProfile(key("c"), profile) // evicts b
+	if keys := c.Keys(); len(keys) != 2 || keys[0] != key("c") || keys[1] != key("a") {
+		t.Errorf("resident keys %v", keys)
+	}
+	if _, cached, _ := c.GetOrProfile(key("b"), profile); cached {
+		t.Error("evicted entry served from cache")
+	}
+	if got := c.Stats().Evictions; got < 1 {
+		t.Errorf("evictions %d", got)
+	}
+	if calls.Load() != 4 { // a, b, c, and b again
+		t.Errorf("profiled %d times", calls.Load())
+	}
+}
+
+func TestCacheCoalescesConcurrentRequests(t *testing.T) {
+	c := NewGraphCache(4)
+	g := testGraph(t)
+	const waiters = 8
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	profile := func() (*sfg.Graph, error) {
+		calls.Add(1)
+		close(started)
+		<-release
+		return g, nil
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, cached, err := c.GetOrProfile(key("a"), profile); err != nil || cached {
+			t.Errorf("leader: cached=%v err=%v", cached, err)
+		}
+	}()
+	<-started
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, cached, err := c.GetOrProfile(key("a"), func() (*sfg.Graph, error) {
+				t.Error("coalesced request re-profiled")
+				return nil, nil
+			})
+			if err != nil || !cached || got != g {
+				t.Errorf("waiter: g=%p cached=%v err=%v", got, cached, err)
+			}
+		}()
+	}
+	// Let every waiter reach the in-flight call before releasing it.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Coalesced < waiters && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Errorf("profiled %d times for %d concurrent requests", calls.Load(), waiters+1)
+	}
+	if st := c.Stats(); st.Coalesced != waiters || st.Misses != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestCacheDoesNotCacheErrors(t *testing.T) {
+	c := NewGraphCache(2)
+	want := errors.New("profile failed")
+	if _, _, err := c.GetOrProfile(key("a"), func() (*sfg.Graph, error) { return nil, want }); !errors.Is(err, want) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	g := testGraph(t)
+	got, cached, err := c.GetOrProfile(key("a"), func() (*sfg.Graph, error) { return g, nil })
+	if err != nil || cached || got != g {
+		t.Errorf("failed profile was cached: cached=%v err=%v", cached, err)
+	}
+}

@@ -1,0 +1,461 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/sfg"
+)
+
+// Options configures a Server. The zero value is usable: GOMAXPROCS
+// workers, a 16-profile cache, no job timeout.
+type Options struct {
+	// Workers bounds concurrent simulation/profiling jobs (<= 0 means
+	// GOMAXPROCS).
+	Workers int
+	// CacheSize is the number of resident statistical profiles (<= 0
+	// means 16).
+	CacheSize int
+	// JobTimeout cancels any single profile/simulate/sweep job that
+	// runs longer (0 disables).
+	JobTimeout time.Duration
+	// MaxProfileInstructions rejects profile requests beyond this
+	// stream length (<= 0 means 50M), keeping one request from pinning
+	// a worker for hours.
+	MaxProfileInstructions uint64
+	// MaxSweepPoints bounds explicit sweep grids (<= 0 means the paper
+	// grid size, 1792).
+	MaxSweepPoints int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheSize <= 0 {
+		o.CacheSize = 16
+	}
+	if o.MaxProfileInstructions == 0 {
+		o.MaxProfileInstructions = 50_000_000
+	}
+	if o.MaxSweepPoints <= 0 {
+		o.MaxSweepPoints = 1792
+	}
+	return o
+}
+
+// Server is the statsimd service: a worker pool, a profile cache, and
+// the HTTP handlers that expose the paper's profile/simulate/sweep
+// pipeline as long-lived endpoints.
+type Server struct {
+	opts    Options
+	pool    *Pool
+	cache   *GraphCache
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// New assembles a Server (and starts its worker pool).
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		pool:    NewPoolTimeout(opts.Workers, opts.JobTimeout),
+		cache:   NewGraphCache(opts.CacheSize),
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/profile", s.instrument("/v1/profile", s.handleProfile))
+	s.mux.HandleFunc("POST /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
+	s.mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	s.mux.HandleFunc("GET /v1/workloads", s.instrument("/v1/workloads", s.handleWorkloads))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Pool exposes the worker pool (shared with embedding callers such as
+// the CLI sweep).
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Close gracefully drains the worker pool.
+func (s *Server) Close(ctx context.Context) error { return s.pool.Drain(ctx) }
+
+// httpError is the uniform error body.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+// apiError carries a status code out of a handler.
+type apiError struct {
+	code int
+	err  error
+}
+
+func (e *apiError) Error() string { return e.err.Error() }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{code: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+// instrument wraps a JSON handler with latency observation and uniform
+// error rendering.
+func (s *Server) instrument(name string, h func(*http.Request) (any, error)) http.HandlerFunc {
+	hist := s.metrics.Endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		resp, err := h(r)
+		hist.Observe(time.Since(start), err != nil)
+		w.Header().Set("Content-Type", "application/json")
+		if err != nil {
+			code := http.StatusInternalServerError
+			var ae *apiError
+			if errors.As(err, &ae) {
+				code = ae.code
+			} else if errors.Is(err, ErrPoolClosed) {
+				code = http.StatusServiceUnavailable
+			}
+			w.WriteHeader(code)
+			json.NewEncoder(w).Encode(httpError{Error: err.Error()})
+			return
+		}
+		json.NewEncoder(w).Encode(resp)
+	}
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("decoding request: %v", err)
+	}
+	return nil
+}
+
+// ProfileSpec names a profile in requests; zero fields take defaults
+// (k=1, n=1M, seed=1).
+type ProfileSpec struct {
+	Workload  string `json:"workload"`
+	K         int    `json:"k"`
+	N         uint64 `json:"n"`
+	Seed      uint64 `json:"seed"`
+	Immediate bool   `json:"immediate,omitempty"`
+}
+
+func (p ProfileSpec) key(opts Options) (ProfileKey, error) {
+	if p.Workload == "" {
+		return ProfileKey{}, badRequest("workload is required")
+	}
+	if p.K < 0 || p.K > sfg.MaxK {
+		return ProfileKey{}, badRequest("k=%d outside [0,%d]", p.K, sfg.MaxK)
+	}
+	if p.N == 0 {
+		p.N = 1_000_000
+	}
+	if p.N > opts.MaxProfileInstructions {
+		return ProfileKey{}, badRequest("n=%d exceeds limit %d", p.N, opts.MaxProfileInstructions)
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return ProfileKey{Workload: p.Workload, K: p.K, N: p.N, Seed: p.Seed, Immediate: p.Immediate}, nil
+}
+
+// resolveProfile returns the (frozen) graph for the spec, profiling
+// through the worker pool on a cache miss. The bool reports whether the
+// profile was served without this request paying for profiling.
+func (s *Server) resolveProfile(ctx context.Context, spec ProfileSpec) (*sfg.Graph, ProfileKey, bool, error) {
+	key, err := spec.key(s.opts)
+	if err != nil {
+		return nil, ProfileKey{}, false, err
+	}
+	g, cached, err := s.cache.GetOrProfile(key, func() (*sfg.Graph, error) {
+		var g *sfg.Graph
+		err := s.pool.Do(ctx, func(ctx context.Context) error {
+			w, err := core.LoadWorkload(key.Workload)
+			if err != nil {
+				return badRequest("%v", err)
+			}
+			g, err = core.Profile(cpu.DefaultConfig(), w.Stream(key.Seed, 0, key.N),
+				core.ProfileOptions{K: key.K, ImmediateUpdate: key.Immediate})
+			return err
+		})
+		return g, err
+	})
+	return g, key, cached, err
+}
+
+// ConfigSpec overrides the Table 2 baseline configuration; zero fields
+// keep the baseline value.
+type ConfigSpec struct {
+	RUU           int  `json:"ruu,omitempty"`
+	LSQ           int  `json:"lsq,omitempty"`
+	Decode        int  `json:"decode,omitempty"`
+	Issue         int  `json:"issue,omitempty"`
+	Commit        int  `json:"commit,omitempty"`
+	IFQ           int  `json:"ifq,omitempty"`
+	PerfectCaches bool `json:"perfect_caches,omitempty"`
+	PerfectBpred  bool `json:"perfect_bpred,omitempty"`
+}
+
+func (c ConfigSpec) apply(base cpu.Config) cpu.Config {
+	if c.RUU > 0 {
+		base.RUUSize = c.RUU
+	}
+	if c.LSQ > 0 {
+		base.LSQSize = c.LSQ
+	}
+	if c.Decode > 0 {
+		base.DecodeWidth = c.Decode
+	}
+	if c.Issue > 0 {
+		base.IssueWidth = c.Issue
+	}
+	if c.Commit > 0 {
+		base.CommitWidth = c.Commit
+	}
+	if c.IFQ > 0 {
+		base.IFQSize = c.IFQ
+	}
+	base.PerfectCaches = base.PerfectCaches || c.PerfectCaches
+	base.PerfectBpred = base.PerfectBpred || c.PerfectBpred
+	return base
+}
+
+// ProfileRequest is the POST /v1/profile body.
+type ProfileRequest struct {
+	ProfileSpec
+}
+
+// ProfileResponse describes the resident profile.
+type ProfileResponse struct {
+	Key               ProfileKey `json:"key"`
+	Nodes             int        `json:"nodes"`
+	Edges             int        `json:"edges"`
+	TotalInstructions uint64     `json:"total_instructions"`
+	Cached            bool       `json:"cached"`
+	ElapsedMS         float64    `json:"elapsed_ms"`
+}
+
+func (s *Server) handleProfile(r *http.Request) (any, error) {
+	var req ProfileRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	g, key, cached, err := s.resolveProfile(r.Context(), req.ProfileSpec)
+	if err != nil {
+		return nil, err
+	}
+	return ProfileResponse{
+		Key:               key,
+		Nodes:             g.NumNodes(),
+		Edges:             g.NumEdges(),
+		TotalInstructions: g.TotalInstructions,
+		Cached:            cached,
+		ElapsedMS:         float64(time.Since(start)) / float64(time.Millisecond),
+	}, nil
+}
+
+// SimulateRequest is the POST /v1/simulate body: statistical simulation
+// of one configuration from the named profile (profiled on demand).
+type SimulateRequest struct {
+	Profile ProfileSpec `json:"profile"`
+	Config  ConfigSpec  `json:"config"`
+	// Target is the synthetic trace length aimed for (default 100k).
+	Target uint64 `json:"target"`
+	// SimSeed seeds synthetic trace generation (default 1).
+	SimSeed uint64 `json:"sim_seed"`
+}
+
+// SimMetrics is the wire form of one simulation's outcome.
+type SimMetrics struct {
+	IPC              float64 `json:"ipc"`
+	EPC              float64 `json:"epc"`
+	EDP              float64 `json:"edp"`
+	Cycles           uint64  `json:"cycles"`
+	Instructions     uint64  `json:"instructions"`
+	MispredictsPerKI float64 `json:"mispredicts_per_ki"`
+}
+
+func wireMetrics(m core.Metrics) SimMetrics {
+	return SimMetrics{
+		IPC:              m.IPC(),
+		EPC:              m.EPC(),
+		EDP:              m.EDP(),
+		Cycles:           m.Cycles,
+		Instructions:     m.Instructions,
+		MispredictsPerKI: m.Branch.MispredictsPerKI(m.Instructions),
+	}
+}
+
+// SimulateResponse is the POST /v1/simulate reply.
+type SimulateResponse struct {
+	Key           ProfileKey `json:"key"`
+	ProfileCached bool       `json:"profile_cached"`
+	Reduction     uint64     `json:"reduction"`
+	Metrics       SimMetrics `json:"metrics"`
+	ElapsedMS     float64    `json:"elapsed_ms"`
+}
+
+func (s *Server) handleSimulate(r *http.Request) (any, error) {
+	var req SimulateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	if req.Target == 0 {
+		req.Target = 100_000
+	}
+	if req.SimSeed == 0 {
+		req.SimSeed = 1
+	}
+	start := time.Now()
+	g, key, cached, err := s.resolveProfile(r.Context(), req.Profile)
+	if err != nil {
+		return nil, err
+	}
+	red := core.ReductionFor(g, req.Target)
+	var m core.Metrics
+	err = s.pool.Do(r.Context(), func(context.Context) error {
+		var err error
+		m, err = core.StatSim(req.Config.apply(cpu.DefaultConfig()), g, red, req.SimSeed)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return SimulateResponse{
+		Key:           key,
+		ProfileCached: cached,
+		Reduction:     red,
+		Metrics:       wireMetrics(m),
+		ElapsedMS:     float64(time.Since(start)) / float64(time.Millisecond),
+	}, nil
+}
+
+// SweepRequest is the POST /v1/sweep body: statistical simulation of a
+// whole design grid from one profile.
+type SweepRequest struct {
+	Profile ProfileSpec `json:"profile"`
+	Config  ConfigSpec  `json:"config"`
+	// Grid names a built-in design space ("quick" or "paper"); Points
+	// supplies an explicit one instead.
+	Grid    string       `json:"grid,omitempty"`
+	Points  []SweepPoint `json:"points,omitempty"`
+	Target  uint64       `json:"target"`
+	SimSeed uint64       `json:"sim_seed"`
+}
+
+// SweepRow is one design point's outcome.
+type SweepRow struct {
+	Point   SweepPoint `json:"point"`
+	Metrics SimMetrics `json:"metrics"`
+}
+
+// SweepResponse is the POST /v1/sweep reply; Results are in grid order
+// independent of completion order, and Best indexes the minimum-EDP row.
+type SweepResponse struct {
+	Key           ProfileKey `json:"key"`
+	ProfileCached bool       `json:"profile_cached"`
+	Points        int        `json:"points"`
+	Best          int        `json:"best"`
+	Results       []SweepRow `json:"results"`
+	ElapsedMS     float64    `json:"elapsed_ms"`
+}
+
+func (s *Server) handleSweep(r *http.Request) (any, error) {
+	var req SweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	points := req.Points
+	if req.Grid != "" {
+		if len(points) > 0 {
+			return nil, badRequest("grid and points are mutually exclusive")
+		}
+		var err error
+		if points, err = GridByName(req.Grid); err != nil {
+			return nil, badRequest("%v", err)
+		}
+	}
+	if len(points) == 0 {
+		return nil, badRequest("a grid name or explicit points are required")
+	}
+	if len(points) > s.opts.MaxSweepPoints {
+		return nil, badRequest("%d points exceed limit %d", len(points), s.opts.MaxSweepPoints)
+	}
+	if req.Target == 0 {
+		req.Target = 100_000
+	}
+	if req.SimSeed == 0 {
+		req.SimSeed = 1
+	}
+	start := time.Now()
+	g, key, cached, err := s.resolveProfile(r.Context(), req.Profile)
+	if err != nil {
+		return nil, err
+	}
+	results, err := Sweep(r.Context(), s.pool, req.Config.apply(cpu.DefaultConfig()), g,
+		points, core.ReductionFor(g, req.Target), req.SimSeed)
+	if err != nil {
+		return nil, err
+	}
+	resp := SweepResponse{
+		Key:           key,
+		ProfileCached: cached,
+		Points:        len(results),
+		Results:       make([]SweepRow, len(results)),
+		ElapsedMS:     float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	for i, res := range results {
+		resp.Results[i] = SweepRow{Point: res.Point, Metrics: wireMetrics(res.Metrics)}
+		if resp.Results[i].Metrics.EDP < resp.Results[resp.Best].Metrics.EDP {
+			resp.Best = i
+		}
+	}
+	return resp, nil
+}
+
+// WorkloadInfo describes one available benchmark.
+type WorkloadInfo struct {
+	Name         string `json:"name"`
+	Blocks       int    `json:"blocks"`
+	StaticInstrs int    `json:"static_instrs"`
+	Phases       int    `json:"phases"`
+}
+
+func (s *Server) handleWorkloads(*http.Request) (any, error) {
+	ws := core.Workloads()
+	out := make([]WorkloadInfo, len(ws))
+	for i, w := range ws {
+		out[i] = WorkloadInfo{
+			Name:         w.Name,
+			Blocks:       len(w.Prog.Blocks),
+			StaticInstrs: w.Prog.NumStaticInstrs(),
+			Phases:       w.Pers.Phases,
+		}
+	}
+	return out, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":      "ok",
+		"workers":     s.pool.Stats().Workers,
+		"queue_depth": s.pool.Stats().QueueDepth,
+		"cached_sfgs": s.cache.Stats().Size,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.metrics.Snapshot(s.cache, s.pool))
+}

@@ -1,0 +1,147 @@
+package service
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// latencyBuckets bounds the log2-microsecond latency histograms: bucket
+// 64 covers everything past ~2.6 hours, far beyond any job timeout.
+const latencyBuckets = 64
+
+// LatencyHist is a concurrency-safe latency histogram built on
+// stats.Histogram. Observations are bucketed by log2 of the latency in
+// microseconds, so the histogram stays tiny while spanning nanoseconds
+// to hours; quantiles come back as bucket upper bounds (within 2x of
+// the true value — plenty for operational visibility).
+type LatencyHist struct {
+	mu    sync.Mutex
+	h     *stats.Histogram
+	sumUS uint64
+	maxUS uint64
+	errs  uint64
+}
+
+// NewLatencyHist returns an empty latency histogram.
+func NewLatencyHist() *LatencyHist {
+	return &LatencyHist{h: stats.NewHistogram(latencyBuckets)}
+}
+
+// latencyBucket maps a microsecond latency to its histogram bucket
+// (>= 1, as stats.Histogram requires).
+func latencyBucket(us uint64) int { return bits.Len64(us) + 1 }
+
+// bucketUpperUS is the largest microsecond latency bucket b holds.
+func bucketUpperUS(b int) uint64 {
+	if b <= 1 {
+		return 0
+	}
+	return 1<<uint(b-1) - 1
+}
+
+// Observe records one request of the given duration; failed requests
+// are additionally tallied as errors.
+func (l *LatencyHist) Observe(d time.Duration, failed bool) {
+	if d < 0 {
+		d = 0
+	}
+	us := uint64(d / time.Microsecond)
+	l.mu.Lock()
+	l.h.Add(latencyBucket(us))
+	l.sumUS += us
+	if us > l.maxUS {
+		l.maxUS = us
+	}
+	if failed {
+		l.errs++
+	}
+	l.mu.Unlock()
+}
+
+// LatencySnapshot summarises one endpoint's request latencies in
+// milliseconds.
+type LatencySnapshot struct {
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// Snapshot returns the current summary.
+func (l *LatencyHist) Snapshot() LatencySnapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := LatencySnapshot{Count: l.h.Total(), Errors: l.errs}
+	if s.Count == 0 {
+		return s
+	}
+	ms := func(us uint64) float64 { return float64(us) / 1000 }
+	s.MeanMS = ms(l.sumUS) / float64(s.Count)
+	s.P50MS = ms(bucketUpperUS(l.h.Quantile(0.50)))
+	s.P90MS = ms(bucketUpperUS(l.h.Quantile(0.90)))
+	s.P99MS = ms(bucketUpperUS(l.h.Quantile(0.99)))
+	s.MaxMS = ms(l.maxUS)
+	return s
+}
+
+// Metrics aggregates the daemon's operational counters: per-endpoint
+// latency histograms plus cache and pool statistics, served as JSON by
+// GET /metrics.
+type Metrics struct {
+	start time.Time
+
+	mu        sync.Mutex
+	endpoints map[string]*LatencyHist
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), endpoints: make(map[string]*LatencyHist)}
+}
+
+// Endpoint returns (creating if needed) the histogram for an endpoint.
+func (m *Metrics) Endpoint(name string) *LatencyHist {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.endpoints[name]
+	if !ok {
+		l = NewLatencyHist()
+		m.endpoints[name] = l
+	}
+	return l
+}
+
+// MetricsSnapshot is the GET /metrics response body.
+type MetricsSnapshot struct {
+	UptimeSeconds float64                    `json:"uptime_seconds"`
+	Cache         CacheStats                 `json:"cache"`
+	Pool          PoolStats                  `json:"pool"`
+	Endpoints     map[string]LatencySnapshot `json:"endpoints"`
+}
+
+// Snapshot assembles the full metrics view from the registry plus the
+// cache and pool it reports on.
+func (m *Metrics) Snapshot(cache *GraphCache, pool *Pool) MetricsSnapshot {
+	s := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Endpoints:     make(map[string]LatencySnapshot),
+	}
+	if cache != nil {
+		s.Cache = cache.Stats()
+	}
+	if pool != nil {
+		s.Pool = pool.Stats()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, l := range m.endpoints {
+		s.Endpoints[name] = l.Snapshot()
+	}
+	return s
+}

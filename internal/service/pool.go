@@ -1,0 +1,235 @@
+// Package service turns the statistical simulation framework into a
+// long-lived concurrent service: a bounded worker pool, an LRU cache of
+// statistical profiles with request coalescing, a shared parallel
+// design-space sweep, and the HTTP handlers of the statsimd daemon.
+//
+// The paper's economics motivate the subsystem: profiling a workload
+// into a statistical flow graph dominates cost, while each simulation
+// from that graph is orders of magnitude cheaper (§4.6 explores 1,792
+// design points from ten profiles). A service that keeps profiles
+// resident amortises the expensive step across every query that shares
+// a (workload, k, stream-length, seed) identity — and because the whole
+// pipeline is deterministic given those inputs, serving from cache is
+// indistinguishable from re-profiling.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrPoolClosed is returned by Do after Drain has begun.
+var ErrPoolClosed = errors.New("service: pool draining or closed")
+
+// job is one unit of pool work; done receives exactly one value.
+type job struct {
+	ctx  context.Context
+	fn   func(context.Context) error
+	done chan error
+}
+
+// Pool is a bounded worker pool with a job queue, optional per-job
+// timeouts and graceful drain. Submission (Do) is synchronous: the
+// caller blocks until its job completes, so the pool bounds *execution*
+// concurrency while back-pressure propagates naturally to submitters —
+// exactly what an HTTP handler or a fan-out sweep wants.
+type Pool struct {
+	jobs    chan job
+	timeout time.Duration // per-job timeout; 0 = none
+	nworker int
+
+	mu     sync.Mutex
+	closed bool
+	active sync.WaitGroup // accepted jobs not yet finished
+	worked sync.WaitGroup // running worker goroutines
+
+	queued    atomic.Int64
+	inFlight  atomic.Int64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+}
+
+// NewPool starts a pool of the given number of workers (<= 0 means
+// GOMAXPROCS) with a queue of 4x that depth.
+func NewPool(workers int) *Pool { return NewPoolTimeout(workers, 0) }
+
+// NewPoolTimeout is NewPool with a per-job timeout: each job's context
+// is cancelled once it has run for the given duration (0 disables).
+func NewPoolTimeout(workers int, timeout time.Duration) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		jobs:    make(chan job, 4*workers),
+		timeout: timeout,
+		nworker: workers,
+	}
+	p.worked.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.worked.Done()
+	for j := range p.jobs {
+		p.queued.Add(-1)
+		if err := j.ctx.Err(); err != nil {
+			// Submitter abandoned the job while it queued.
+			j.done <- err
+			p.failed.Add(1)
+			p.active.Done()
+			continue
+		}
+		p.inFlight.Add(1)
+		ctx, cancel := j.ctx, context.CancelFunc(nil)
+		if p.timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, p.timeout)
+		}
+		err := runJob(ctx, j.fn)
+		if cancel != nil {
+			cancel()
+		}
+		p.inFlight.Add(-1)
+		p.completed.Add(1)
+		if err != nil {
+			p.failed.Add(1)
+		}
+		j.done <- err
+		p.active.Done()
+	}
+}
+
+// runJob isolates a job's panic into an error so one bad request cannot
+// take down the daemon's worker.
+func runJob(ctx context.Context, fn func(context.Context) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("service: job panic: %v", r)
+		}
+	}()
+	return fn(ctx)
+}
+
+// Do submits fn and blocks until it has run (returning its error), the
+// context is cancelled, or the pool is draining. fn receives a context
+// derived from ctx, additionally bounded by the pool's per-job timeout.
+func (p *Pool) Do(ctx context.Context, fn func(context.Context) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPoolClosed
+	}
+	// Registering under the lock orders every accepted job before
+	// Drain's active.Wait, which in turn orders close(p.jobs) after the
+	// send below — Drain can never close the channel under a send.
+	p.active.Add(1)
+	p.mu.Unlock()
+
+	j := job{ctx: ctx, fn: fn, done: make(chan error, 1)}
+	p.queued.Add(1)
+	select {
+	case p.jobs <- j:
+	case <-ctx.Done():
+		p.queued.Add(-1)
+		p.active.Done()
+		return ctx.Err()
+	}
+	select {
+	case err := <-j.done:
+		return err
+	case <-ctx.Done():
+		// The worker still owns the job; it observes ctx.Done via the
+		// derived context and unwinds on its own.
+		return ctx.Err()
+	}
+}
+
+// Drain stops accepting new jobs, waits for every accepted job (queued
+// or in flight) to finish, then stops the workers. If ctx expires first
+// it returns the context error and leaves the workers running on the
+// remaining jobs (the process is normally about to exit).
+func (p *Pool) Drain(ctx context.Context) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPoolClosed
+	}
+	p.closed = true
+	p.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		p.active.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		close(p.jobs)
+		p.worked.Wait()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// PoolStats is a point-in-time snapshot of pool load.
+type PoolStats struct {
+	Workers    int    `json:"workers"`
+	QueueDepth int    `json:"queue_depth"`
+	InFlight   int    `json:"in_flight"`
+	Completed  uint64 `json:"completed"`
+	Failed     uint64 `json:"failed"`
+}
+
+// Stats reports current pool load.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:    p.nworker,
+		QueueDepth: int(p.queued.Load()),
+		InFlight:   int(p.inFlight.Load()),
+		Completed:  p.completed.Load(),
+		Failed:     p.failed.Load(),
+	}
+}
+
+// Map runs f for every index 0..n-1 through the pool and returns the
+// results in input order, regardless of completion order — parallel
+// fan-out with deterministic output. The first job error aborts the
+// whole map (remaining jobs still run to completion, their results are
+// discarded).
+func Map[T any](ctx context.Context, p *Pool, n int, f func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = p.Do(ctx, func(ctx context.Context) error {
+				v, err := f(ctx, i)
+				if err != nil {
+					return err
+				}
+				out[i] = v
+				return nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("service: job %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

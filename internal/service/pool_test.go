@@ -1,0 +1,174 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsJobsBounded(t *testing.T) {
+	p := NewPool(3)
+	defer p.Drain(context.Background())
+	var running, peak, n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := p.Do(context.Background(), func(context.Context) error {
+				cur := running.Add(1)
+				for {
+					old := peak.Load()
+					if cur <= old || peak.CompareAndSwap(old, cur) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				running.Add(-1)
+				n.Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n.Load() != 20 {
+		t.Errorf("ran %d/20 jobs", n.Load())
+	}
+	if peak.Load() > 3 {
+		t.Errorf("concurrency %d exceeded 3 workers", peak.Load())
+	}
+	if st := p.Stats(); st.Completed != 20 || st.Failed != 0 || st.Workers != 3 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestPoolPropagatesErrorsAndPanics(t *testing.T) {
+	p := NewPool(1)
+	defer p.Drain(context.Background())
+	want := errors.New("boom")
+	if err := p.Do(context.Background(), func(context.Context) error { return want }); !errors.Is(err, want) {
+		t.Errorf("error not propagated: %v", err)
+	}
+	err := p.Do(context.Background(), func(context.Context) error { panic("kaboom") })
+	if err == nil {
+		t.Fatal("panic swallowed")
+	}
+	// The worker must survive the panic.
+	if err := p.Do(context.Background(), func(context.Context) error { return nil }); err != nil {
+		t.Errorf("pool dead after panic: %v", err)
+	}
+}
+
+func TestPoolPerJobTimeout(t *testing.T) {
+	p := NewPoolTimeout(1, 10*time.Millisecond)
+	defer p.Drain(context.Background())
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Second):
+			return nil
+		}
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("timeout not applied: %v", err)
+	}
+}
+
+func TestPoolDrainWaitsForQueuedJobs(t *testing.T) {
+	p := NewPool(1)
+	release := make(chan struct{})
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Do(context.Background(), func(context.Context) error {
+				<-release
+				done.Add(1)
+				return nil
+			})
+		}()
+	}
+	// Wait until all five are accepted (1 in flight + 4 queued).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := p.Stats()
+		if st.InFlight+st.QueueDepth == 5 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+	if done.Load() != 5 {
+		t.Errorf("drain lost jobs: %d/5 ran", done.Load())
+	}
+	if err := p.Do(context.Background(), func(context.Context) error { return nil }); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("Do after drain: %v", err)
+	}
+	if err := p.Drain(context.Background()); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("second drain: %v", err)
+	}
+}
+
+func TestPoolDoHonoursContext(t *testing.T) {
+	p := NewPool(1)
+	defer p.Drain(context.Background())
+	block := make(chan struct{})
+	go p.Do(context.Background(), func(context.Context) error { <-block; return nil })
+	for p.Stats().InFlight == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	// The worker is occupied; this submission must give up with the ctx.
+	err := p.Do(ctx, func(context.Context) error { return nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("queued Do ignored context: %v", err)
+	}
+	close(block)
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	p := NewPool(4)
+	defer p.Drain(context.Background())
+	out, err := Map(context.Background(), p, 50, func(_ context.Context, i int) (int, error) {
+		// Reverse-staggered sleeps force completion out of input order.
+		time.Sleep(time.Duration(50-i) * 100 * time.Microsecond)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapPropagatesError(t *testing.T) {
+	p := NewPool(2)
+	defer p.Drain(context.Background())
+	want := errors.New("bad point")
+	_, err := Map(context.Background(), p, 8, func(_ context.Context, i int) (int, error) {
+		if i == 5 {
+			return 0, want
+		}
+		return i, nil
+	})
+	if !errors.Is(err, want) {
+		t.Errorf("Map error: %v", err)
+	}
+}

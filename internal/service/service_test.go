@@ -1,0 +1,269 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	svc := New(Options{Workers: 4, CacheSize: 4, JobTimeout: time.Minute})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close(context.Background())
+	})
+	return svc, ts
+}
+
+func postJSON(t *testing.T, url string, body any, out any) (int, string) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw bytes.Buffer
+	raw.ReadFrom(resp.Body)
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw.Bytes(), out); err != nil {
+			t.Fatalf("decoding %s: %v (%s)", url, err, raw.String())
+		}
+	}
+	return resp.StatusCode, raw.String()
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestEndToEndSession drives the full profile -> simulate -> sweep
+// session the daemon exists for, asserting that the second identical
+// simulate skips re-profiling (served from the SFG cache) and that the
+// sweep reuses the same resident profile.
+func TestEndToEndSession(t *testing.T) {
+	svc, ts := newTestServer(t)
+	spec := ProfileSpec{Workload: "gzip", K: 1, N: 60_000, Seed: 1}
+
+	// Profile: miss, then hit.
+	var prof ProfileResponse
+	if code, body := postJSON(t, ts.URL+"/v1/profile", ProfileRequest{ProfileSpec: spec}, &prof); code != 200 {
+		t.Fatalf("profile: %d %s", code, body)
+	}
+	if prof.Cached || prof.Nodes == 0 || prof.TotalInstructions != 60_000 {
+		t.Fatalf("first profile response: %+v", prof)
+	}
+	var prof2 ProfileResponse
+	postJSON(t, ts.URL+"/v1/profile", ProfileRequest{ProfileSpec: spec}, &prof2)
+	if !prof2.Cached || prof2.Nodes != prof.Nodes {
+		t.Fatalf("second profile not served from cache: %+v", prof2)
+	}
+
+	// Simulate from the resident profile: must not re-profile.
+	simReq := SimulateRequest{Profile: spec, Target: 10_000}
+	var sim1, sim2 SimulateResponse
+	if code, body := postJSON(t, ts.URL+"/v1/simulate", simReq, &sim1); code != 200 {
+		t.Fatalf("simulate: %d %s", code, body)
+	}
+	if !sim1.ProfileCached {
+		t.Error("simulate re-profiled a resident SFG")
+	}
+	if sim1.Metrics.IPC <= 0 || sim1.Metrics.EDP <= 0 {
+		t.Errorf("degenerate metrics: %+v", sim1.Metrics)
+	}
+	postJSON(t, ts.URL+"/v1/simulate", simReq, &sim2)
+	if sim2.Metrics != sim1.Metrics {
+		t.Error("identical simulate requests returned different metrics")
+	}
+	if st := svc.cache.Stats(); st.Misses != 1 {
+		t.Errorf("cache misses %d, want exactly 1 (one profiling run for the whole session)", st.Misses)
+	}
+
+	// Cache-hit speedup: a fresh profile+simulate pays profiling, the
+	// cached replay does not.
+	fresh := SimulateRequest{Profile: ProfileSpec{Workload: "gzip", K: 1, N: 60_000, Seed: 2}, Target: 10_000}
+	var cold, warm SimulateResponse
+	postJSON(t, ts.URL+"/v1/simulate", fresh, &cold)
+	postJSON(t, ts.URL+"/v1/simulate", fresh, &warm)
+	if cold.ProfileCached || !warm.ProfileCached {
+		t.Errorf("cold/warm cache flags wrong: %v/%v", cold.ProfileCached, warm.ProfileCached)
+	}
+	t.Logf("cache-hit speedup: cold %.1fms -> warm %.1fms (%.1fx)",
+		cold.ElapsedMS, warm.ElapsedMS, cold.ElapsedMS/warm.ElapsedMS)
+	if warm.ElapsedMS > cold.ElapsedMS {
+		t.Errorf("cached simulate (%.1fms) slower than cold profile+simulate (%.1fms)",
+			warm.ElapsedMS, cold.ElapsedMS)
+	}
+
+	// Sweep the quick grid from the same resident profile.
+	var sweep SweepResponse
+	if code, body := postJSON(t, ts.URL+"/v1/sweep",
+		SweepRequest{Profile: spec, Grid: "quick", Target: 5_000}, &sweep); code != 200 {
+		t.Fatalf("sweep: %d %s", code, body)
+	}
+	if !sweep.ProfileCached {
+		t.Error("sweep re-profiled a resident SFG")
+	}
+	if sweep.Points != 9 || len(sweep.Results) != 9 {
+		t.Fatalf("sweep shape: %+v", sweep)
+	}
+	for i, pt := range QuickGrid() {
+		if sweep.Results[i].Point != pt {
+			t.Fatalf("sweep result %d out of grid order: %v", i, sweep.Results[i].Point)
+		}
+	}
+	best := sweep.Results[sweep.Best].Metrics.EDP
+	for _, row := range sweep.Results {
+		if row.Metrics.EDP < best {
+			t.Errorf("best index wrong: %v < %v", row.Metrics.EDP, best)
+		}
+	}
+}
+
+func TestWorkloadsHealthzMetrics(t *testing.T) {
+	svc, ts := newTestServer(t)
+
+	var ws []WorkloadInfo
+	if code := getJSON(t, ts.URL+"/v1/workloads", &ws); code != 200 {
+		t.Fatalf("workloads: %d", code)
+	}
+	if len(ws) != 10 || ws[0].Blocks == 0 {
+		t.Errorf("workloads: %+v", ws)
+	}
+
+	var health map[string]any
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != 200 {
+		t.Fatalf("healthz: %d", code)
+	}
+	if health["status"] != "ok" {
+		t.Errorf("healthz: %v", health)
+	}
+
+	// Generate some traffic, then read it back from /metrics.
+	postJSON(t, ts.URL+"/v1/profile",
+		ProfileRequest{ProfileSpec: ProfileSpec{Workload: "vpr", N: 20_000}}, nil)
+	postJSON(t, ts.URL+"/v1/profile",
+		ProfileRequest{ProfileSpec: ProfileSpec{Workload: "vpr", N: 20_000}}, nil)
+	var snap MetricsSnapshot
+	if code := getJSON(t, ts.URL+"/metrics", &snap); code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	if snap.Cache.Hits != 1 || snap.Cache.Misses != 1 || snap.Cache.HitRate != 0.5 {
+		t.Errorf("cache stats: %+v", snap.Cache)
+	}
+	if ep, ok := snap.Endpoints["/v1/profile"]; !ok || ep.Count != 2 || ep.MeanMS <= 0 {
+		t.Errorf("profile endpoint stats: %+v", snap.Endpoints)
+	}
+	if snap.Pool.Workers != 4 || snap.Pool.Completed == 0 {
+		t.Errorf("pool stats: %+v", snap.Pool)
+	}
+	_ = svc
+}
+
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name string
+		url  string
+		body any
+	}{
+		{"missing workload", "/v1/profile", ProfileRequest{}},
+		{"unknown workload", "/v1/profile", ProfileRequest{ProfileSpec: ProfileSpec{Workload: "nope", N: 1000}}},
+		{"bad k", "/v1/profile", ProfileRequest{ProfileSpec: ProfileSpec{Workload: "vpr", K: 9, N: 1000}}},
+		{"oversized n", "/v1/profile", ProfileRequest{ProfileSpec: ProfileSpec{Workload: "vpr", N: 1 << 60}}},
+		{"no grid", "/v1/sweep", SweepRequest{Profile: ProfileSpec{Workload: "vpr", N: 1000}}},
+		{"bad grid", "/v1/sweep", SweepRequest{Profile: ProfileSpec{Workload: "vpr", N: 1000}, Grid: "nope"}},
+		{"grid and points", "/v1/sweep", SweepRequest{Profile: ProfileSpec{Workload: "vpr", N: 1000},
+			Grid: "quick", Points: []SweepPoint{{RUU: 8, LSQ: 4, Decode: 2, Issue: 2, Commit: 2}}}},
+		{"unknown field", "/v1/simulate", map[string]any{"profile": map[string]any{"workload": "vpr"}, "wat": 1}},
+	}
+	for _, tc := range cases {
+		if code, body := postJSON(t, ts.URL+tc.url, tc.body, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s)", tc.name, code, body)
+		} else if !json.Valid([]byte(body)) {
+			t.Errorf("%s: error body not JSON: %s", tc.name, body)
+		}
+	}
+	// Method mismatches fall out of the Go 1.22 mux patterns.
+	if code := getJSON(t, ts.URL+"/v1/profile", nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/profile: %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/healthz", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /healthz: %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentIdenticalSimulates hammers one key from many goroutines:
+// exactly one profiling run must happen (coalescing), every response must
+// agree, and -race must stay silent across the shared frozen graph.
+func TestConcurrentIdenticalSimulates(t *testing.T) {
+	svc, ts := newTestServer(t)
+	req := SimulateRequest{Profile: ProfileSpec{Workload: "twolf", K: 1, N: 30_000}, Target: 5_000}
+
+	const clients = 8
+	results := make(chan SimulateResponse, clients)
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			var out SimulateResponse
+			buf, _ := json.Marshal(req)
+			resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", bytes.NewReader(buf))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != 200 {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errs <- err
+				return
+			}
+			results <- out
+		}()
+	}
+	var first *SimulateResponse
+	for i := 0; i < clients; i++ {
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		case r := <-results:
+			if first == nil {
+				first = &r
+			} else if r.Metrics != first.Metrics {
+				t.Fatalf("concurrent identical requests disagree: %+v vs %+v", r.Metrics, first.Metrics)
+			}
+		}
+	}
+	if st := svc.cache.Stats(); st.Misses != 1 {
+		t.Errorf("%d concurrent identical requests ran %d profiling jobs, want 1", clients, st.Misses)
+	}
+}

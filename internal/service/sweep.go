@@ -1,0 +1,116 @@
+package service
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/sfg"
+)
+
+// SweepPoint is one design point of a microarchitecture sweep: the
+// window/width knobs of the paper's §4.6 design space.
+type SweepPoint struct {
+	RUU    int `json:"ruu"`
+	LSQ    int `json:"lsq"`
+	Decode int `json:"decode"`
+	Issue  int `json:"issue"`
+	Commit int `json:"commit"`
+}
+
+func (p SweepPoint) String() string {
+	return fmt.Sprintf("ruu=%d lsq=%d d=%d i=%d c=%d", p.RUU, p.LSQ, p.Decode, p.Issue, p.Commit)
+}
+
+// Apply overlays the point on a base configuration.
+func (p SweepPoint) Apply(base cpu.Config) cpu.Config {
+	base.RUUSize = p.RUU
+	base.LSQSize = p.LSQ
+	base.DecodeWidth = p.Decode
+	base.IssueWidth = p.Issue
+	base.CommitWidth = p.Commit
+	return base
+}
+
+// PaperGrid returns the paper's 1,792-point design space: RUU in
+// {8..128} x LSQ in {4..64} with LSQ <= RUU/2 (28 pairs), and decode,
+// issue and commit widths each in {2,4,6,8}.
+func PaperGrid() []SweepPoint {
+	ruus := []int{8, 16, 32, 48, 64, 96, 128}
+	lsqs := []int{4, 8, 16, 24, 32, 48, 64}
+	widths := []int{2, 4, 6, 8}
+	var pts []SweepPoint
+	for _, r := range ruus {
+		for _, l := range lsqs {
+			if l > r/2 {
+				continue
+			}
+			for _, d := range widths {
+				for _, i := range widths {
+					for _, c := range widths {
+						pts = append(pts, SweepPoint{RUU: r, LSQ: l, Decode: d, Issue: i, Commit: c})
+					}
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// QuickGrid is a reduced design space for tests and smoke runs.
+func QuickGrid() []SweepPoint {
+	var pts []SweepPoint
+	for _, r := range []int{16, 64, 128} {
+		for _, d := range []int{2, 4, 8} {
+			pts = append(pts, SweepPoint{RUU: r, LSQ: r / 2, Decode: d, Issue: d, Commit: d})
+		}
+	}
+	return pts
+}
+
+// GridByName resolves the named grids the CLI and daemon accept.
+func GridByName(name string) ([]SweepPoint, error) {
+	switch name {
+	case "quick":
+		return QuickGrid(), nil
+	case "paper":
+		return PaperGrid(), nil
+	default:
+		return nil, fmt.Errorf("service: unknown grid %q (want quick or paper)", name)
+	}
+}
+
+// SweepResult is the statistical simulation outcome for one point.
+type SweepResult struct {
+	Point   SweepPoint
+	Metrics core.Metrics
+}
+
+// Sweep statistically simulates every point of the design space from
+// one profile — the fan-out the paper's §4.6 amortisation argument is
+// about. Points run concurrently on the pool (a transient GOMAXPROCS
+// pool if pool is nil), and results come back in point order regardless
+// of completion order, so a parallel sweep is byte-identical to the
+// serial loop it replaces: each point's simulation is an independent
+// deterministic function of (point, g, r, seed).
+func Sweep(ctx context.Context, pool *Pool, base cpu.Config, g *sfg.Graph, points []SweepPoint, r, seed uint64) ([]SweepResult, error) {
+	if pool == nil {
+		pool = NewPool(0)
+		defer pool.Drain(context.Background())
+	}
+	// Concurrent simulations sample the shared graph; freezing makes
+	// those reads immutable (no-op if already frozen by the cache).
+	g.Freeze()
+	out, err := Map(ctx, pool, len(points), func(ctx context.Context, i int) (SweepResult, error) {
+		m, err := core.StatSim(points[i].Apply(base), g, r, seed)
+		if err != nil {
+			return SweepResult{}, fmt.Errorf("point %s: %w", points[i], err)
+		}
+		return SweepResult{Point: points[i], Metrics: m}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package service
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+)
+
+// TestSweepMatchesSerialExactly is the determinism contract of the
+// parallel sweep: results must be byte-identical to the serial per-point
+// loop the DSE experiment used before the pool existed, in grid order,
+// independent of completion order.
+func TestSweepMatchesSerialExactly(t *testing.T) {
+	g := testGraph(t)
+	base := cpu.DefaultConfig()
+	points := QuickGrid()
+	r := core.ReductionFor(g, 5_000)
+
+	serial := make([]core.Metrics, len(points))
+	for i, pt := range points {
+		m, err := core.StatSim(pt.Apply(base), g, r, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = m
+	}
+
+	for _, workers := range []int{1, 4} {
+		pool := NewPool(workers)
+		swept, err := Sweep(context.Background(), pool, base, g, points, r, 1)
+		pool.Drain(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(swept) != len(points) {
+			t.Fatalf("workers=%d: %d results for %d points", workers, len(swept), len(points))
+		}
+		for i := range swept {
+			if swept[i].Point != points[i] {
+				t.Fatalf("workers=%d: result %d is point %v, want %v (order not preserved)",
+					workers, i, swept[i].Point, points[i])
+			}
+			if !reflect.DeepEqual(swept[i].Metrics, serial[i]) {
+				t.Fatalf("workers=%d: point %v metrics diverge from serial run", workers, points[i])
+			}
+		}
+	}
+}
+
+func TestSweepNilPool(t *testing.T) {
+	g := testGraph(t)
+	swept, err := Sweep(context.Background(), nil, cpu.DefaultConfig(), g,
+		QuickGrid()[:2], core.ReductionFor(g, 5_000), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(swept) != 2 || swept[0].Metrics.IPC() <= 0 {
+		t.Errorf("sweep broken: %+v", swept)
+	}
+}
+
+func TestGridByName(t *testing.T) {
+	if pts, err := GridByName("quick"); err != nil || len(pts) != 9 {
+		t.Errorf("quick grid: %d points, err %v", len(pts), err)
+	}
+	if pts, err := GridByName("paper"); err != nil || len(pts) != 1792 {
+		t.Errorf("paper grid: %d points, err %v", len(pts), err)
+	}
+	if _, err := GridByName("nope"); err == nil {
+		t.Error("unknown grid accepted")
+	}
+}

@@ -192,6 +192,30 @@ func (g *Graph) edge(from *Node, block int32) *Edge {
 	return e
 }
 
+// Freeze prepares the graph for concurrent read-only use by eagerly
+// building every dependency histogram's cumulative sampling cache (the
+// only lazily written state a finished profile carries). A frozen graph
+// can feed any number of simultaneous synthetic-trace generations —
+// which is what a parallel design-space sweep or a caching simulation
+// server does with one profile. Freeze is idempotent and cheap relative
+// to profiling; it must not run concurrently with profiling or with
+// another Freeze of the same graph.
+func (g *Graph) Freeze() {
+	for _, e := range g.Edges {
+		for i := range e.Insts {
+			ip := &e.Insts[i]
+			for _, h := range ip.Dep {
+				if h != nil {
+					h.Freeze()
+				}
+			}
+			if ip.WAW != nil {
+				ip.WAW.Freeze()
+			}
+		}
+	}
+}
+
 // Validate checks the structural invariants of a built graph: node
 // occurrences sum to the block count, every edge connects existing
 // nodes with the correct shifted history, and per-edge counters are

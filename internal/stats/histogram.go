@@ -137,6 +137,17 @@ func (h *Histogram) buildCum() {
 	}
 }
 
+// Freeze eagerly builds the cumulative sampling cache. A frozen
+// histogram can be sampled from many goroutines at once: Sample's lazy
+// cache build is its only write, so once the cache exists every Sample
+// call is read-only. Any later Add/Merge un-freezes the histogram
+// (profiling and sampling phases never overlap in this framework).
+func (h *Histogram) Freeze() {
+	if h.total != 0 && h.cum == nil {
+		h.buildCum()
+	}
+}
+
 // Quantile returns the smallest value v such that at least fraction q of
 // the mass lies at or below v. q is clamped to [0,1].
 func (h *Histogram) Quantile(q float64) int {

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -189,4 +190,30 @@ func TestHistogramTotalInvariant(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestHistogramFreezeEnablesConcurrentSampling(t *testing.T) {
+	h := NewHistogram(64)
+	for v := 1; v <= 16; v++ {
+		h.AddN(v, uint64(v))
+	}
+	h.Freeze()
+	// After Freeze, Sample from many goroutines must be read-only; the
+	// race detector enforces the claim when this test runs under -race.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				u := float64((seed*500+j)%997) / 997
+				if v := h.Sample(u); v < 1 || v > 16 {
+					t.Errorf("sampled unobserved value %d", v)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Freeze on an empty histogram is a no-op, not a panic.
+	NewHistogram(8).Freeze()
 }

@@ -53,9 +53,11 @@ func (o Options) withDefaults() Options {
 // Reduced is a reduced statistical flow graph: node occurrences divided
 // by R (floored), zero-occurrence nodes removed along with their edges
 // (§2.2). Each NewTrace call walks a private copy of the occurrence
-// counters, but trace sources sharing one Reduced must not run
-// concurrently: sampling lazily caches cumulative distributions inside
-// the underlying profile's histograms.
+// counters, but trace sources sharing one Reduced (or one underlying
+// Graph) must not run concurrently unless the graph has been frozen
+// with (*sfg.Graph).Freeze: sampling lazily caches cumulative
+// distributions inside the underlying profile's histograms, and Freeze
+// builds those caches eagerly so concurrent sampling is read-only.
 type Reduced struct {
 	g    *sfg.Graph
 	opts Options

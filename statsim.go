@@ -31,8 +31,11 @@
 package statsim
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/service"
 	"repro/internal/sfg"
 	"repro/internal/synth"
 	"repro/internal/trace"
@@ -104,6 +107,27 @@ func NewSyntheticTrace(g *Graph, r, seed uint64) (Source, error) {
 		return nil, err
 	}
 	return red.NewTrace(seed), nil
+}
+
+// SweepPoint is one design point of a microarchitecture sweep (window
+// sizes and pipeline widths overlaid on a base configuration).
+type SweepPoint = service.SweepPoint
+
+// SweepResult pairs a design point with its statistical simulation
+// metrics.
+type SweepResult = service.SweepResult
+
+// Sweep statistically simulates every design point from one profile,
+// running up to workers simulations concurrently (0 = GOMAXPROCS).
+// Results come back in point order regardless of completion order, and
+// each point's metrics are byte-identical to a serial StatSim loop:
+// the fan-out that makes design-space exploration cheap (§4.6). The
+// statsim CLI's sweep command, the statsimd daemon's /v1/sweep endpoint
+// and the DSE experiment all share this implementation.
+func Sweep(ctx context.Context, cfg Config, g *Graph, points []SweepPoint, r, seed uint64, workers int) ([]SweepResult, error) {
+	pool := service.NewPool(workers)
+	defer pool.Drain(context.Background())
+	return service.Sweep(ctx, pool, cfg, g, points, r, seed)
 }
 
 // NewSyntheticAddressTrace is NewSyntheticTrace with synthetic
