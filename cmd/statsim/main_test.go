@@ -142,3 +142,41 @@ func TestCmdSweep(t *testing.T) {
 		t.Error("missing profile accepted")
 	}
 }
+
+// TestCmdSweepJournalResume exercises the checkpoint workflow: an
+// interrupted sweep leaves a journal, -resume finishes it, a fresh run
+// refuses to clobber it, and a changed design space refuses the stale
+// journal outright.
+func TestCmdSweepJournalResume(t *testing.T) {
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "p.sfg")
+	journal := filepath.Join(dir, "sweep.journal")
+	if err := cmdProfile([]string{"-benchmark", "vpr", "-n", "30000", "-o", prof}); err != nil {
+		t.Fatal(err)
+	}
+	base := []string{"-profile", prof, "-grid", "quick", "-target", "5000", "-journal", journal}
+
+	if err := cmdSweep(base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(journal); err != nil {
+		t.Fatalf("journal not written: %v", err)
+	}
+	// Re-running without -resume must refuse to reuse the journal...
+	if err := cmdSweep(base); err == nil {
+		t.Error("existing journal silently reused without -resume")
+	}
+	// ...and with -resume it serves every point from the checkpoint.
+	if err := cmdSweep(append(base, "-resume")); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	// A different sweep identity must not accept this journal.
+	if err := cmdSweep([]string{"-profile", prof, "-grid", "quick", "-target", "9000",
+		"-journal", journal, "-resume"}); err == nil {
+		t.Error("journal from a different sweep accepted")
+	}
+	// -resume without -journal is a usage error.
+	if err := cmdSweep([]string{"-profile", prof, "-grid", "quick", "-resume"}); err == nil {
+		t.Error("-resume without -journal accepted")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"os"
 	"sort"
 
 	"repro/internal/core"
@@ -26,9 +27,14 @@ func cmdSweep(args []string) error {
 	simSeed := fs.Uint64("sim-seed", 1, "synthetic trace generation seed")
 	workers := fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	top := fs.Int("top", 0, "print only the N lowest-EDP points (0 = all, in grid order)")
+	journal := fs.String("journal", "", "checkpoint file: completed points are appended as they finish")
+	resume := fs.Bool("resume", false, "reuse an existing -journal file, recomputing only missing points")
 	mkCfg := configFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *journal == "" {
+		return fmt.Errorf("sweep: -resume requires -journal")
 	}
 	points, err := service.GridByName(*grid)
 	if err != nil {
@@ -50,12 +56,30 @@ func cmdSweep(args []string) error {
 		}
 	}
 
+	red := core.ReductionFor(g, *target)
+	var j *service.SweepJournal
+	if *journal != "" {
+		if !*resume {
+			if _, err := os.Stat(*journal); err == nil {
+				return fmt.Errorf("sweep: %s exists; pass -resume to continue it or remove it first", *journal)
+			}
+		}
+		id := service.SweepFingerprint(g, mkCfg(), points, red, *simSeed)
+		if j, err = service.OpenSweepJournal(*journal, id, len(points), nil); err != nil {
+			return err
+		}
+		defer j.Close()
+	}
+
 	pool := service.NewPool(*workers)
 	defer pool.Drain(context.Background())
-	results, err := service.Sweep(context.Background(), pool, mkCfg(), g,
-		points, core.ReductionFor(g, *target), *simSeed)
+	results, resumed, err := service.SweepWithJournal(context.Background(), pool, mkCfg(), g,
+		points, red, *simSeed, j, nil)
 	if err != nil {
 		return err
+	}
+	if resumed > 0 {
+		fmt.Printf("resumed %d of %d points from %s\n", resumed, len(points), *journal)
 	}
 
 	best := 0

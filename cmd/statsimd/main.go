@@ -9,8 +9,8 @@
 //	POST /v1/simulate   statistical simulation of one configuration
 //	POST /v1/sweep      parallel design-space sweep from one profile
 //	GET  /v1/workloads  list the built-in benchmarks
-//	GET  /healthz       liveness and load
-//	GET  /metrics       cache/pool/latency statistics (JSON)
+//	GET  /healthz       liveness/readiness and load (503 while draining or shedding)
+//	GET  /metrics       cache/pool/store/latency statistics (JSON)
 //
 // See the "Running statsimd" section of README.md for curl examples.
 package main
@@ -44,6 +44,15 @@ func parseFlags(args []string) (daemonConfig, error) {
 	fs.StringVar(&c.addr, "addr", "127.0.0.1:8417", "listen address")
 	fs.IntVar(&c.opts.Workers, "workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	fs.IntVar(&c.opts.CacheSize, "cache", 16, "resident statistical profiles (LRU)")
+	fs.StringVar(&c.opts.CacheDir, "cache-dir", "",
+		"persist profiles and sweep checkpoints here, surviving restarts (empty = memory only)")
+	fs.IntVar(&c.opts.MaxQueueDepth, "max-queue", 0,
+		"shed new requests (429) past this queue depth (0 = 4x workers)")
+	fs.Int64Var(&c.opts.MaxRequestBytes, "max-body", 1<<20, "largest accepted request body in bytes")
+	fs.IntVar(&c.opts.Retry.Attempts, "retries", 3,
+		"attempts per transiently failing job (1 = no retry)")
+	fs.DurationVar(&c.opts.Retry.BaseDelay, "retry-backoff", 100*time.Millisecond,
+		"initial retry backoff, doubled per attempt with jitter")
 	fs.DurationVar(&c.opts.JobTimeout, "job-timeout", 5*time.Minute, "per-job timeout (0 = none)")
 	fs.DurationVar(&c.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown budget on SIGTERM")
 	fs.Uint64Var(&c.opts.MaxProfileInstructions, "max-profile-insts", 50_000_000,
@@ -73,7 +82,10 @@ func main() {
 // run serves until ctx is cancelled (SIGINT/SIGTERM in main), then
 // drains in-flight work within the drain budget.
 func run(ctx context.Context, c daemonConfig, logger *log.Logger) error {
-	svc := service.New(c.opts)
+	svc, err := service.New(c.opts)
+	if err != nil {
+		return err
+	}
 	httpSrv := &http.Server{
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -81,10 +93,15 @@ func run(ctx context.Context, c daemonConfig, logger *log.Logger) error {
 
 	ln, err := net.Listen("tcp", c.addr)
 	if err != nil {
+		svc.Close(context.Background())
 		return err
 	}
-	logger.Printf("listening on http://%s (workers=%d cache=%d)",
-		ln.Addr(), svc.Pool().Stats().Workers, c.opts.CacheSize)
+	durable := "memory only"
+	if st := svc.Store(); st != nil {
+		durable = "cache-dir " + st.Dir()
+	}
+	logger.Printf("listening on http://%s (workers=%d cache=%d, %s)",
+		ln.Addr(), svc.Pool().Stats().Workers, c.opts.CacheSize, durable)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 	"log"
+	"os"
 	"testing"
 	"time"
 )
@@ -51,5 +52,35 @@ func TestRunRejectsBadAddr(t *testing.T) {
 	}
 	if err := run(context.Background(), c, log.New(io.Discard, "", 0)); err == nil {
 		t.Error("bad listen address accepted")
+	}
+}
+
+func TestParseFlagsRobustnessOptions(t *testing.T) {
+	c, err := parseFlags([]string{"-cache-dir", "/tmp/x", "-max-queue", "7",
+		"-max-body", "2048", "-retries", "5", "-retry-backoff", "50ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.opts.CacheDir != "/tmp/x" || c.opts.MaxQueueDepth != 7 || c.opts.MaxRequestBytes != 2048 {
+		t.Errorf("robustness flags not applied: %+v", c.opts)
+	}
+	if c.opts.Retry.Attempts != 5 || c.opts.Retry.BaseDelay != 50*time.Millisecond {
+		t.Errorf("retry flags not applied: %+v", c.opts.Retry)
+	}
+}
+
+func TestRunRejectsUnusableCacheDir(t *testing.T) {
+	// A cache-dir that exists as a *file* cannot host the store.
+	f, err := os.CreateTemp(t.TempDir(), "not-a-dir-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	c, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-cache-dir", f.Name()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), c, log.New(io.Discard, "", 0)); err == nil {
+		t.Error("file used as cache-dir accepted")
 	}
 }

@@ -1,0 +1,208 @@
+// Chaos tests drive the whole daemon through injected disk failures,
+// job panics, slow jobs and a simulated restart mid-sweep, asserting
+// the robustness contract end to end: no lost or duplicated sweep
+// points, resumed results byte-identical to an undisturbed serial run,
+// and corrupted cache files quarantined and transparently re-profiled.
+// They live in package fault_test so they can import the service
+// package (which itself imports fault) without a cycle, and run in CI
+// under -race via `go test -race -run Chaos`.
+package fault_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/service"
+)
+
+func chaosServer(t *testing.T, dir string, workers int, in *fault.Injector) (*service.Server, *httptest.Server) {
+	t.Helper()
+	svc, err := service.New(service.Options{
+		Workers:    workers,
+		CacheSize:  4,
+		JobTimeout: time.Minute,
+		CacheDir:   dir,
+		Retry:      service.RetryPolicy{Attempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+		Faults:     in,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close(context.Background())
+	})
+	return svc, ts
+}
+
+func chaosPost(t *testing.T, url string, body any, out any) (int, string) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw bytes.Buffer
+	raw.ReadFrom(resp.Body)
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw.Bytes(), out); err != nil {
+			t.Fatalf("decoding %s: %v (%s)", url, err, raw.String())
+		}
+	}
+	return resp.StatusCode, raw.String()
+}
+
+var chaosSpec = service.ProfileSpec{Workload: "vpr", K: 1, N: 20_000, Seed: 1}
+
+func chaosSweepReq() service.SweepRequest {
+	return service.SweepRequest{Profile: chaosSpec, Grid: "quick", Target: 5_000}
+}
+
+// TestChaosRestartMidSweep is the headline scenario: a daemon suffering
+// injected disk-write failures, a profiling failure, a job panic and
+// slow jobs gets killed mid-sweep (4 of 9 points die), restarts on the
+// same cache-dir, and must finish the sweep by recomputing exactly the
+// missing points — producing results byte-identical to an undisturbed
+// serial daemon's.
+func TestChaosRestartMidSweep(t *testing.T) {
+	// Reference: an undisturbed single-worker (serial) daemon.
+	_, goldenTS := chaosServer(t, t.TempDir(), 1, nil)
+	var golden service.SweepResponse
+	if code, body := chaosPost(t, goldenTS.URL+"/v1/sweep", chaosSweepReq(), &golden); code != 200 {
+		t.Fatalf("golden sweep: %d %s", code, body)
+	}
+	goldenJSON, _ := json.Marshal(golden.Results)
+
+	// Life 1: everything hurts.
+	dir := t.TempDir()
+	in := fault.New(42)
+	in.Set(service.SiteProfileJob, fault.Rule{Prob: 1, Times: 1, Err: fault.ErrInjected})
+	in.Set(service.SiteStoreWrite, fault.Rule{Prob: 1, Times: 1, Err: fault.ErrInjected})
+	svc1, ts1 := chaosServer(t, dir, 4, in)
+
+	// Profiling survives one injected job failure (retried) and one
+	// injected disk-write failure (save is best-effort).
+	var prof service.ProfileResponse
+	if code, body := chaosPost(t, ts1.URL+"/v1/profile", service.ProfileRequest{ProfileSpec: chaosSpec}, &prof); code != 200 {
+		t.Fatalf("profile under faults: %d %s", code, body)
+	}
+	if in.Fired(service.SiteProfileJob) != 1 || in.Fired(service.SiteStoreWrite) != 1 {
+		t.Fatalf("faults not exercised: job=%d write=%d",
+			in.Fired(service.SiteProfileJob), in.Fired(service.SiteStoreWrite))
+	}
+	if st := svc1.Store().Stats(); st.SaveFailures != 1 {
+		t.Errorf("store save failure not counted: %+v", st)
+	}
+
+	// A panicking then slow simulate job: the panic is isolated and
+	// retried, the delay just rides along.
+	in.Set(service.SiteSimulateJob, fault.Rule{Prob: 1, Times: 1, Panic: "chaos monkey", Delay: 5 * time.Millisecond})
+	sim := service.SimulateRequest{Profile: chaosSpec, Target: 5_000}
+	if code, body := chaosPost(t, ts1.URL+"/v1/simulate", sim, nil); code != 200 {
+		t.Fatalf("simulate under panic: %d %s", code, body)
+	}
+
+	// The "crash": 4 of the 9 sweep points fail, the request errors, and
+	// the daemon goes down with a partial journal on disk.
+	in.Set(service.SiteSweepJob, fault.Rule{Prob: 1, Times: 4, Err: fault.ErrInjected})
+	if code, body := chaosPost(t, ts1.URL+"/v1/sweep", chaosSweepReq(), nil); code == 200 {
+		t.Fatalf("interrupted sweep reported success: %s", body)
+	}
+	svc1.Close(context.Background())
+
+	// Life 2: same cache-dir, no faults. The sweep must resume.
+	svc2, ts2 := chaosServer(t, dir, 4, nil)
+	var resumedResp service.SweepResponse
+	if code, body := chaosPost(t, ts2.URL+"/v1/sweep", chaosSweepReq(), &resumedResp); code != 200 {
+		t.Fatalf("resumed sweep: %d %s", code, body)
+	}
+	if resumedResp.Resumed != 5 {
+		t.Errorf("resumed %d points, want 5 (4 were lost to the crash)", resumedResp.Resumed)
+	}
+	if resumedResp.Points != 9 || len(resumedResp.Results) != 9 {
+		t.Fatalf("point accounting broken: %+v", resumedResp)
+	}
+	resumedJSON, _ := json.Marshal(resumedResp.Results)
+	if string(resumedJSON) != string(goldenJSON) {
+		t.Errorf("resumed sweep differs from undisturbed serial run:\n%s\nvs\n%s", resumedJSON, goldenJSON)
+	}
+	// No duplicated work: life 2 profiled once (life 1's save was the
+	// injected write failure) and recomputed exactly the 4 missing
+	// points — 5 pool jobs in total.
+	if st := svc2.Pool().Stats(); st.Completed != 5 {
+		t.Errorf("life 2 ran %d pool jobs, want 5 (1 profile + 4 missing points)", st.Completed)
+	}
+
+	// A third identical sweep is served entirely from the journal.
+	var again service.SweepResponse
+	if code, _ := chaosPost(t, ts2.URL+"/v1/sweep", chaosSweepReq(), &again); code != 200 || again.Resumed != 9 {
+		t.Errorf("replayed sweep: code=%d resumed=%d", code, again.Resumed)
+	}
+}
+
+// TestChaosCorruptCacheFile corrupts a persisted profile on disk
+// between daemon lives: the next life must quarantine the file (never
+// serve it), transparently re-profile, and heal the store.
+func TestChaosCorruptCacheFile(t *testing.T) {
+	dir := t.TempDir()
+	svc1, ts1 := chaosServer(t, dir, 2, nil)
+	var prof service.ProfileResponse
+	if code, body := chaosPost(t, ts1.URL+"/v1/profile", service.ProfileRequest{ProfileSpec: chaosSpec}, &prof); code != 200 {
+		t.Fatalf("profile: %d %s", code, body)
+	}
+	svc1.Close(context.Background())
+
+	// Bit-rot strikes the stored profile.
+	path := svc1.Store().Path(service.ProfileKey{Workload: "vpr", K: 1, N: 20_000, Seed: 1})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2, ts2 := chaosServer(t, dir, 2, nil)
+	var prof2 service.ProfileResponse
+	if code, body := chaosPost(t, ts2.URL+"/v1/profile", service.ProfileRequest{ProfileSpec: chaosSpec}, &prof2); code != 200 {
+		t.Fatalf("profile over corrupt store: %d %s", code, body)
+	}
+	if prof2.Nodes != prof.Nodes || prof2.Edges != prof.Edges || prof2.TotalInstructions != prof.TotalInstructions {
+		t.Errorf("re-profiled graph differs: %+v vs %+v", prof2, prof)
+	}
+	st := svc2.Store().Stats()
+	if st.Quarantined != 1 || st.Saves != 1 {
+		t.Errorf("store stats after corruption: %+v", st)
+	}
+	if matches, _ := filepath.Glob(filepath.Join(dir, "quarantine", "*")); len(matches) != 1 {
+		t.Errorf("quarantine holds %d files, want 1", len(matches))
+	}
+	if st.Misses != 0 {
+		t.Errorf("corrupt file double-counted as a miss: %+v", st)
+	}
+	// The healed store serves the fresh copy to a third life without
+	// profiling.
+	svc2.Close(context.Background())
+	svc3, ts3 := chaosServer(t, dir, 2, nil)
+	var prof3 service.ProfileResponse
+	if code, _ := chaosPost(t, ts3.URL+"/v1/profile", service.ProfileRequest{ProfileSpec: chaosSpec}, &prof3); code != 200 {
+		t.Fatal("profile from healed store failed")
+	}
+	if svc3.Pool().Stats().Completed != 0 {
+		t.Error("healed store still re-profiled")
+	}
+}

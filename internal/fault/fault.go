@@ -1,0 +1,133 @@
+// Package fault is a deterministic fault-injection harness for the
+// service layer's durability machinery. Production code calls
+// Injector.Fire at named sites (disk writes, journal appends, job
+// bodies); a nil *Injector is a no-op, so the hooks cost one nil check
+// when chaos testing is off. Tests construct a seeded Injector and
+// attach Rules — probabilistic errors, bounded failure bursts, panics,
+// and slow-downs — then assert the system's invariants survive.
+//
+// Determinism: one seeded math/rand source drives every probabilistic
+// decision under a single mutex, so a serial sequence of Fire calls
+// injects an identical fault schedule on every run. Under concurrency
+// the interleaving of draws varies with the scheduler; chaos tests that
+// need an exact schedule use Prob=1 with a Times bound, which is
+// scheduler-independent (any N evaluations inject, the rest pass).
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the conventional error for injected failures; rules
+// may carry any error, but tests that only care whether a fault fired
+// use this sentinel.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Rule configures the behaviour of one injection site.
+type Rule struct {
+	// Prob is the injection probability per Fire evaluation; <= 0
+	// disables the rule, >= 1 injects on every evaluation (without
+	// consuming a random draw, keeping other sites' schedules stable).
+	Prob float64
+	// Times bounds the total number of injections (0 = unlimited).
+	Times int
+	// Err is returned from Fire on injection. A nil Err with no Panic
+	// makes the rule delay-only.
+	Err error
+	// Panic, if non-empty, makes Fire panic with this message instead
+	// of returning — exercising recover paths.
+	Panic string
+	// Delay is slept before returning or panicking — a slow disk or a
+	// slow job.
+	Delay time.Duration
+}
+
+// Injector evaluates rules at named sites. The zero value is not
+// usable; construct with New. A nil *Injector is valid and inert.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules map[string]Rule
+	hits  map[string]uint64
+	fired map[string]uint64
+}
+
+// New returns an Injector whose probabilistic decisions are driven by
+// the given seed.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: make(map[string]Rule),
+		hits:  make(map[string]uint64),
+		fired: make(map[string]uint64),
+	}
+}
+
+// Set installs (or replaces) the rule for a site. The injection budget
+// (Times accounting) restarts from zero.
+func (in *Injector) Set(site string, r Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules[site] = r
+	in.fired[site] = 0
+}
+
+// Clear removes the rule for a site; subsequent Fires pass.
+func (in *Injector) Clear(site string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.rules, site)
+}
+
+// Fire evaluates the site's rule: it sleeps the rule's Delay, panics if
+// the rule says so, and otherwise returns the rule's Err. Sites without
+// a rule — and every site on a nil Injector — return nil immediately.
+func (in *Injector) Fire(site string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	in.hits[site]++
+	r, ok := in.rules[site]
+	if !ok || r.Prob <= 0 ||
+		(r.Times > 0 && in.fired[site] >= uint64(r.Times)) ||
+		(r.Prob < 1 && in.rng.Float64() >= r.Prob) {
+		in.mu.Unlock()
+		return nil
+	}
+	in.fired[site]++
+	in.mu.Unlock()
+
+	if r.Delay > 0 {
+		time.Sleep(r.Delay)
+	}
+	if r.Panic != "" {
+		panic(fmt.Sprintf("fault: injected panic at %s: %s", site, r.Panic))
+	}
+	return r.Err
+}
+
+// Hits reports how many times the site was evaluated (rule or not) —
+// proof the production code actually reaches the hook.
+func (in *Injector) Hits(site string) uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[site]
+}
+
+// Fired reports how many injections the site has performed.
+func (in *Injector) Fired(site string) uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[site]
+}

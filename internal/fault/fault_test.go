@@ -1,0 +1,128 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Fire("anything"); err != nil {
+		t.Errorf("nil injector fired: %v", err)
+	}
+	if in.Hits("anything") != 0 || in.Fired("anything") != 0 {
+		t.Error("nil injector counted")
+	}
+}
+
+func TestRuleTimesBoundsInjections(t *testing.T) {
+	in := New(1)
+	in.Set("disk", Rule{Prob: 1, Times: 3, Err: ErrInjected})
+	failures := 0
+	for i := 0; i < 10; i++ {
+		if err := in.Fire("disk"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("wrong error: %v", err)
+			}
+			failures++
+		}
+	}
+	if failures != 3 || in.Fired("disk") != 3 || in.Hits("disk") != 10 {
+		t.Errorf("failures=%d fired=%d hits=%d, want 3/3/10", failures, in.Fired("disk"), in.Hits("disk"))
+	}
+	// Re-Set restarts the budget.
+	in.Set("disk", Rule{Prob: 1, Times: 1, Err: ErrInjected})
+	if err := in.Fire("disk"); err == nil {
+		t.Error("budget not restarted by Set")
+	}
+}
+
+func TestProbabilisticScheduleIsDeterministic(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		in := New(seed)
+		in.Set("s", Rule{Prob: 0.5, Err: ErrInjected})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Fire("s") != nil
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at evaluation %d", i)
+		}
+	}
+	injected := 0
+	for _, v := range a {
+		if v {
+			injected++
+		}
+	}
+	if injected == 0 || injected == len(a) {
+		t.Errorf("p=0.5 rule injected %d/%d times", injected, len(a))
+	}
+}
+
+func TestPanicAndDelayRules(t *testing.T) {
+	in := New(7)
+	in.Set("job", Rule{Prob: 1, Times: 1, Panic: "boom"})
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil || !strings.Contains(r.(string), "boom") {
+				t.Errorf("panic rule did not panic: %v", r)
+			}
+		}()
+		in.Fire("job")
+	}()
+	if err := in.Fire("job"); err != nil {
+		t.Errorf("exhausted panic rule still fired: %v", err)
+	}
+
+	in.Set("slow", Rule{Prob: 1, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := in.Fire("slow"); err != nil {
+		t.Errorf("delay-only rule returned error: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Errorf("delay rule slept only %v", d)
+	}
+}
+
+func TestClearRemovesRule(t *testing.T) {
+	in := New(3)
+	in.Set("s", Rule{Prob: 1, Err: ErrInjected})
+	if in.Fire("s") == nil {
+		t.Fatal("rule not active")
+	}
+	in.Clear("s")
+	if err := in.Fire("s"); err != nil {
+		t.Errorf("cleared rule still fires: %v", err)
+	}
+}
+
+func TestConcurrentFireIsRaceFree(t *testing.T) {
+	in := New(11)
+	in.Set("s", Rule{Prob: 0.5, Times: 100, Err: ErrInjected})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				in.Fire("s")
+			}
+		}()
+	}
+	wg.Wait()
+	if f := in.Fired("s"); f != 100 {
+		t.Errorf("Times bound violated under concurrency: fired %d", f)
+	}
+	if h := in.Hits("s"); h != 1600 {
+		t.Errorf("hits %d, want 1600", h)
+	}
+}

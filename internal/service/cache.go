@@ -2,6 +2,7 @@ package service
 
 import (
 	"container/list"
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -98,7 +99,13 @@ func (c *GraphCache) GetOrProfile(key ProfileKey, profile func() (*sfg.Graph, er
 
 	c.misses.Add(1)
 	g, err := profile()
-	if err == nil && g != nil {
+	if err == nil && g == nil {
+		// Normalise a buggy profiler's (nil, nil) into an error so no
+		// caller — this one or a coalesced waiter — ever receives a nil
+		// graph with a nil error, and nothing nil enters the LRU.
+		err = errors.New("service: profiler returned no graph")
+	}
+	if err == nil {
 		// Freeze before any other goroutine can see the graph: after
 		// this, every read path through it is immutable.
 		g.Freeze()
@@ -107,7 +114,7 @@ func (c *GraphCache) GetOrProfile(key ProfileKey, profile func() (*sfg.Graph, er
 
 	c.mu.Lock()
 	delete(c.calls, key)
-	if err == nil && g != nil {
+	if err == nil {
 		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, g: g})
 		for c.ll.Len() > c.capacity {
 			oldest := c.ll.Back()

@@ -141,3 +141,76 @@ func TestCacheDoesNotCacheErrors(t *testing.T) {
 		t.Errorf("failed profile was cached: cached=%v err=%v", cached, err)
 	}
 }
+
+// TestCacheFailedProfileNotServedToWaiters pins the singleflight error
+// path: when the in-flight profiling run fails, every coalesced waiter
+// gets the error (not a nil graph marked "cached"), nothing enters the
+// LRU, and the next request re-profiles from scratch.
+func TestCacheFailedProfileNotServedToWaiters(t *testing.T) {
+	c := NewGraphCache(4)
+	want := errors.New("profile failed")
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := c.GetOrProfile(key("a"), func() (*sfg.Graph, error) {
+			calls.Add(1)
+			close(started)
+			<-release
+			return nil, want
+		})
+		if !errors.Is(err, want) {
+			t.Errorf("leader error: %v", err)
+		}
+	}()
+	<-started
+	const waiters = 4
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g, _, err := c.GetOrProfile(key("a"), func() (*sfg.Graph, error) {
+				t.Error("waiter ran its own profile while one was in flight")
+				return nil, nil
+			})
+			if !errors.Is(err, want) || g != nil {
+				t.Errorf("waiter got g=%p err=%v, want the leader's error", g, err)
+			}
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Coalesced < waiters && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := c.Stats().Size; got != 0 {
+		t.Fatalf("failed profile inserted into the LRU: size=%d", got)
+	}
+	g := testGraph(t)
+	got, cached, err := c.GetOrProfile(key("a"), func() (*sfg.Graph, error) { calls.Add(1); return g, nil })
+	if err != nil || cached || got != g {
+		t.Errorf("recovery profile: cached=%v err=%v", cached, err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("profiled %d times, want 2 (failure + recovery)", calls.Load())
+	}
+}
+
+// TestCacheNilGraphBecomesError: a profiler bug returning (nil, nil)
+// must surface as an error, never as a cached nil graph.
+func TestCacheNilGraphBecomesError(t *testing.T) {
+	c := NewGraphCache(2)
+	g, cached, err := c.GetOrProfile(key("a"), func() (*sfg.Graph, error) { return nil, nil })
+	if err == nil || g != nil || cached {
+		t.Fatalf("nil graph accepted: g=%p cached=%v err=%v", g, cached, err)
+	}
+	if c.Stats().Size != 0 {
+		t.Error("nil graph entered the LRU")
+	}
+}

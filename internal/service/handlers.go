@@ -5,17 +5,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/sfg"
 )
 
 // Options configures a Server. The zero value is usable: GOMAXPROCS
-// workers, a 16-profile cache, no job timeout.
+// workers, a 16-profile cache, no job timeout, no durable store.
 type Options struct {
 	// Workers bounds concurrent simulation/profiling jobs (<= 0 means
 	// GOMAXPROCS).
@@ -33,6 +36,23 @@ type Options struct {
 	// MaxSweepPoints bounds explicit sweep grids (<= 0 means the paper
 	// grid size, 1792).
 	MaxSweepPoints int
+	// CacheDir, when set, persists profiles and sweep checkpoints on
+	// disk so a restarted daemon serves what a previous life measured
+	// (see Store and SweepJournal).
+	CacheDir string
+	// MaxQueueDepth sheds new work (HTTP 429 + Retry-After) once this
+	// many jobs are queued (<= 0 means 4x the worker count — the point
+	// where submissions would otherwise block).
+	MaxQueueDepth int
+	// MaxRequestBytes caps POST bodies (<= 0 means 1 MiB); beyond it
+	// the request fails with 413 instead of consuming memory.
+	MaxRequestBytes int64
+	// Retry re-runs transiently failed profile/simulate jobs (panics,
+	// injected faults) with jittered exponential backoff.
+	Retry RetryPolicy
+	// Faults injects deterministic failures for chaos testing; nil in
+	// production.
+	Faults *fault.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -45,29 +65,53 @@ func (o Options) withDefaults() Options {
 	if o.MaxSweepPoints <= 0 {
 		o.MaxSweepPoints = 1792
 	}
+	if o.MaxRequestBytes <= 0 {
+		o.MaxRequestBytes = 1 << 20
+	}
 	return o
 }
 
-// Server is the statsimd service: a worker pool, a profile cache, and
-// the HTTP handlers that expose the paper's profile/simulate/sweep
-// pipeline as long-lived endpoints.
+// Server is the statsimd service: a worker pool, a profile cache, an
+// optional durable store, and the HTTP handlers that expose the paper's
+// profile/simulate/sweep pipeline as long-lived endpoints.
 type Server struct {
 	opts    Options
 	pool    *Pool
 	cache   *GraphCache
+	store   *Store // nil without CacheDir
+	faults  *fault.Injector
 	metrics *Metrics
 	mux     *http.ServeMux
+
+	draining     atomic.Bool
+	shed         atomic.Uint64
+	retries      atomic.Uint64
+	sweepResumed atomic.Uint64
+	sweepLocks   sync.Map // sweep fingerprint -> *sync.Mutex
 }
 
-// New assembles a Server (and starts its worker pool).
-func New(opts Options) *Server {
+// New assembles a Server (and starts its worker pool). The only
+// construction failure is an unusable CacheDir.
+func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	s := &Server{
 		opts:    opts,
 		pool:    NewPoolTimeout(opts.Workers, opts.JobTimeout),
 		cache:   NewGraphCache(opts.CacheSize),
+		faults:  opts.Faults,
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
+	}
+	if s.opts.MaxQueueDepth <= 0 {
+		s.opts.MaxQueueDepth = 4 * s.pool.Stats().Workers
+	}
+	if opts.CacheDir != "" {
+		store, err := NewStore(opts.CacheDir, opts.Faults)
+		if err != nil {
+			s.pool.Drain(context.Background())
+			return nil, err
+		}
+		s.store = store
 	}
 	s.mux.HandleFunc("POST /v1/profile", s.instrument("/v1/profile", s.handleProfile))
 	s.mux.HandleFunc("POST /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
@@ -75,7 +119,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/workloads", s.instrument("/v1/workloads", s.handleWorkloads))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s
+	return s, nil
 }
 
 // Handler returns the HTTP handler tree.
@@ -85,18 +129,49 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // the CLI sweep).
 func (s *Server) Pool() *Pool { return s.pool }
 
-// Close gracefully drains the worker pool.
-func (s *Server) Close(ctx context.Context) error { return s.pool.Drain(ctx) }
+// Store exposes the durable profile store (nil without CacheDir).
+func (s *Server) Store() *Store { return s.store }
+
+// Close marks the server draining (new work is refused with 503, and
+// /healthz reports not ready) and gracefully drains the worker pool.
+func (s *Server) Close(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.pool.Drain(ctx)
+}
+
+// admit is the admission-control gate every work-submitting handler
+// passes: a draining server refuses, and a queue past MaxQueueDepth
+// sheds with 429 + Retry-After, degrading gracefully instead of letting
+// latency collapse for everyone.
+func (s *Server) admit() error {
+	if s.draining.Load() {
+		return &apiError{code: http.StatusServiceUnavailable,
+			err: errors.New("server is draining"), retryAfter: 5 * time.Second}
+	}
+	st := s.pool.Stats()
+	if st.QueueDepth >= s.opts.MaxQueueDepth {
+		s.shed.Add(1)
+		// Scale the hint with how deep the backlog is relative to the
+		// workers that must clear it.
+		after := time.Duration(1+st.QueueDepth/max(st.Workers, 1)) * time.Second
+		return &apiError{code: http.StatusTooManyRequests,
+			err:        fmt.Errorf("queue depth %d at limit %d, shedding load", st.QueueDepth, s.opts.MaxQueueDepth),
+			retryAfter: after}
+	}
+	return nil
+}
 
 // httpError is the uniform error body.
 type httpError struct {
 	Error string `json:"error"`
 }
 
-// apiError carries a status code out of a handler.
+// apiError carries a status code (and optionally a Retry-After hint)
+// out of a handler.
 type apiError struct {
-	code int
-	err  error
+	code       int
+	err        error
+	retryAfter time.Duration
 }
 
 func (e *apiError) Error() string { return e.err.Error() }
@@ -106,12 +181,14 @@ func badRequest(format string, args ...any) *apiError {
 }
 
 // instrument wraps a JSON handler with latency observation and uniform
-// error rendering.
-func (s *Server) instrument(name string, h func(*http.Request) (any, error)) http.HandlerFunc {
+// error rendering: every failure — malformed JSON, oversized body, shed
+// load, job fault — renders as a structured JSON error with the right
+// status, never a bare 500 with a text body.
+func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Request) (any, error)) http.HandlerFunc {
 	hist := s.metrics.Endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		resp, err := h(r)
+		resp, err := h(w, r)
 		hist.Observe(time.Since(start), err != nil)
 		w.Header().Set("Content-Type", "application/json")
 		if err != nil {
@@ -119,7 +196,12 @@ func (s *Server) instrument(name string, h func(*http.Request) (any, error)) htt
 			var ae *apiError
 			if errors.As(err, &ae) {
 				code = ae.code
+				if ae.retryAfter > 0 {
+					secs := int64((ae.retryAfter + time.Second - 1) / time.Second)
+					w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+				}
 			} else if errors.Is(err, ErrPoolClosed) {
+				w.Header().Set("Retry-After", "5")
 				code = http.StatusServiceUnavailable
 			}
 			w.WriteHeader(code)
@@ -130,11 +212,23 @@ func (s *Server) instrument(name string, h func(*http.Request) (any, error)) htt
 	}
 }
 
-func decodeJSON(r *http.Request, v any) error {
-	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+// decodeJSON reads one JSON value from the body under a hard size cap.
+// Garbage input, unknown fields and trailing data come back as 400s,
+// an oversized body as 413 — structured errors, not 500s.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxRequestBytes)
+	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return &apiError{code: http.StatusRequestEntityTooLarge,
+				err: fmt.Errorf("request body exceeds %d bytes", mbe.Limit)}
+		}
 		return badRequest("decoding request: %v", err)
+	}
+	if dec.More() {
+		return badRequest("trailing data after JSON body")
 	}
 	return nil
 }
@@ -168,26 +262,50 @@ func (p ProfileSpec) key(opts Options) (ProfileKey, error) {
 	return ProfileKey{Workload: p.Workload, K: p.K, N: p.N, Seed: p.Seed, Immediate: p.Immediate}, nil
 }
 
-// resolveProfile returns the (frozen) graph for the spec, profiling
-// through the worker pool on a cache miss. The bool reports whether the
-// profile was served without this request paying for profiling.
+// resolveProfile returns the (frozen) graph for the spec. On an
+// in-memory miss it consults the durable store first (a corrupt file is
+// quarantined inside Load and treated as a miss), then profiles through
+// the worker pool — retrying transient failures per the server's
+// policy — and persists the result for the next daemon life. The bool
+// reports whether the profile was served without this request paying
+// for profiling.
 func (s *Server) resolveProfile(ctx context.Context, spec ProfileSpec) (*sfg.Graph, ProfileKey, bool, error) {
 	key, err := spec.key(s.opts)
 	if err != nil {
 		return nil, ProfileKey{}, false, err
 	}
 	g, cached, err := s.cache.GetOrProfile(key, func() (*sfg.Graph, error) {
-		var g *sfg.Graph
-		err := s.pool.Do(ctx, func(ctx context.Context) error {
-			w, err := core.LoadWorkload(key.Workload)
-			if err != nil {
-				return badRequest("%v", err)
+		if s.store != nil {
+			if g, err := s.store.Load(key); err == nil {
+				return g, nil
 			}
-			g, err = core.Profile(cpu.DefaultConfig(), w.Stream(key.Seed, 0, key.N),
-				core.ProfileOptions{K: key.K, ImmediateUpdate: key.Immediate})
-			return err
+			// Missing or quarantined-corrupt: fall through and
+			// re-profile; a fresh Save below overwrites.
+		}
+		var g *sfg.Graph
+		err := s.opts.Retry.run(ctx, &s.retries, func() error {
+			return s.pool.Do(ctx, func(ctx context.Context) error {
+				if err := s.faults.Fire(SiteProfileJob); err != nil {
+					return err
+				}
+				w, err := core.LoadWorkload(key.Workload)
+				if err != nil {
+					return badRequest("%v", err)
+				}
+				g, err = core.Profile(cpu.DefaultConfig(), w.Stream(key.Seed, 0, key.N),
+					core.ProfileOptions{K: key.K, ImmediateUpdate: key.Immediate})
+				return err
+			})
 		})
-		return g, err
+		if err != nil {
+			return nil, err
+		}
+		if s.store != nil {
+			// Failures are counted in store stats; the in-memory cache
+			// still serves this life.
+			_ = s.store.Save(key, g)
+		}
+		return g, nil
 	})
 	return g, key, cached, err
 }
@@ -244,9 +362,12 @@ type ProfileResponse struct {
 	ElapsedMS         float64    `json:"elapsed_ms"`
 }
 
-func (s *Server) handleProfile(r *http.Request) (any, error) {
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) (any, error) {
 	var req ProfileRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		return nil, err
+	}
+	if err := s.admit(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -305,9 +426,12 @@ type SimulateResponse struct {
 	ElapsedMS     float64    `json:"elapsed_ms"`
 }
 
-func (s *Server) handleSimulate(r *http.Request) (any, error) {
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) (any, error) {
 	var req SimulateRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		return nil, err
+	}
+	if err := s.admit(); err != nil {
 		return nil, err
 	}
 	if req.Target == 0 {
@@ -323,10 +447,15 @@ func (s *Server) handleSimulate(r *http.Request) (any, error) {
 	}
 	red := core.ReductionFor(g, req.Target)
 	var m core.Metrics
-	err = s.pool.Do(r.Context(), func(context.Context) error {
-		var err error
-		m, err = core.StatSim(req.Config.apply(cpu.DefaultConfig()), g, red, req.SimSeed)
-		return err
+	err = s.opts.Retry.run(r.Context(), &s.retries, func() error {
+		return s.pool.Do(r.Context(), func(context.Context) error {
+			if err := s.faults.Fire(SiteSimulateJob); err != nil {
+				return err
+			}
+			var err error
+			m, err = core.StatSim(req.Config.apply(cpu.DefaultConfig()), g, red, req.SimSeed)
+			return err
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -360,19 +489,26 @@ type SweepRow struct {
 }
 
 // SweepResponse is the POST /v1/sweep reply; Results are in grid order
-// independent of completion order, and Best indexes the minimum-EDP row.
+// independent of completion order, and Best indexes the minimum-EDP
+// row. Resumed counts points recovered from a checkpoint journal
+// (a previous life of the daemon, or an identical earlier sweep)
+// rather than simulated for this request.
 type SweepResponse struct {
 	Key           ProfileKey `json:"key"`
 	ProfileCached bool       `json:"profile_cached"`
 	Points        int        `json:"points"`
+	Resumed       int        `json:"resumed,omitempty"`
 	Best          int        `json:"best"`
 	Results       []SweepRow `json:"results"`
 	ElapsedMS     float64    `json:"elapsed_ms"`
 }
 
-func (s *Server) handleSweep(r *http.Request) (any, error) {
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (any, error) {
 	var req SweepRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		return nil, err
+	}
+	if err := s.admit(); err != nil {
 		return nil, err
 	}
 	points := req.Points
@@ -402,8 +538,9 @@ func (s *Server) handleSweep(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	results, err := Sweep(r.Context(), s.pool, req.Config.apply(cpu.DefaultConfig()), g,
-		points, core.ReductionFor(g, req.Target), req.SimSeed)
+	base := req.Config.apply(cpu.DefaultConfig())
+	red := core.ReductionFor(g, req.Target)
+	results, resumed, err := s.runSweep(r.Context(), base, g, points, red, req.SimSeed)
 	if err != nil {
 		return nil, err
 	}
@@ -411,6 +548,7 @@ func (s *Server) handleSweep(r *http.Request) (any, error) {
 		Key:           key,
 		ProfileCached: cached,
 		Points:        len(results),
+		Resumed:       resumed,
 		Results:       make([]SweepRow, len(results)),
 		ElapsedMS:     float64(time.Since(start)) / float64(time.Millisecond),
 	}
@@ -423,6 +561,31 @@ func (s *Server) handleSweep(r *http.Request) (any, error) {
 	return resp, nil
 }
 
+// runSweep runs the design-space sweep, checkpointing through the
+// durable store when one is configured: the journal is keyed by the
+// sweep's fingerprint, so the same request after a daemon restart
+// resumes instead of recomputing, and identical concurrent requests
+// serialise on a per-fingerprint lock (the second finds every point
+// checkpointed). Journal failures degrade to an un-checkpointed sweep
+// rather than failing the request.
+func (s *Server) runSweep(ctx context.Context, base cpu.Config, g *sfg.Graph, points []SweepPoint, red, simSeed uint64) ([]SweepResult, int, error) {
+	if s.store == nil {
+		return SweepWithJournal(ctx, s.pool, base, g, points, red, simSeed, nil, s.faults)
+	}
+	id := SweepFingerprint(g, base, points, red, simSeed)
+	mu, _ := s.sweepLocks.LoadOrStore(id, &sync.Mutex{})
+	mu.(*sync.Mutex).Lock()
+	defer mu.(*sync.Mutex).Unlock()
+	j, err := OpenSweepJournal(s.store.JournalPath(id), id, len(points), s.faults)
+	if err != nil {
+		return SweepWithJournal(ctx, s.pool, base, g, points, red, simSeed, nil, s.faults)
+	}
+	defer j.Close()
+	results, resumed, err := SweepWithJournal(ctx, s.pool, base, g, points, red, simSeed, j, s.faults)
+	s.sweepResumed.Add(uint64(resumed))
+	return results, resumed, err
+}
+
 // WorkloadInfo describes one available benchmark.
 type WorkloadInfo struct {
 	Name         string `json:"name"`
@@ -431,7 +594,7 @@ type WorkloadInfo struct {
 	Phases       int    `json:"phases"`
 }
 
-func (s *Server) handleWorkloads(*http.Request) (any, error) {
+func (s *Server) handleWorkloads(http.ResponseWriter, *http.Request) (any, error) {
 	ws := core.Workloads()
 	out := make([]WorkloadInfo, len(ws))
 	for i, w := range ws {
@@ -445,17 +608,54 @@ func (s *Server) handleWorkloads(*http.Request) (any, error) {
 	return out, nil
 }
 
+// HealthResponse is the GET /healthz body. Live distinguishes "the
+// process is up" from Ready, "the process will accept work right now":
+// a draining or load-shedding daemon is live but not ready, and the
+// endpoint returns 503 so load balancers rotate it out without killing
+// the in-flight work it is still finishing.
+type HealthResponse struct {
+	Status     string `json:"status"` // ok | shedding | draining
+	Live       bool   `json:"live"`
+	Ready      bool   `json:"ready"`
+	Workers    int    `json:"workers"`
+	QueueDepth int    `json:"queue_depth"`
+	CachedSFGs int    `json:"cached_sfgs"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.pool.Stats()
+	h := HealthResponse{
+		Status:     "ok",
+		Live:       true,
+		Ready:      true,
+		Workers:    st.Workers,
+		QueueDepth: st.QueueDepth,
+		CachedSFGs: s.cache.Stats().Size,
+	}
+	switch {
+	case s.draining.Load():
+		h.Status, h.Ready = "draining", false
+	case st.QueueDepth >= s.opts.MaxQueueDepth:
+		h.Status, h.Ready = "shedding", false
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
-		"status":      "ok",
-		"workers":     s.pool.Stats().Workers,
-		"queue_depth": s.pool.Stats().QueueDepth,
-		"cached_sfgs": s.cache.Stats().Size,
-	})
+	if !h.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.Snapshot(s.cache, s.pool)
+	snap.Robustness = RobustnessStats{
+		Shed:               s.shed.Load(),
+		Retries:            s.retries.Load(),
+		SweepPointsResumed: s.sweepResumed.Load(),
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		snap.Store = &st
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(s.metrics.Snapshot(s.cache, s.pool))
+	json.NewEncoder(w).Encode(snap)
 }

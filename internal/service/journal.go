@@ -1,0 +1,333 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/fault"
+	"repro/internal/sfg"
+)
+
+// SweepFingerprint identifies a sweep for checkpoint compatibility: the
+// profile (by shape — works for both cache keys and CLI-loaded files),
+// the base configuration, the exact point list, and the (R, seed) pair.
+// Two runs with equal fingerprints compute identical results, so their
+// checkpoints are interchangeable; anything else must not share one.
+func SweepFingerprint(g *sfg.Graph, base cpu.Config, points []SweepPoint, r, seed uint64) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "sweep-v%d|graph:k=%d insts=%d blocks=%d nodes=%d edges=%d|cfg:%+v|r=%d|seed=%d|points=%d|",
+		journalVersion, g.K, g.TotalInstructions, g.TotalBlocks, g.NumNodes(), g.NumEdges(), base, r, seed, len(points))
+	for _, p := range points {
+		fmt.Fprintf(h, "%+v|", p)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+const journalVersion = 1
+
+// journalLine is one record of the append-only sweep journal. Metrics
+// stay a raw message so the CRC covers the exact bytes written, not a
+// re-marshalling.
+type journalLine struct {
+	Type    string          `json:"type"` // "header" or "point"
+	Version int             `json:"version,omitempty"`
+	ID      string          `json:"id,omitempty"`
+	Points  int             `json:"points,omitempty"`
+	Index   int             `json:"index"`
+	Metrics json.RawMessage `json:"metrics,omitempty"`
+	CRC     uint32          `json:"crc,omitempty"`
+}
+
+func pointCRC(index int, metrics []byte) uint32 {
+	sum := crc32.Checksum([]byte(strconv.Itoa(index)+":"), castagnoli)
+	return crc32.Update(sum, castagnoli, metrics)
+}
+
+// SweepJournal checkpoints a design-space sweep: every completed point
+// is appended (and fsynced) as one self-checksummed JSON line, so a
+// crash, OOM-kill or cancellation loses at most the in-flight points.
+// Opening an existing journal replays it — tolerating a torn final
+// write and quarantine-dropping any line that fails its checksum — and
+// the next run recomputes only what is missing. Because each point's
+// metrics are a deterministic function of the sweep identity, a resumed
+// sweep is byte-identical to an uninterrupted one.
+type SweepJournal struct {
+	path    string
+	id      string
+	npoints int
+	faults  *fault.Injector
+
+	mu             sync.Mutex
+	f              *os.File
+	done           map[int]core.Metrics
+	resumed        int // points recovered from a previous run
+	dropped        int // torn or corrupt lines discarded at open
+	appendFailures int
+}
+
+// ErrJournalMismatch reports a journal written by a sweep with a
+// different identity (grid, configuration, profile or seeds).
+var ErrJournalMismatch = fmt.Errorf("service: sweep journal belongs to a different sweep")
+
+// OpenSweepJournal opens (creating if absent) the checkpoint journal at
+// path for a sweep with the given identity and point count. Existing
+// contents are validated and compacted: damaged lines are dropped (and
+// recomputed later), and the file is atomically rewritten so appends
+// never land after a torn tail. faults may be nil.
+func OpenSweepJournal(path, id string, npoints int, faults *fault.Injector) (*SweepJournal, error) {
+	j := &SweepJournal{path: path, id: id, npoints: npoints, faults: faults, done: make(map[int]core.Metrics)}
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		// Fresh journal below.
+	case err != nil:
+		return nil, fmt.Errorf("service: opening sweep journal: %w", err)
+	default:
+		if err := j.replay(data); err != nil {
+			return nil, err
+		}
+		j.resumed = len(j.done)
+	}
+	if err := j.rewrite(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// replay parses an existing journal body into j.done.
+func (j *SweepJournal) replay(data []byte) error {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	first := true
+	for sc.Scan() {
+		var line journalLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			// Torn write (crash mid-append) or stray garbage: drop the
+			// line; its point is simply recomputed.
+			j.dropped++
+			continue
+		}
+		if first {
+			first = false
+			if line.Type != "header" || line.Version != journalVersion {
+				return fmt.Errorf("%w: unrecognised header", ErrJournalMismatch)
+			}
+			if line.ID != j.id || line.Points != j.npoints {
+				return fmt.Errorf("%w: journal id %s over %d points, want id %s over %d points",
+					ErrJournalMismatch, line.ID, line.Points, j.id, j.npoints)
+			}
+			continue
+		}
+		if line.Type != "point" || line.Index < 0 || line.Index >= j.npoints ||
+			line.CRC != pointCRC(line.Index, line.Metrics) {
+			j.dropped++
+			continue
+		}
+		var m core.Metrics
+		if err := json.Unmarshal(line.Metrics, &m); err != nil {
+			j.dropped++
+			continue
+		}
+		if prev, ok := j.done[line.Index]; ok {
+			if prev != m {
+				return fmt.Errorf("service: sweep journal holds two different results for point %d", line.Index)
+			}
+			continue // benign duplicate
+		}
+		j.done[line.Index] = m
+	}
+	if first && len(data) > 0 {
+		return fmt.Errorf("%w: no parseable header", ErrJournalMismatch)
+	}
+	return sc.Err()
+}
+
+// rewrite compacts the journal to header + known-good points via a temp
+// file and rename, then reopens it for appending.
+func (j *SweepJournal) rewrite() error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(journalLine{Type: "header", Version: journalVersion, ID: j.id, Points: j.npoints}); err != nil {
+		return err
+	}
+	for i := 0; i < j.npoints; i++ {
+		m, ok := j.done[i]
+		if !ok {
+			continue
+		}
+		line, err := encodePoint(i, m)
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(j.path), ".tmp-journal-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	j.f = f
+	return nil
+}
+
+func encodePoint(index int, m core.Metrics) ([]byte, error) {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(journalLine{Type: "point", Index: index, Metrics: raw, CRC: pointCRC(index, raw)})
+}
+
+// Append checkpoints one completed point. Failures are tolerated by the
+// sweep (the point is recomputed on resume) but reported so callers can
+// count them.
+func (j *SweepJournal) Append(index int, m core.Metrics) error {
+	line, err := encodePoint(index, m)
+	if err != nil {
+		return err
+	}
+	if ferr := j.faults.Fire(SiteJournalAppend); ferr != nil {
+		j.mu.Lock()
+		j.appendFailures++
+		j.mu.Unlock()
+		return fmt.Errorf("service: journal append: %w", ferr)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.done[index]; ok {
+		return nil // already checkpointed (resume raced a recompute)
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		j.appendFailures++
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		j.appendFailures++
+		return err
+	}
+	j.done[index] = m
+	return nil
+}
+
+// Done returns a copy of the checkpointed results by point index.
+func (j *SweepJournal) Done() map[int]core.Metrics {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[int]core.Metrics, len(j.done))
+	for i, m := range j.done {
+		out[i] = m
+	}
+	return out
+}
+
+// Resumed reports how many points were recovered from a previous run at
+// open time; Dropped reports how many damaged lines were discarded.
+func (j *SweepJournal) Resumed() int { return j.resumed }
+func (j *SweepJournal) Dropped() int { return j.dropped }
+
+// Close releases the journal file. The journal remains on disk: a
+// completed journal doubles as a durable result cache, and a partial
+// one is the resume point.
+func (j *SweepJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// SweepWithJournal is Sweep with crash-safe checkpointing: points
+// already present in the journal are returned without simulation, newly
+// computed points are appended as they complete, and the merged results
+// come back in grid order — byte-identical to an uninterrupted run,
+// because every point is a deterministic function of the sweep
+// identity. The second return value is the number of resumed points.
+// Both j and faults may be nil (plain sweep).
+func SweepWithJournal(ctx context.Context, pool *Pool, base cpu.Config, g *sfg.Graph, points []SweepPoint, r, seed uint64, j *SweepJournal, faults *fault.Injector) ([]SweepResult, int, error) {
+	if pool == nil {
+		pool = NewPool(0)
+		defer pool.Drain(context.Background())
+	}
+	// Concurrent simulations sample the shared graph; freezing makes
+	// those reads immutable (no-op if already frozen by the cache).
+	g.Freeze()
+
+	results := make([]SweepResult, len(points))
+	var pending []int
+	resumed := 0
+	if j != nil {
+		done := j.Done()
+		for i := range points {
+			if m, ok := done[i]; ok {
+				results[i] = SweepResult{Point: points[i], Metrics: m}
+				resumed++
+			} else {
+				pending = append(pending, i)
+			}
+		}
+	} else {
+		pending = make([]int, len(points))
+		for i := range points {
+			pending[i] = i
+		}
+	}
+
+	_, err := Map(ctx, pool, len(pending), func(ctx context.Context, pi int) (struct{}, error) {
+		i := pending[pi]
+		if err := faults.Fire(SiteSweepJob); err != nil {
+			return struct{}{}, fmt.Errorf("point %s: %w", points[i], err)
+		}
+		m, err := core.StatSim(points[i].Apply(base), g, r, seed)
+		if err != nil {
+			return struct{}{}, fmt.Errorf("point %s: %w", points[i], err)
+		}
+		results[i] = SweepResult{Point: points[i], Metrics: m}
+		if j != nil {
+			// Best-effort: a failed append only means this point is
+			// recomputed if the sweep is interrupted later.
+			_ = j.Append(i, m)
+		}
+		return struct{}{}, nil
+	})
+	if err != nil {
+		return nil, resumed, err
+	}
+	return results, resumed, nil
+}

@@ -1,0 +1,261 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/fault"
+)
+
+func quickSweepInputs(t *testing.T) (cpu.Config, []SweepPoint, uint64, uint64) {
+	t.Helper()
+	return cpu.DefaultConfig(), QuickGrid(), 4, uint64(1)
+}
+
+func TestSweepFingerprintSensitivity(t *testing.T) {
+	g := testGraph(t)
+	base, points, r, seed := quickSweepInputs(t)
+	id := SweepFingerprint(g, base, points, r, seed)
+	if id != SweepFingerprint(g, base, points, r, seed) {
+		t.Error("fingerprint not deterministic")
+	}
+	other := base
+	other.RUUSize++
+	for name, changed := range map[string]string{
+		"config": SweepFingerprint(g, other, points, r, seed),
+		"points": SweepFingerprint(g, base, points[1:], r, seed),
+		"r":      SweepFingerprint(g, base, points, r+1, seed),
+		"seed":   SweepFingerprint(g, base, points, r, seed+1),
+	} {
+		if changed == id {
+			t.Errorf("fingerprint insensitive to %s", name)
+		}
+	}
+}
+
+// TestSweepJournalResumeByteIdentical interrupts a sweep partway,
+// reopens the journal, finishes it, and requires the merged results to
+// serialise byte-for-byte like an uninterrupted serial run — the
+// crash-safety contract.
+func TestSweepJournalResumeByteIdentical(t *testing.T) {
+	g := testGraph(t)
+	base, points, r, seed := quickSweepInputs(t)
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	id := SweepFingerprint(g, base, points, r, seed)
+
+	// Uninterrupted serial reference.
+	serial := NewPool(1)
+	defer serial.Drain(context.Background())
+	golden, err := Sweep(context.Background(), serial, base, g, points, r, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenJSON, err := json.Marshal(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First run: 4 of 9 points die on an injected fault ("crash").
+	in := fault.New(9)
+	in.Set(SiteSweepJob, fault.Rule{Prob: 1, Times: 4, Err: fault.ErrInjected})
+	j1, err := OpenSweepJournal(path, id, len(points), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SweepWithJournal(context.Background(), nil, base, g, points, r, seed, j1, in); err == nil {
+		t.Fatal("interrupted sweep reported success")
+	}
+	j1.Close()
+	survivors := len(j1.Done())
+	if survivors != len(points)-4 {
+		t.Fatalf("journal holds %d points, want %d", survivors, len(points)-4)
+	}
+
+	// Restart: a fresh journal handle resumes, recomputing only the
+	// missing points.
+	j2, err := OpenSweepJournal(path, id, len(points), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Resumed() != survivors {
+		t.Errorf("resumed %d, want %d", j2.Resumed(), survivors)
+	}
+	results, resumed, err := SweepWithJournal(context.Background(), nil, base, g, points, r, seed, j2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != survivors {
+		t.Errorf("SweepWithJournal resumed %d, want %d", resumed, survivors)
+	}
+	gotJSON, err := json.Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(goldenJSON) {
+		t.Error("resumed sweep differs from uninterrupted serial run")
+	}
+	// Every point exactly once.
+	if got := len(j2.Done()); got != len(points) {
+		t.Errorf("journal holds %d points, want %d", got, len(points))
+	}
+
+	// A third run is all-resume: zero simulations.
+	j3, err := OpenSweepJournal(path, id, len(points), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	again, resumed, err := SweepWithJournal(context.Background(), nil, base, g, points, r, seed, j3, nil)
+	if err != nil || resumed != len(points) {
+		t.Fatalf("full resume: resumed=%d err=%v", resumed, err)
+	}
+	againJSON, _ := json.Marshal(again)
+	if string(againJSON) != string(goldenJSON) {
+		t.Error("fully resumed sweep differs from reference")
+	}
+}
+
+// TestSweepJournalTornTail simulates a crash mid-append: a truncated
+// final line must be dropped (and its point recomputed), not poison the
+// journal.
+func TestSweepJournalTornTail(t *testing.T) {
+	g := testGraph(t)
+	base, points, r, seed := quickSweepInputs(t)
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	id := SweepFingerprint(g, base, points, r, seed)
+
+	j, err := OpenSweepJournal(path, id, len(points), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SweepWithJournal(context.Background(), nil, base, g, points, r, seed, j, nil); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-25], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenSweepJournal(path, id, len(points), nil)
+	if err != nil {
+		t.Fatalf("torn tail rejected the whole journal: %v", err)
+	}
+	defer j2.Close()
+	if j2.Dropped() != 1 {
+		t.Errorf("dropped %d lines, want 1", j2.Dropped())
+	}
+	if j2.Resumed() != len(points)-1 {
+		t.Errorf("resumed %d, want %d", j2.Resumed(), len(points)-1)
+	}
+	results, _, err := SweepWithJournal(context.Background(), nil, base, g, points, r, seed, j2, nil)
+	if err != nil || len(results) != len(points) {
+		t.Fatalf("recovery sweep: %d results, err=%v", len(results), err)
+	}
+}
+
+func TestSweepJournalRejectsMismatch(t *testing.T) {
+	g := testGraph(t)
+	base, points, r, seed := quickSweepInputs(t)
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	id := SweepFingerprint(g, base, points, r, seed)
+	j, err := OpenSweepJournal(path, id, len(points), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	otherID := SweepFingerprint(g, base, points, r, seed+1)
+	if _, err := OpenSweepJournal(path, otherID, len(points), nil); !errors.Is(err, ErrJournalMismatch) {
+		t.Errorf("different sweep accepted a foreign journal: %v", err)
+	}
+	if _, err := OpenSweepJournal(path, id, len(points)-1, nil); !errors.Is(err, ErrJournalMismatch) {
+		t.Errorf("different point count accepted: %v", err)
+	}
+	// Pure garbage where a journal should be.
+	garbage := filepath.Join(t.TempDir(), "garbage.journal")
+	if err := os.WriteFile(garbage, []byte("not a journal\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSweepJournal(garbage, id, len(points), nil); !errors.Is(err, ErrJournalMismatch) {
+		t.Errorf("garbage file accepted as journal: %v", err)
+	}
+}
+
+// TestSweepJournalAppendFailureTolerated: a failing journal write must
+// not fail the sweep — the un-checkpointed points are simply recomputed
+// on the next resume.
+func TestSweepJournalAppendFailureTolerated(t *testing.T) {
+	g := testGraph(t)
+	base, points, r, seed := quickSweepInputs(t)
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	id := SweepFingerprint(g, base, points, r, seed)
+
+	in := fault.New(5)
+	in.Set(SiteJournalAppend, fault.Rule{Prob: 1, Times: 3, Err: fault.ErrInjected})
+	j, err := OpenSweepJournal(path, id, len(points), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := SweepWithJournal(context.Background(), nil, base, g, points, r, seed, j, nil)
+	if err != nil {
+		t.Fatalf("append failures failed the sweep: %v", err)
+	}
+	if len(results) != len(points) {
+		t.Fatalf("%d results, want %d", len(results), len(points))
+	}
+	j.Close()
+
+	j2, err := OpenSweepJournal(path, id, len(points), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Resumed() != len(points)-3 {
+		t.Errorf("resumed %d, want %d (3 appends were dropped)", j2.Resumed(), len(points)-3)
+	}
+}
+
+func TestSweepJournalDuplicateConflictDetected(t *testing.T) {
+	g := testGraph(t)
+	base, points, r, seed := quickSweepInputs(t)
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	id := SweepFingerprint(g, base, points, r, seed)
+	j, err := OpenSweepJournal(path, id, len(points), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SweepWithJournal(context.Background(), nil, base, g, points, r, seed, j, nil); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Append a conflicting record for point 0 (valid CRC, wrong value).
+	m := j.Done()[0]
+	m.Cycles++
+	line, err := encodePoint(0, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(f, "%s\n", line)
+	f.Close()
+
+	if _, err := OpenSweepJournal(path, id, len(points), nil); err == nil {
+		t.Error("conflicting duplicate accepted silently")
+	}
+}

@@ -117,11 +117,23 @@ func (m *Metrics) Endpoint(name string) *LatencyHist {
 	return l
 }
 
+// RobustnessStats counts the degradation machinery's activity — the
+// numbers an operator alerts on (see the README runbook): shed requests
+// mean sustained overload, retries mean flaky jobs, resumed sweep
+// points mean checkpoints doing their job after interruptions.
+type RobustnessStats struct {
+	Shed               uint64 `json:"shed_requests"`
+	Retries            uint64 `json:"job_retries"`
+	SweepPointsResumed uint64 `json:"sweep_points_resumed"`
+}
+
 // MetricsSnapshot is the GET /metrics response body.
 type MetricsSnapshot struct {
 	UptimeSeconds float64                    `json:"uptime_seconds"`
 	Cache         CacheStats                 `json:"cache"`
 	Pool          PoolStats                  `json:"pool"`
+	Robustness    RobustnessStats            `json:"robustness"`
+	Store         *StoreStats                `json:"store,omitempty"`
 	Endpoints     map[string]LatencySnapshot `json:"endpoints"`
 }
 

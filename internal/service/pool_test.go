@@ -172,3 +172,131 @@ func TestMapPropagatesError(t *testing.T) {
 		t.Errorf("Map error: %v", err)
 	}
 }
+
+// TestPoolDrainWaitsForInFlightJob: Drain must block on a job already
+// executing (not just queued ones) and complete once it finishes.
+func TestPoolDrainWaitsForInFlightJob(t *testing.T) {
+	p := NewPool(2)
+	release := make(chan struct{})
+	var finished atomic.Bool
+	go p.Do(context.Background(), func(context.Context) error {
+		<-release
+		finished.Store(true)
+		return nil
+	})
+	for p.Stats().InFlight == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- p.Drain(context.Background()) }()
+	select {
+	case <-drained:
+		t.Fatal("Drain returned with a job still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !finished.Load() {
+		t.Error("drain returned before the in-flight job finished")
+	}
+}
+
+// TestPoolDrainRacesDo hammers submission against shutdown: every Do
+// must either run its job exactly once or report ErrPoolClosed —
+// never hang, never run after Drain returns.
+func TestPoolDrainRacesDo(t *testing.T) {
+	p := NewPool(4)
+	var ran, rejected atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			err := p.Do(context.Background(), func(context.Context) error {
+				ran.Add(1)
+				return nil
+			})
+			switch {
+			case err == nil:
+			case errors.Is(err, ErrPoolClosed):
+				rejected.Add(1)
+			default:
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	close(start)
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	ranAtDrain := ran.Load()
+	wg.Wait()
+	if ran.Load() != ranAtDrain {
+		t.Errorf("%d jobs ran after Drain returned", ran.Load()-ranAtDrain)
+	}
+	if ran.Load()+rejected.Load() != 50 {
+		t.Errorf("accounting: ran=%d rejected=%d, want 50 total", ran.Load(), rejected.Load())
+	}
+}
+
+// TestPoolDoCancelledDuringDrain: a caller whose context dies while its
+// job drains must get its context error immediately; the job itself
+// still completes and the drain still succeeds.
+func TestPoolDoCancelledDuringDrain(t *testing.T) {
+	p := NewPool(1)
+	release := make(chan struct{})
+	var finished atomic.Bool
+	ctx, cancel := context.WithCancel(context.Background())
+	doErr := make(chan error, 1)
+	go func() {
+		doErr <- p.Do(ctx, func(context.Context) error {
+			<-release
+			finished.Store(true)
+			return nil
+		})
+	}()
+	for p.Stats().InFlight == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	drained := make(chan error, 1)
+	go func() { drained <- p.Drain(context.Background()) }()
+
+	cancel()
+	if err := <-doErr; !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled Do: %v", err)
+	}
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while the abandoned job still runs")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !finished.Load() {
+		t.Error("abandoned job was dropped instead of drained")
+	}
+}
+
+// TestPoolDrainContextExpiry: an expiring drain budget must surface as
+// the context error without deadlocking the workers.
+func TestPoolDrainContextExpiry(t *testing.T) {
+	p := NewPool(1)
+	release := make(chan struct{})
+	go p.Do(context.Background(), func(context.Context) error { <-release; return nil })
+	for p.Stats().InFlight == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired drain: %v", err)
+	}
+	close(release) // workers keep running; let the job finish
+}

@@ -1,0 +1,92 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// RetryPolicy bounds automatic re-execution of transiently failed jobs
+// (panics isolated by the pool, injected faults, I/O hiccups). The zero
+// value disables retry. Caller errors (4xx validation), context
+// cancellation and pool shutdown are never retried: retrying those
+// either cannot succeed or would outlive the request.
+type RetryPolicy struct {
+	// Attempts is the total number of tries including the first;
+	// values <= 1 mean a single attempt.
+	Attempts int
+	// BaseDelay is the backoff before the second attempt; it doubles
+	// per retry. Zero retries immediately.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (0 = uncapped).
+	MaxDelay time.Duration
+}
+
+// transientError reports whether err is worth retrying.
+func transientError(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return !errors.Is(err, ErrPoolClosed)
+}
+
+// backoff returns the jittered delay before the given retry (1-based):
+// full jitter over an exponentially growing window, so coordinated
+// clients that failed together do not retry together.
+func (p RetryPolicy) backoff(retry int) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	d := p.BaseDelay << uint(retry-1)
+	if d <= 0 || (p.MaxDelay > 0 && d > p.MaxDelay) {
+		d = p.MaxDelay
+		if d <= 0 {
+			d = p.BaseDelay
+		}
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// run executes fn up to p.Attempts times, sleeping a jittered backoff
+// between attempts and bumping retries (when non-nil) once per retry.
+// Non-transient errors return immediately.
+func (p RetryPolicy) run(ctx context.Context, retries *atomic.Uint64, fn func() error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn()
+		if err == nil || attempt >= attempts || !transientError(err) {
+			break
+		}
+		if retries != nil {
+			retries.Add(1)
+		}
+		if d := p.backoff(attempt); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			}
+		}
+	}
+	if err != nil && attempts > 1 && transientError(err) {
+		return fmt.Errorf("after %d attempts: %w", attempts, err)
+	}
+	return err
+}

@@ -7,13 +7,22 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	return newTestServerOpts(t, Options{Workers: 4, CacheSize: 4, JobTimeout: time.Minute})
+}
+
+func newTestServerOpts(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
-	svc := New(Options{Workers: 4, CacheSize: 4, JobTimeout: time.Minute})
+	svc, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -265,5 +274,203 @@ func TestConcurrentIdenticalSimulates(t *testing.T) {
 	}
 	if st := svc.cache.Stats(); st.Misses != 1 {
 		t.Errorf("%d concurrent identical requests ran %d profiling jobs, want 1", clients, st.Misses)
+	}
+}
+
+func postRaw(t *testing.T, url, body string) (int, http.Header, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw bytes.Buffer
+	raw.ReadFrom(resp.Body)
+	return resp.StatusCode, resp.Header, raw.String()
+}
+
+// TestBodyLimitsAndMalformedInput: oversized bodies get a structured
+// 413, garbage and trailing data structured 400s — never a bare 500.
+func TestBodyLimitsAndMalformedInput(t *testing.T) {
+	_, ts := newTestServerOpts(t, Options{Workers: 2, CacheSize: 2,
+		JobTimeout: time.Minute, MaxRequestBytes: 256})
+
+	big := `{"workload":"vpr","n":1000,"padding":"` + strings.Repeat("x", 1024) + `"}`
+	code, _, body := postRaw(t, ts.URL+"/v1/profile", big)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: %d %s", code, body)
+	}
+	if !json.Valid([]byte(body)) {
+		t.Errorf("413 body not JSON: %s", body)
+	}
+	for name, payload := range map[string]string{
+		"garbage":       `{"workload":`,
+		"not json":      `hello`,
+		"trailing data": `{"workload":"vpr","n":1000}{"again":true}`,
+		"wrong type":    `{"workload":123}`,
+	} {
+		code, _, body := postRaw(t, ts.URL+"/v1/profile", payload)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s)", name, code, body)
+		}
+		if !json.Valid([]byte(body)) {
+			t.Errorf("%s: error body not JSON: %s", name, body)
+		}
+	}
+}
+
+// TestHealthzDrainingRefusesWork: after Close begins, /healthz flips to
+// 503 draining and work submissions are refused with a Retry-After.
+func TestHealthzDrainingRefusesWork(t *testing.T) {
+	svc, err := New(Options{Workers: 1, CacheSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	svc.Close(context.Background())
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h HealthResponse
+	json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz status %d", resp.StatusCode)
+	}
+	if h.Status != "draining" || !h.Live || h.Ready {
+		t.Errorf("draining health body %+v", h)
+	}
+
+	code, hdr, body := postRaw(t, ts.URL+"/v1/profile", `{"workload":"vpr","n":1000}`)
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("draining profile: %d %s", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+}
+
+// TestChaosOverloadShedding saturates a one-worker pool and asserts the
+// daemon degrades gracefully: excess requests are shed with 429 +
+// Retry-After (not queued into latency collapse), /healthz reports
+// shedding/503 for load balancers, and the shed count is observable.
+func TestChaosOverloadShedding(t *testing.T) {
+	svc, ts := newTestServerOpts(t, Options{Workers: 1, CacheSize: 2,
+		JobTimeout: time.Minute, MaxQueueDepth: 1})
+
+	// Occupy the worker and fill the queue past the admission limit.
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			svc.Pool().Do(context.Background(), func(context.Context) error {
+				<-release
+				return nil
+			})
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Pool().Stats().QueueDepth < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	code, hdr, body := postRaw(t, ts.URL+"/v1/profile", `{"workload":"vpr","n":1000}`)
+	if code != http.StatusTooManyRequests {
+		t.Errorf("overloaded profile: %d %s", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h HealthResponse
+	json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || h.Status != "shedding" || h.Ready {
+		t.Errorf("overloaded healthz: %d %+v", resp.StatusCode, h)
+	}
+
+	close(release)
+	wg.Wait()
+
+	var snap MetricsSnapshot
+	getJSON(t, ts.URL+"/metrics", &snap)
+	if snap.Robustness.Shed == 0 {
+		t.Errorf("shed requests not counted: %+v", snap.Robustness)
+	}
+	// Load cleared: admission and health recover.
+	code, _, body = postRaw(t, ts.URL+"/v1/profile", `{"workload":"vpr","n":1000}`)
+	if code != http.StatusOK {
+		t.Errorf("post-overload profile: %d %s", code, body)
+	}
+}
+
+// TestDurableStoreAcrossRestart is the crash-safety e2e: a second
+// daemon life pointed at the same cache-dir serves the first life's
+// profile without re-profiling and resumes its sweep without
+// re-simulating, with identical results.
+func TestDurableStoreAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	mkOpts := func() Options {
+		return Options{Workers: 2, CacheSize: 2, JobTimeout: time.Minute, CacheDir: dir}
+	}
+	profile := `{"workload":"vpr","n":20000}`
+	sweepReq := SweepRequest{Profile: ProfileSpec{Workload: "vpr", N: 20_000}, Grid: "quick", Target: 5_000}
+
+	// First life: profile and sweep, both paid in full.
+	svc1, ts1 := newTestServerOpts(t, mkOpts())
+	if code, _, body := postRaw(t, ts1.URL+"/v1/profile", profile); code != 200 {
+		t.Fatalf("life 1 profile: %d %s", code, body)
+	}
+	var sweep1 SweepResponse
+	if code, body := postJSON(t, ts1.URL+"/v1/sweep", sweepReq, &sweep1); code != 200 {
+		t.Fatalf("life 1 sweep: %d %s", code, body)
+	}
+	if sweep1.Resumed != 0 {
+		t.Fatalf("fresh sweep claims %d resumed points", sweep1.Resumed)
+	}
+	if st := svc1.Store().Stats(); st.Saves != 1 {
+		t.Fatalf("life 1 store stats %+v", st)
+	}
+	svc1.Close(context.Background())
+
+	// Second life: same directory, empty caches.
+	svc2, ts2 := newTestServerOpts(t, mkOpts())
+	var prof ProfileResponse
+	if code, body := postJSON(t, ts2.URL+"/v1/profile", ProfileRequest{ProfileSpec: ProfileSpec{Workload: "vpr", N: 20_000}}, &prof); code != 200 {
+		t.Fatalf("life 2 profile: %d %s", code, body)
+	}
+	var sweep2 SweepResponse
+	if code, body := postJSON(t, ts2.URL+"/v1/sweep", sweepReq, &sweep2); code != 200 {
+		t.Fatalf("life 2 sweep: %d %s", code, body)
+	}
+	if sweep2.Resumed != sweep2.Points {
+		t.Errorf("restarted sweep resumed %d of %d points", sweep2.Resumed, sweep2.Points)
+	}
+	a, _ := json.Marshal(sweep1.Results)
+	b, _ := json.Marshal(sweep2.Results)
+	if string(a) != string(b) {
+		t.Error("restarted sweep results differ from the first life's")
+	}
+	// Nothing was recomputed: the profile came from the store and every
+	// sweep point from its journal, so the pool never ran a job.
+	if st := svc2.Pool().Stats(); st.Completed != 0 {
+		t.Errorf("life 2 ran %d pool jobs, want 0 (everything served from disk)", st.Completed)
+	}
+	if st := svc2.Store().Stats(); st.Loads != 1 || st.Misses != 0 {
+		t.Errorf("life 2 store stats %+v", st)
+	}
+	var snap MetricsSnapshot
+	getJSON(t, ts2.URL+"/metrics", &snap)
+	if snap.Store == nil || snap.Robustness.SweepPointsResumed != uint64(sweep2.Points) {
+		t.Errorf("life 2 metrics: store=%+v robustness=%+v", snap.Store, snap.Robustness)
 	}
 }

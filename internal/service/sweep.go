@@ -95,22 +95,6 @@ type SweepResult struct {
 // serial loop it replaces: each point's simulation is an independent
 // deterministic function of (point, g, r, seed).
 func Sweep(ctx context.Context, pool *Pool, base cpu.Config, g *sfg.Graph, points []SweepPoint, r, seed uint64) ([]SweepResult, error) {
-	if pool == nil {
-		pool = NewPool(0)
-		defer pool.Drain(context.Background())
-	}
-	// Concurrent simulations sample the shared graph; freezing makes
-	// those reads immutable (no-op if already frozen by the cache).
-	g.Freeze()
-	out, err := Map(ctx, pool, len(points), func(ctx context.Context, i int) (SweepResult, error) {
-		m, err := core.StatSim(points[i].Apply(base), g, r, seed)
-		if err != nil {
-			return SweepResult{}, fmt.Errorf("point %s: %w", points[i], err)
-		}
-		return SweepResult{Point: points[i], Metrics: m}, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	out, _, err := SweepWithJournal(ctx, pool, base, g, points, r, seed, nil, nil)
+	return out, err
 }
