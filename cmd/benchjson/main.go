@@ -1,0 +1,60 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document suitable for archiving as a CI artifact (the bench job
+// uploads one per commit as BENCH_<sha>.json), so benchmark history can
+// be diffed and plotted without re-parsing the textual format.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -o BENCH_abc.json
+//	benchjson -o out.json bench.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	out := flag.String("o", "-", "output file, '-' for stdout")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fatal(fmt.Errorf("at most one input file, got %v", flag.Args()))
+	}
+
+	report, err := Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(report.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := report.WriteJSON(w); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

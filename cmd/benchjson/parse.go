@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line. Metrics holds every value/unit
+// pair after the iteration count — ns/op, B/op, allocs/op and any
+// custom b.ReportMetric units (this repo reports inst/s).
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole document: the go test header lines that identify
+// the machine, plus every benchmark result in input order.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` output. Lines that are neither header
+// nor benchmark lines (PASS, ok, coverage, test logs) are ignored, so
+// the raw combined output of a test run can be piped in unfiltered.
+func Parse(r io.Reader) (Report, error) {
+	var rep Report
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBenchLine(line)
+			if err != nil {
+				return rep, fmt.Errorf("parsing %q: %w", line, err)
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseBenchLine parses one result line of the form
+//
+//	BenchmarkName-8   100   123456 ns/op   64 B/op   2 allocs/op
+func parseBenchLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, fmt.Errorf("too few fields")
+	}
+	b := Benchmark{Procs: 1, Metrics: make(map[string]float64)}
+	b.Name = strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(b.Name, "-"); i >= 0 {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], procs
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iteration count %q: %w", fields[1], err)
+	}
+	b.Iterations = iters
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("odd value/unit tail %v", rest)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("value %q: %w", rest[i], err)
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Imaginary CPU @ 2.40GHz
+BenchmarkTraceDriven-8   	     120	  10500000 ns/op	 4800000 inst/s	  2048 B/op	      12 allocs/op
+BenchmarkProfiling   	      50	  22000000 ns/op
+--- BENCH: some log line that must be ignored
+PASS
+ok  	repro	3.210s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "repro" || rep.CPU == "" {
+		t.Errorf("header: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	td := rep.Benchmarks[0]
+	if td.Name != "TraceDriven" || td.Procs != 8 || td.Iterations != 120 {
+		t.Errorf("first benchmark: %+v", td)
+	}
+	if td.Metrics["ns/op"] != 10500000 || td.Metrics["inst/s"] != 4800000 ||
+		td.Metrics["B/op"] != 2048 || td.Metrics["allocs/op"] != 12 {
+		t.Errorf("metrics: %+v", td.Metrics)
+	}
+	if p := rep.Benchmarks[1]; p.Name != "Profiling" || p.Procs != 1 || len(p.Metrics) != 1 {
+		t.Errorf("second benchmark: %+v", p)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken",                // no iteration count
+		"BenchmarkBroken-4 notanumber",   // bad iterations
+		"BenchmarkBroken-4 10 123",       // dangling value without unit
+		"BenchmarkBroken-4 10 xyz ns/op", // bad value
+	} {
+		if _, err := Parse(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("malformed line accepted: %q", line)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("emitted JSON invalid: %v", err)
+	}
+	if len(back.Benchmarks) != len(rep.Benchmarks) || back.Benchmarks[0].Name != "TraceDriven" {
+		t.Errorf("round trip: %+v", back)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -33,6 +34,8 @@ func main() {
 	grid := flag.String("grid", "paper", "design-space grid for dse: paper (1792 points) or quick")
 	out := flag.String("o", "", "also write results to this file")
 	jsonOut := flag.String("json", "", "write raw results as JSON to this file")
+	manifestDir := flag.String("manifest-dir", "",
+		"write a <exp>.manifest.json provenance record (scale, fingerprint, timing) per experiment into this directory")
 	flag.Parse()
 
 	scale := experiments.PaperScale()
@@ -93,6 +96,13 @@ func main() {
 		}
 		raw[name] = res
 		fmt.Fprintf(w, "\n===== %s (%.1fs) =====\n%s", name, time.Since(start).Seconds(), res.Render())
+		if *manifestDir != "" {
+			man := experiments.NewManifest(name, scale, time.Since(start))
+			path := filepath.Join(*manifestDir, name+".manifest.json")
+			if err := man.WriteFile(path); err != nil {
+				fatal(fmt.Errorf("%s: writing manifest: %w", name, err))
+			}
+		}
 	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(raw, "", "  ")

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/obs"
 	"repro/internal/program"
 	"repro/internal/sfg"
 	"repro/internal/stats"
@@ -81,6 +82,12 @@ commands:
 
 Workload selection: every command taking -benchmark also accepts
 -workload-file pointing at a JSON personality (see 'personality').
+
+Observability: eds, profile, simulate, compare and sweep accept
+-stats FILE (JSON run manifest: config fingerprint, per-stage
+timings, final metrics) and -trace FILE (raw pipeline spans);
+'-' writes to stdout. Tracing is off — and costs nothing — unless
+one of the two is requested.
 `)
 }
 
@@ -164,6 +171,7 @@ func cmdEDS(args []string) error {
 	n := fs.Uint64("n", 1_000_000, "instructions to simulate")
 	seed := fs.Uint64("seed", 1, "execution seed")
 	power := fs.Bool("power", false, "print the per-unit power breakdown")
+	ob := obsFlags(fs, "statsim eds")
 	mkCfg := configFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -172,12 +180,19 @@ func cmdEDS(args []string) error {
 	if err != nil {
 		return err
 	}
-	m := core.Reference(mkCfg(), w.Stream(*seed, 0, *n))
+	cfg := mkCfg()
+	m := core.ReferenceTraced(ob.recorder(), cfg, w.Stream(*seed, 0, *n))
 	printMetrics(w.Name+"/eds", m)
 	if *power {
 		fmt.Print(m.Power)
 	}
-	return nil
+	return ob.finish(func(man *obs.Manifest) {
+		man.ConfigFingerprint = obs.Fingerprint(cfg)
+		man.Workload = w.Name
+		man.Seed = *seed
+		man.StreamLength = *n
+		man.Metrics = core.ManifestMetrics(m)
+	})
 }
 
 func cmdProfile(args []string) error {
@@ -188,6 +203,7 @@ func cmdProfile(args []string) error {
 	k := fs.Int("k", 1, "SFG order")
 	immediate := fs.Bool("immediate", false, "use immediate-update branch profiling")
 	out := fs.String("o", "", "output profile file (required)")
+	ob := obsFlags(fs, "statsim profile")
 	mkCfg := configFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -199,7 +215,8 @@ func cmdProfile(args []string) error {
 	if err != nil {
 		return err
 	}
-	g, err := core.Profile(mkCfg(), w.Stream(*seed, 0, *n),
+	cfg := mkCfg()
+	g, err := core.ProfileTraced(ob.recorder(), cfg, w.Stream(*seed, 0, *n),
 		core.ProfileOptions{K: *k, ImmediateUpdate: *immediate})
 	if err != nil {
 		return err
@@ -214,7 +231,13 @@ func cmdProfile(args []string) error {
 	}
 	fmt.Printf("%s: k=%d SFG with %d nodes, %d edges over %d instructions -> %s\n",
 		w.Name, *k, g.NumNodes(), g.NumEdges(), g.TotalInstructions, *out)
-	return nil
+	return ob.finish(func(man *obs.Manifest) {
+		man.ConfigFingerprint = obs.Fingerprint(cfg)
+		man.Workload = w.Name
+		man.K = *k
+		man.Seed = *seed
+		man.StreamLength = *n
+	})
 }
 
 func loadProfile(path string) (*sfg.Graph, error) {
@@ -270,13 +293,17 @@ func synthTrace(g *sfg.Graph, r, seed uint64) (trace.Source, error) {
 func cmdSimulate(args []string) error {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
 	prof := fs.String("profile", "", "profile file from `statsim profile`")
-	traceFile := fs.String("trace", "", "trace file from `statsim generate` (alternative to -profile)")
+	traceFile := fs.String("trace-file", "", "trace file from `statsim generate` (alternative to -profile)")
 	target := fs.Uint64("target", 100_000, "synthetic trace length target")
 	seed := fs.Uint64("seed", 1, "trace generation seed")
+	ob := obsFlags(fs, "statsim simulate")
 	mkCfg := configFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	cfg := mkCfg()
+	var m core.Metrics
+	var red uint64
 	switch {
 	case *traceFile != "":
 		f, err := os.Open(*traceFile)
@@ -288,7 +315,7 @@ func cmdSimulate(args []string) error {
 		if err != nil {
 			return err
 		}
-		m := core.SimulateTrace(mkCfg(), r)
+		m = core.SimulateTraceTraced(ob.recorder(), cfg, r)
 		if err := r.Err(); err != nil {
 			return err
 		}
@@ -298,15 +325,20 @@ func cmdSimulate(args []string) error {
 		if err != nil {
 			return err
 		}
-		m, err := core.StatSim(mkCfg(), g, core.ReductionFor(g, *target), *seed)
-		if err != nil {
+		red = core.ReductionFor(g, *target)
+		if m, err = core.StatSimTraced(ob.recorder(), cfg, g, red, *seed); err != nil {
 			return err
 		}
 		printMetrics("statsim", m)
 	default:
-		return fmt.Errorf("simulate: one of -profile or -trace is required")
+		return fmt.Errorf("simulate: one of -profile or -trace-file is required")
 	}
-	return nil
+	return ob.finish(func(man *obs.Manifest) {
+		man.ConfigFingerprint = obs.Fingerprint(cfg)
+		man.SimSeed = *seed
+		man.Reduction = red
+		man.Metrics = core.ManifestMetrics(m)
+	})
 }
 
 func cmdCompare(args []string) error {
@@ -316,6 +348,7 @@ func cmdCompare(args []string) error {
 	target := fs.Uint64("target", 100_000, "synthetic trace length target")
 	seed := fs.Uint64("seed", 1, "seed")
 	k := fs.Int("k", 1, "SFG order")
+	ob := obsFlags(fs, "statsim compare")
 	mkCfg := configFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -325,12 +358,14 @@ func cmdCompare(args []string) error {
 		return err
 	}
 	cfg := mkCfg()
-	eds := core.Reference(cfg, w.Stream(*seed, 0, *n))
-	g, err := core.Profile(cfg, w.Stream(*seed, 0, *n), core.ProfileOptions{K: *k})
+	rec := ob.recorder()
+	eds := core.ReferenceTraced(rec, cfg, w.Stream(*seed, 0, *n))
+	g, err := core.ProfileTraced(rec, cfg, w.Stream(*seed, 0, *n), core.ProfileOptions{K: *k})
 	if err != nil {
 		return err
 	}
-	ss, err := core.StatSim(cfg, g, core.ReductionFor(g, *target), *seed)
+	red := core.ReductionFor(g, *target)
+	ss, err := core.StatSimTraced(rec, cfg, g, red, *seed)
 	if err != nil {
 		return err
 	}
@@ -340,5 +375,14 @@ func cmdCompare(args []string) error {
 		100*stats.AbsError(ss.IPC(), eds.IPC()),
 		100*stats.AbsError(ss.EPC(), eds.EPC()),
 		100*stats.AbsError(ss.EDP(), eds.EDP()))
-	return nil
+	return ob.finish(func(man *obs.Manifest) {
+		man.ConfigFingerprint = obs.Fingerprint(cfg)
+		man.Workload = w.Name
+		man.K = *k
+		man.Seed = *seed
+		man.SimSeed = *seed
+		man.Reduction = red
+		man.StreamLength = *n
+		man.Metrics = core.ManifestMetrics(ss)
+	})
 }

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestConfigFlags(t *testing.T) {
@@ -76,7 +79,7 @@ func TestProfileGenerateSimulateFlow(t *testing.T) {
 	if err := cmdGenerate([]string{"-profile", prof, "-target", "6000", "-o", trc}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdSimulate([]string{"-trace", trc}); err != nil {
+	if err := cmdSimulate([]string{"-trace-file", trc}); err != nil {
 		t.Fatal(err)
 	}
 	if err := cmdSimulate([]string{"-profile", prof, "-target", "6000"}); err != nil {
@@ -178,5 +181,72 @@ func TestCmdSweepJournalResume(t *testing.T) {
 	// -resume without -journal is a usage error.
 	if err := cmdSweep([]string{"-profile", prof, "-grid", "quick", "-resume"}); err == nil {
 		t.Error("-resume without -journal accepted")
+	}
+}
+
+// TestStatsManifestOutput pins the -stats/-trace observability surface:
+// a compare run must emit a valid JSON manifest with per-stage timings
+// and final metrics, plus a non-empty span list.
+func TestStatsManifestOutput(t *testing.T) {
+	dir := t.TempDir()
+	stats := filepath.Join(dir, "manifest.json")
+	spans := filepath.Join(dir, "spans.json")
+	err := cmdCompare([]string{"-benchmark", "vpr", "-n", "30000", "-target", "5000",
+		"-stats", stats, "-trace", spans})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man obs.Manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v\n%s", err, raw)
+	}
+	if man.Version != obs.ManifestVersion || man.Tool != "statsim compare" {
+		t.Errorf("manifest header wrong: version=%d tool=%q", man.Version, man.Tool)
+	}
+	if man.ConfigFingerprint == "" || man.Workload != "vpr" || man.StreamLength != 30000 {
+		t.Errorf("manifest inputs wrong: %+v", man)
+	}
+	if man.Metrics == nil || man.Metrics.IPC <= 0 {
+		t.Errorf("manifest metrics missing: %+v", man.Metrics)
+	}
+	want := map[string]bool{
+		obs.StageProfile: false, obs.StageReduce: false,
+		obs.StageGenerate: false, obs.StageSimulate: false,
+		obs.StageReference: false,
+	}
+	for _, s := range man.Stages {
+		if _, ok := want[s.Name]; ok {
+			want[s.Name] = true
+		}
+		if s.DurationS < 0 {
+			t.Errorf("stage %q has negative duration %v", s.Name, s.DurationS)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("stage %q missing from manifest (have %+v)", name, man.Stages)
+		}
+	}
+
+	rawSpans, err := os.ReadFile(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []obs.SpanData
+	if err := json.Unmarshal(rawSpans, &list); err != nil {
+		t.Fatalf("span list is not valid JSON: %v\n%s", err, rawSpans)
+	}
+	if len(list) == 0 {
+		t.Error("span list is empty")
+	}
+
+	// Without -stats/-trace the commands run on the nil-recorder path.
+	if err := cmdEDS([]string{"-benchmark", "vpr", "-n", "5000"}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// runObs carries the per-command observability outputs: -stats writes
+// a JSON run manifest (config fingerprint, seeds, per-stage timings,
+// final metrics), -trace writes the raw span list. Tracing is enabled
+// only when one of the two outputs is requested — otherwise the
+// pipeline runs with a nil recorder on the zero-overhead path.
+type runObs struct {
+	tool      string
+	statsPath string
+	tracePath string
+	rec       *obs.Recorder
+}
+
+// obsFlags registers -stats and -trace on fs for the named subcommand.
+func obsFlags(fs *flag.FlagSet, tool string) *runObs {
+	o := &runObs{tool: tool}
+	fs.StringVar(&o.statsPath, "stats", "",
+		"write a JSON run manifest (config fingerprint, per-stage timings, metrics) to this file, '-' for stdout")
+	fs.StringVar(&o.tracePath, "trace", "",
+		"write the raw pipeline spans as JSON to this file, '-' for stdout")
+	return o
+}
+
+// recorder returns the recorder to thread through the pipeline: nil
+// (disabled) unless -stats or -trace was given.
+func (o *runObs) recorder() *obs.Recorder {
+	if o.statsPath == "" && o.tracePath == "" {
+		return nil
+	}
+	if o.rec == nil {
+		o.rec = obs.New()
+	}
+	return o.rec
+}
+
+// writeOut writes data to path, honouring the '-' stdout convention.
+func writeOut(path string, write func(*os.File) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// finish emits the requested outputs; fill customises the manifest
+// with the command's inputs and final metrics.
+func (o *runObs) finish(fill func(*obs.Manifest)) error {
+	if o.rec == nil {
+		return nil
+	}
+	if o.tracePath != "" {
+		err := writeOut(o.tracePath, func(f *os.File) error {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			return enc.Encode(o.rec.Spans())
+		})
+		if err != nil {
+			return fmt.Errorf("writing -trace: %w", err)
+		}
+	}
+	if o.statsPath != "" {
+		m := obs.NewManifest(o.tool)
+		m.FillStages(o.rec)
+		if fill != nil {
+			fill(&m)
+		}
+		err := writeOut(o.statsPath, func(f *os.File) error { return m.WriteJSON(f) })
+		if err != nil {
+			return fmt.Errorf("writing -stats: %w", err)
+		}
+	}
+	return nil
+}

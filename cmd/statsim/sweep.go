@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/sfg"
 )
@@ -30,6 +31,7 @@ func cmdSweep(args []string) error {
 	journal := fs.String("journal", "", "checkpoint file: completed points are appended as they finish")
 	resume := fs.Bool("resume", false, "reuse an existing -journal file, recomputing only missing points")
 	mkCfg := configFlags(fs)
+	ob := obsFlags(fs, "statsim sweep")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,6 +43,7 @@ func cmdSweep(args []string) error {
 		return err
 	}
 
+	rec := ob.recorder()
 	var g *sfg.Graph
 	if *prof != "" {
 		if g, err = loadProfile(*prof); err != nil {
@@ -51,7 +54,7 @@ func cmdSweep(args []string) error {
 		if err != nil {
 			return err
 		}
-		if g, err = core.Profile(mkCfg(), w.Stream(*seed, 0, *n), core.ProfileOptions{K: *k}); err != nil {
+		if g, err = core.ProfileTraced(rec, mkCfg(), w.Stream(*seed, 0, *n), core.ProfileOptions{K: *k}); err != nil {
 			return err
 		}
 	}
@@ -73,8 +76,12 @@ func cmdSweep(args []string) error {
 
 	pool := service.NewPool(*workers)
 	defer pool.Drain(context.Background())
+	// The sweep interleaves reduce/generate/simulate per point across
+	// workers; one aggregate span is the honest attribution.
+	sp := rec.Start("sweep")
 	results, resumed, err := service.SweepWithJournal(context.Background(), pool, mkCfg(), g,
 		points, red, *simSeed, j, nil)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -101,5 +108,13 @@ func cmdSweep(args []string) error {
 	}
 	fmt.Printf("best: %s  EDP=%.3f  (%d points)\n",
 		results[best].Point, results[best].Metrics.EDP(), len(results))
-	return nil
+	return ob.finish(func(man *obs.Manifest) {
+		man.ConfigFingerprint = obs.Fingerprint(mkCfg())
+		man.Seed = *seed
+		man.K = *k
+		man.SimSeed = *simSeed
+		man.Reduction = red
+		man.StreamLength = *n
+		man.NumWorkers = *workers
+	})
 }

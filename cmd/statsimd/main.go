@@ -10,7 +10,8 @@
 //	POST /v1/sweep      parallel design-space sweep from one profile
 //	GET  /v1/workloads  list the built-in benchmarks
 //	GET  /healthz       liveness/readiness and load (503 while draining or shedding)
-//	GET  /metrics       cache/pool/store/latency statistics (JSON)
+//	GET  /metrics       cache/pool/store/latency/stage statistics (JSON)
+//	GET  /debug/pprof/  runtime profiles (only with -pprof)
 //
 // See the "Running statsimd" section of README.md for curl examples.
 package main
@@ -23,6 +24,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,6 +38,7 @@ type daemonConfig struct {
 	addr         string
 	opts         service.Options
 	drainTimeout time.Duration
+	pprof        bool
 }
 
 func parseFlags(args []string) (daemonConfig, error) {
@@ -57,6 +60,8 @@ func parseFlags(args []string) (daemonConfig, error) {
 	fs.DurationVar(&c.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown budget on SIGTERM")
 	fs.Uint64Var(&c.opts.MaxProfileInstructions, "max-profile-insts", 50_000_000,
 		"largest accepted profiling stream length")
+	fs.BoolVar(&c.pprof, "pprof", false,
+		"serve net/http/pprof under /debug/pprof/ (CPU, heap, goroutine profiles)")
 	if err := fs.Parse(args); err != nil {
 		return c, err
 	}
@@ -79,6 +84,21 @@ func main() {
 	}
 }
 
+// withPprof layers the net/http/pprof handlers under /debug/pprof/ on
+// top of the service handler. The handlers are mounted explicitly on a
+// private mux — never on http.DefaultServeMux — so the profiling
+// surface exists only when -pprof asked for it.
+func withPprof(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // run serves until ctx is cancelled (SIGINT/SIGTERM in main), then
 // drains in-flight work within the drain budget.
 func run(ctx context.Context, c daemonConfig, logger *log.Logger) error {
@@ -86,8 +106,12 @@ func run(ctx context.Context, c daemonConfig, logger *log.Logger) error {
 	if err != nil {
 		return err
 	}
+	handler := svc.Handler()
+	if c.pprof {
+		handler = withPprof(handler)
+	}
 	httpSrv := &http.Server{
-		Handler:           svc.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

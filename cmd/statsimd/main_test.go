@@ -4,9 +4,13 @@ import (
 	"context"
 	"io"
 	"log"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"testing"
 	"time"
+
+	"repro/internal/service"
 )
 
 func TestParseFlags(t *testing.T) {
@@ -82,5 +86,41 @@ func TestRunRejectsUnusableCacheDir(t *testing.T) {
 	}
 	if err := run(context.Background(), c, log.New(io.Discard, "", 0)); err == nil {
 		t.Error("file used as cache-dir accepted")
+	}
+}
+
+// TestWithPprof pins the -pprof surface: the profiling endpoints are
+// mounted only when asked for, and the service routes still work
+// through the wrapping mux.
+func TestWithPprof(t *testing.T) {
+	c, err := parseFlags([]string{"-pprof"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.pprof {
+		t.Fatal("-pprof not applied")
+	}
+
+	svc, err := service.New(service.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+
+	get := func(h http.Handler, path string) int {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		return rr.Code
+	}
+	wrapped := withPprof(svc.Handler())
+	if code := get(wrapped, "/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("pprof cmdline: %d", code)
+	}
+	if code := get(wrapped, "/healthz"); code != 200 {
+		t.Errorf("healthz through pprof mux: %d", code)
+	}
+	// Without the wrapper the profiling surface must not exist.
+	if code := get(svc.Handler(), "/debug/pprof/cmdline"); code == 200 {
+		t.Error("pprof reachable without -pprof")
 	}
 }

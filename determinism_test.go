@@ -1,0 +1,92 @@
+package statsim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// TestDeterminismAcrossGOMAXPROCS pins the framework's central
+// reproducibility guarantee: the full profile→reduce→generate→simulate
+// pipeline is a pure function of (workload, k, R, seed), independent of
+// the scheduler. Metrics are compared byte-for-byte through their JSON
+// encoding, which round-trips float64 exactly.
+func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	w, err := LoadWorkload("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	compute := func() []byte {
+		g, err := Profile(cfg, w.Stream(1, 0, 30_000), ProfileOptions{K: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := StatSim(cfg, g, ReductionFor(g, 8_000), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	var base []byte
+	for _, procs := range []int{1, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		got := compute()
+		if base == nil {
+			base = got
+			continue
+		}
+		if !bytes.Equal(got, base) {
+			t.Errorf("metrics differ at GOMAXPROCS=%d:\n%s\nvs baseline:\n%s", procs, got, base)
+		}
+	}
+}
+
+// TestSweepDeterminismAcrossWorkers pins that the parallel sweep's
+// fan-out is invisible in its results: every worker count yields
+// byte-identical metrics for every design point, in grid order.
+func TestSweepDeterminismAcrossWorkers(t *testing.T) {
+	w, err := LoadWorkload("twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	g, err := Profile(cfg, w.Stream(1, 0, 30_000), ProfileOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := service.GridByName("quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ReductionFor(g, 5_000)
+
+	var base []byte
+	for _, workers := range []int{1, 2, 8} {
+		results, err := Sweep(context.Background(), cfg, g, points, r, 1, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(results)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = got
+			continue
+		}
+		if !bytes.Equal(got, base) {
+			t.Errorf("sweep results differ at workers=%d", workers)
+		}
+	}
+}

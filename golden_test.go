@@ -1,0 +1,131 @@
+package statsim
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden metrics corpus under testdata/golden/")
+
+// The golden corpus pins the end-to-end pipeline numerically: any
+// change to profiling, reduction, synthetic trace generation, the
+// timing model or the RNG shifts these metrics and fails the test.
+// Intentional changes re-snapshot with `go test -run TestGoldenMetrics
+// -update` and review the diff like any other code change.
+const (
+	goldenProfileN = 25_000
+	goldenTarget   = 5_000
+	goldenSeed     = 1
+	goldenTol      = 1e-9
+)
+
+// goldenMetrics is the snapshot of one (workload, k) point.
+type goldenMetrics struct {
+	IPC              float64 `json:"ipc"`
+	MispredictRate   float64 `json:"mispredict_rate"`
+	MispredictsPerKI float64 `json:"mispredicts_per_ki"`
+	L1DMissRate      float64 `json:"l1d_miss_rate"`
+	L2DMissRate      float64 `json:"l2d_miss_rate"`
+	L1IMissRate      float64 `json:"l1i_miss_rate"`
+	L2IMissRate      float64 `json:"l2i_miss_rate"`
+}
+
+func computeGolden(t *testing.T, w Workload, k int) goldenMetrics {
+	t.Helper()
+	cfg := DefaultConfig()
+	g, err := Profile(cfg, w.Stream(goldenSeed, 0, goldenProfileN), ProfileOptions{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := StatSim(cfg, g, ReductionFor(g, goldenTarget), goldenSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return goldenMetrics{
+		IPC:              m.IPC(),
+		MispredictRate:   m.Branch.MispredictRate(),
+		MispredictsPerKI: m.Branch.MispredictsPerKI(m.Instructions),
+		L1DMissRate:      m.Cache.L1DMissRate(),
+		L2DMissRate:      m.Cache.L2DMissRate(),
+		L1IMissRate:      m.Cache.L1IMissRate(),
+		L2IMissRate:      m.Cache.L2IMissRate(),
+	}
+}
+
+func goldenPath(workload string) string {
+	return filepath.Join("testdata", "golden", workload+".json")
+}
+
+// TestGoldenMetrics checks every workload personality at k=0,1,2
+// against its committed snapshot. JSON round-trips float64 exactly, so
+// under the framework's determinism guarantee the comparison is exact;
+// the 1e-9 tolerance only leaves room for a future serialisation that
+// rounds.
+func TestGoldenMetrics(t *testing.T) {
+	for _, w := range Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			got := make(map[string]goldenMetrics, 3)
+			for k := 0; k <= 2; k++ {
+				got[fmt.Sprintf("k%d", k)] = computeGolden(t, w, k)
+			}
+			path := goldenPath(w.Name)
+			if *updateGolden {
+				data, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			var want map[string]goldenMetrics
+			if err := json.Unmarshal(raw, &want); err != nil {
+				t.Fatalf("corrupt golden file %s: %v", path, err)
+			}
+			for key, wm := range want {
+				gm, ok := got[key]
+				if !ok {
+					t.Errorf("%s: golden key %q no longer produced", w.Name, key)
+					continue
+				}
+				compareGolden(t, w.Name+"/"+key, gm, wm)
+			}
+			if len(want) != len(got) {
+				t.Errorf("%s: golden file has %d entries, test produced %d", w.Name, len(want), len(got))
+			}
+		})
+	}
+}
+
+func compareGolden(t *testing.T, name string, got, want goldenMetrics) {
+	t.Helper()
+	fields := []struct {
+		field     string
+		got, want float64
+	}{
+		{"ipc", got.IPC, want.IPC},
+		{"mispredict_rate", got.MispredictRate, want.MispredictRate},
+		{"mispredicts_per_ki", got.MispredictsPerKI, want.MispredictsPerKI},
+		{"l1d_miss_rate", got.L1DMissRate, want.L1DMissRate},
+		{"l2d_miss_rate", got.L2DMissRate, want.L2DMissRate},
+		{"l1i_miss_rate", got.L1IMissRate, want.L1IMissRate},
+		{"l2i_miss_rate", got.L2IMissRate, want.L2IMissRate},
+	}
+	for _, f := range fields {
+		if math.Abs(f.got-f.want) > goldenTol {
+			t.Errorf("%s: %s drifted: got %.12g, golden %.12g (|Δ|=%.3g > %g)",
+				name, f.field, f.got, f.want, math.Abs(f.got-f.want), goldenTol)
+		}
+	}
+}

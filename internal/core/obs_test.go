@@ -1,0 +1,103 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/obs"
+)
+
+// TestTracedMatchesUntraced pins the central obs contract: threading a
+// recorder through the pipeline observes timings but never perturbs
+// the simulation — traced and untraced runs yield byte-identical
+// metrics.
+func TestTracedMatchesUntraced(t *testing.T) {
+	w, err := LoadWorkload("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cpu.DefaultConfig()
+	const n = 20_000
+
+	rec := obs.New()
+	gTraced, err := ProfileTraced(rec, cfg, w.Stream(1, 0, n), ProfileOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gPlain, err := Profile(cfg, w.Stream(1, 0, n), ProfileOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := ReductionFor(gPlain, 5_000)
+	mTraced, err := StatSimTraced(rec, cfg, gTraced, r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mPlain, err := StatSim(cfg, gPlain, r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bt, _ := json.Marshal(mTraced)
+	bp, _ := json.Marshal(mPlain)
+	if !bytes.Equal(bt, bp) {
+		t.Fatalf("traced and untraced metrics differ:\n%s\n%s", bt, bp)
+	}
+
+	totals := rec.StageTotals()
+	for _, stage := range []string{obs.StageProfile, obs.StageReduce, obs.StageGenerate, obs.StageSimulate} {
+		if _, ok := totals[stage]; !ok {
+			t.Errorf("stage %q missing from recorder (have %v)", stage, totals)
+		}
+	}
+	if got := totals[obs.StageProfile].Instructions; got != gTraced.TotalInstructions {
+		t.Errorf("profile span instructions = %d, want %d", got, gTraced.TotalInstructions)
+	}
+	if got := totals[obs.StageSimulate].Instructions; got != mTraced.Instructions {
+		t.Errorf("simulate span instructions = %d, want %d", got, mTraced.Instructions)
+	}
+	if totals[obs.StageGenerate].Instructions == 0 {
+		t.Error("generate span carries no instructions")
+	}
+}
+
+// TestTracedNilRecorder pins that every traced entry point accepts a
+// nil recorder (the disabled fast path the CLI default uses).
+func TestTracedNilRecorder(t *testing.T) {
+	w, err := LoadWorkload("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cpu.DefaultConfig()
+	g, err := ProfileTraced(nil, cfg, w.Stream(1, 0, 10_000), ProfileOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StatSimTraced(nil, cfg, g, ReductionFor(g, 2_000), 1); err != nil {
+		t.Fatal(err)
+	}
+	m := ReferenceTraced(nil, cfg, w.Stream(1, 0, 5_000))
+	if m.Instructions == 0 {
+		t.Fatal("reference simulated nothing")
+	}
+}
+
+// TestManifestMetrics pins the manifest wire conversion.
+func TestManifestMetrics(t *testing.T) {
+	w, err := LoadWorkload("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Reference(cpu.DefaultConfig(), w.Stream(1, 0, 10_000))
+	mm := ManifestMetrics(m)
+	if mm.IPC != m.IPC() || mm.Instructions != m.Instructions || mm.Cycles != m.Cycles {
+		t.Fatalf("manifest metrics mismatch: %+v vs IPC=%v insts=%d cycles=%d",
+			mm, m.IPC(), m.Instructions, m.Cycles)
+	}
+	if mm.L1DMissRate <= 0 || mm.L1DMissRate >= 1 {
+		t.Fatalf("implausible L1D miss rate %v", mm.L1DMissRate)
+	}
+}

@@ -107,6 +107,16 @@ func DefaultConfig() Config {
 	}
 }
 
+// Upper bounds enforced by Validate. MaxWidth keeps per-cycle stage
+// throughput within the occupancy histograms' bucket range (see
+// OccBuckets); MaxBufferSize rejects window sizes large enough that
+// allocating the structures would be a denial of service rather than a
+// design point.
+const (
+	MaxWidth      = 16
+	MaxBufferSize = 1 << 20
+)
+
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	pos := func(v int, what string) error {
@@ -128,6 +138,29 @@ func (c Config) Validate() error {
 	for _, ch := range checks {
 		if err := pos(ch.v, ch.what); err != nil {
 			return err
+		}
+	}
+	for _, w := range []struct {
+		v    int
+		what string
+	}{
+		{c.FetchWidth(), "fetch width (DecodeWidth * FetchSpeed)"},
+		{c.DecodeWidth, "DecodeWidth"},
+		{c.IssueWidth, "IssueWidth"},
+		{c.CommitWidth, "CommitWidth"},
+	} {
+		if w.v > MaxWidth {
+			return fmt.Errorf("cpu: %s is %d, above the supported maximum %d", w.what, w.v, MaxWidth)
+		}
+	}
+	for _, s := range []struct {
+		v    int
+		what string
+	}{
+		{c.IFQSize, "IFQSize"}, {c.RUUSize, "RUUSize"}, {c.LSQSize, "LSQSize"},
+	} {
+		if s.v > MaxBufferSize {
+			return fmt.Errorf("cpu: %s is %d, above the supported maximum %d", s.what, s.v, MaxBufferSize)
 		}
 	}
 	if c.MispredictExtra < 0 || c.RedirectPenalty < 0 {

@@ -1,0 +1,80 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConfigValidate walks the rejection surface field by field: every
+// zero/negative width and buffer size, the upper-bound caps that back
+// the occupancy histograms' bucket range, and the cross-field
+// constraints.
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr string // substring; empty means valid
+	}{
+		{"default", func(*Config) {}, ""},
+		{"zero fetch speed", func(c *Config) { c.FetchSpeed = 0 }, "FetchSpeed"},
+		{"negative fetch speed", func(c *Config) { c.FetchSpeed = -1 }, "FetchSpeed"},
+		{"zero decode width", func(c *Config) { c.DecodeWidth = 0 }, "DecodeWidth"},
+		{"negative decode width", func(c *Config) { c.DecodeWidth = -3 }, "DecodeWidth"},
+		{"zero issue width", func(c *Config) { c.IssueWidth = 0 }, "IssueWidth"},
+		{"zero commit width", func(c *Config) { c.CommitWidth = 0 }, "CommitWidth"},
+		{"zero IFQ", func(c *Config) { c.IFQSize = 0 }, "IFQSize"},
+		{"negative IFQ", func(c *Config) { c.IFQSize = -1 }, "IFQSize"},
+		{"zero RUU", func(c *Config) { c.RUUSize = 0 }, "RUUSize"},
+		{"zero LSQ", func(c *Config) { c.LSQSize = 0 }, "LSQSize"},
+		{"zero int ALUs", func(c *Config) { c.IntALUs = 0 }, "IntALUs"},
+		{"zero load/store ports", func(c *Config) { c.LoadStore = 0 }, "LoadStore"},
+		{"zero FP adders", func(c *Config) { c.FPAdders = 0 }, "FPAdders"},
+		{"zero int mul/div", func(c *Config) { c.IntMulDivs = 0 }, "IntMulDivs"},
+		{"zero FP mul/div", func(c *Config) { c.FPMulDivs = 0 }, "FPMulDivs"},
+		{"negative mispredict extra", func(c *Config) { c.MispredictExtra = -1 }, "branch penalties"},
+		{"negative redirect penalty", func(c *Config) { c.RedirectPenalty = -1 }, "branch penalties"},
+		{"LSQ larger than RUU", func(c *Config) { c.LSQSize = c.RUUSize + 1 }, "larger than RUU"},
+		{"decode width above cap", func(c *Config) { c.DecodeWidth = MaxWidth + 1; c.FetchSpeed = 1 }, "DecodeWidth"},
+		{"issue width above cap", func(c *Config) { c.IssueWidth = MaxWidth + 1 }, "IssueWidth"},
+		{"commit width above cap", func(c *Config) { c.CommitWidth = MaxWidth + 1 }, "CommitWidth"},
+		{"fetch width above cap", func(c *Config) { c.DecodeWidth = 9; c.FetchSpeed = 2 }, "fetch width"},
+		{"fetch width at cap", func(c *Config) { c.DecodeWidth = 8; c.FetchSpeed = 2 }, ""},
+		{"IFQ above cap", func(c *Config) { c.IFQSize = MaxBufferSize + 1 }, "IFQSize"},
+		{"RUU above cap", func(c *Config) { c.RUUSize = MaxBufferSize + 1 }, "RUUSize"},
+		{"LSQ above cap", func(c *Config) { c.LSQSize = MaxBufferSize + 1; c.RUUSize = MaxBufferSize }, "LSQSize"},
+		{"buffer at cap", func(c *Config) { c.RUUSize = MaxBufferSize }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid config accepted: %+v", cfg)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestConfigValidateBoundsOccupancy pins the relationship the occupancy
+// histograms rely on: no valid configuration can move more
+// instructions through a stage in one cycle than the histograms have
+// buckets for.
+func TestConfigValidateBoundsOccupancy(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.FetchWidth() > OccBuckets-1 {
+		t.Fatalf("default fetch width %d exceeds histogram range %d", cfg.FetchWidth(), OccBuckets-1)
+	}
+	if MaxWidth != OccBuckets-1 {
+		t.Fatalf("MaxWidth (%d) out of sync with OccBuckets (%d)", MaxWidth, OccBuckets)
+	}
+}

@@ -213,9 +213,28 @@ func (p *Pipeline) Run() Result {
 // ---------------------------------------------------------------- fetch
 
 func (p *Pipeline) fetch() {
-	if p.cycle < p.fetchResume || p.streamEnd && p.wrongPath {
+	if p.cycle < p.fetchResume {
+		p.res.Pipe.Stall.FetchPenalty++
+		p.res.Pipe.Fetch.observe(0)
 		return
 	}
+	if p.streamEnd && p.wrongPath {
+		p.res.Pipe.Stall.FetchStreamEnd++
+		p.res.Pipe.Fetch.observe(0)
+		return
+	}
+	fetched := uint64(0)
+	defer func() {
+		if fetched == 0 {
+			switch {
+			case p.ifqLen >= p.cfg.IFQSize:
+				p.res.Pipe.Stall.FetchIFQFull++
+			case p.streamEnd || p.wrongPath:
+				p.res.Pipe.Stall.FetchStreamEnd++
+			}
+		}
+		p.res.Pipe.Fetch.observe(fetched)
+	}()
 	budget := p.cfg.FetchWidth()
 	for budget > 0 && p.ifqLen < p.cfg.IFQSize {
 		d := p.sbuf.at(p.fetchPos)
@@ -227,6 +246,7 @@ func (p *Pipeline) fetch() {
 		}
 		e := ifqEntry{pos: p.fetchPos, wrongPath: p.wrongPath}
 		p.res.Act.Fetched++
+		fetched++
 		budget--
 		p.fetchPos++
 
@@ -319,6 +339,20 @@ func (p *Pipeline) ifqPush(e ifqEntry) {
 // -------------------------------------------------------------- dispatch
 
 func (p *Pipeline) dispatch() {
+	moved := uint64(0)
+	defer func() {
+		if moved == 0 {
+			switch {
+			case p.ifqLen == 0:
+				p.res.Pipe.Stall.DispatchEmptyIFQ++
+			case p.ruuLen >= p.cfg.RUUSize:
+				p.res.Pipe.Stall.DispatchRUUFull++
+			default:
+				p.res.Pipe.Stall.DispatchLSQFull++
+			}
+		}
+		p.res.Pipe.Dispatch.observe(moved)
+	}()
 	for n := 0; n < p.cfg.DecodeWidth && p.ifqLen > 0 && p.ruuLen < p.cfg.RUUSize; n++ {
 		fe := &p.ifq[p.ifqHead]
 		d := p.sbuf.at(fe.pos)
@@ -346,6 +380,7 @@ func (p *Pipeline) dispatch() {
 		if isMem {
 			p.lsqLen++
 		}
+		moved++
 		p.res.Act.Dispatched++
 		p.res.Act.RegReads += uint64(d.NumSrcs)
 		if d.Class.HasDest() {
@@ -406,12 +441,26 @@ func (p *Pipeline) markReady(slot int32) {
 // ----------------------------------------------------------------- issue
 
 func (p *Pipeline) issue() {
+	var issued uint64
+	var sawReady bool
 	if p.cfg.InOrder {
-		p.issueInOrder()
-		return
+		issued, sawReady = p.issueInOrder()
+	} else {
+		issued, sawReady = p.issueOutOfOrder()
 	}
+	if issued == 0 && p.ruuLen > 0 {
+		if sawReady {
+			p.res.Pipe.Stall.IssueFUBusy++
+		} else {
+			p.res.Pipe.Stall.IssueNoReady++
+		}
+	}
+	p.res.Pipe.Issue.observe(issued)
+}
+
+func (p *Pipeline) issueOutOfOrder() (uint64, bool) {
 	if len(p.ready) == 0 {
-		return
+		return 0, false
 	}
 	// Oldest-first selection. Stream positions order in-flight entries
 	// totally: wrong-path entries are strictly younger than every
@@ -419,14 +468,16 @@ func (p *Pipeline) issue() {
 	sort.Slice(p.ready, func(i, j int) bool {
 		return p.ruu[p.ready[i]].pos < p.ruu[p.ready[j]].pos
 	})
-	issued := 0
+	issued := uint64(0)
+	sawReady := false
 	kept := p.ready[:0]
 	for _, slot := range p.ready {
 		en := &p.ruu[slot]
 		if !en.active || en.state != stateReady {
 			continue // squashed since enqueued
 		}
-		if issued >= p.cfg.IssueWidth {
+		sawReady = true
+		if issued >= uint64(p.cfg.IssueWidth) {
 			kept = append(kept, slot)
 			continue
 		}
@@ -460,20 +511,23 @@ func (p *Pipeline) issue() {
 		p.countFUOp(en.inst.Class)
 	}
 	p.ready = kept
+	return issued, sawReady
 }
 
 // issueInOrder issues strictly in program order: the oldest un-issued
-// instruction blocks everything younger until it issues.
-func (p *Pipeline) issueInOrder() {
-	issued := 0
-	for i := 0; i < p.ruuLen && issued < p.cfg.IssueWidth; i++ {
+// instruction blocks everything younger until it issues. It reports
+// how many instructions issued and whether any instruction was ready
+// (so a zero-issue cycle can be attributed to operands vs units).
+func (p *Pipeline) issueInOrder() (uint64, bool) {
+	issued := uint64(0)
+	for i := 0; i < p.ruuLen && issued < uint64(p.cfg.IssueWidth); i++ {
 		slot := int32((p.ruuHead + i) % p.cfg.RUUSize)
 		en := &p.ruu[slot]
 		switch en.state {
 		case stateIssued, stateDone:
 			continue
 		case stateWaiting:
-			return
+			return issued, false
 		}
 		pool, lat, occ := p.fuFor(en)
 		unit := -1
@@ -484,7 +538,7 @@ func (p *Pipeline) issueInOrder() {
 			}
 		}
 		if unit < 0 {
-			return // structural hazard stalls issue in order
+			return issued, true // structural hazard stalls issue in order
 		}
 		pool[unit] = p.cycle + uint64(occ)
 		if en.isMem && !en.wrongPath {
@@ -503,6 +557,9 @@ func (p *Pipeline) issueInOrder() {
 		p.res.Act.Issued++
 		p.countFUOp(en.inst.Class)
 	}
+	// Reaching here with zero issues means every in-flight entry was
+	// already executing or complete — nothing was ready.
+	return issued, false
 }
 
 // fuFor maps an entry to its functional-unit pool, result latency and
@@ -662,6 +719,17 @@ func (p *Pipeline) recover(branchSlot int32) {
 // ---------------------------------------------------------------- commit
 
 func (p *Pipeline) commit() {
+	committed := uint64(0)
+	defer func() {
+		if committed == 0 {
+			if p.ruuLen == 0 {
+				p.res.Pipe.Stall.CommitEmptyRUU++
+			} else {
+				p.res.Pipe.Stall.CommitOldestNotDone++
+			}
+		}
+		p.res.Pipe.Commit.observe(committed)
+	}()
 	for n := 0; n < p.cfg.CommitWidth && p.ruuLen > 0; n++ {
 		en := &p.ruu[p.ruuHead]
 		if en.state != stateDone {
@@ -689,6 +757,7 @@ func (p *Pipeline) commit() {
 		en.gen++
 		p.ruuHead = (p.ruuHead + 1) % p.cfg.RUUSize
 		p.ruuLen--
+		committed++
 		p.res.Instructions++
 		p.res.Act.Committed++
 		if p.res.Instructions%8192 == 0 {

@@ -1,0 +1,112 @@
+package cpu
+
+// OccBuckets sizes the per-stage throughput histograms: bucket w counts
+// cycles in which a stage moved exactly w instructions, with the last
+// bucket absorbing anything wider (no supported configuration exceeds
+// a fetch width of 16, see Config.Validate).
+const OccBuckets = 17
+
+// OccHist is a per-cycle stage-throughput distribution.
+type OccHist [OccBuckets]uint64
+
+// observe records one cycle in which the stage moved n instructions.
+func (h *OccHist) observe(n uint64) {
+	if n >= OccBuckets {
+		n = OccBuckets - 1
+	}
+	h[n]++
+}
+
+// Cycles returns the number of observed cycles.
+func (h *OccHist) Cycles() uint64 {
+	var total uint64
+	for _, c := range h {
+		total += c
+	}
+	return total
+}
+
+// Mean returns the average per-cycle throughput (instructions moved per
+// cycle; the top bucket is counted at its lower edge).
+func (h *OccHist) Mean() float64 {
+	var total, weighted uint64
+	for w, c := range h {
+		total += c
+		weighted += uint64(w) * c
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(weighted) / float64(total)
+}
+
+// merge adds another histogram in (used when pooling seed runs).
+func (h *OccHist) merge(o OccHist) {
+	for i := range h {
+		h[i] += o[i]
+	}
+}
+
+// StallStats breaks no-progress cycles down by cause, one struct per
+// pipeline stage. A cycle is charged to at most one cause per stage
+// (the first condition that blocked it), so within a stage the
+// counters are disjoint and comparable.
+type StallStats struct {
+	// Fetch: cycles fetch delivered nothing because...
+	FetchIFQFull   uint64 // the IFQ had no free entry
+	FetchPenalty   uint64 // an I-cache/redirect/mispredict penalty was being served
+	FetchStreamEnd uint64 // the stream was exhausted (drain cycles)
+
+	// Dispatch: cycles dispatch moved nothing because...
+	DispatchEmptyIFQ uint64 // nothing fetched to dispatch
+	DispatchRUUFull  uint64 // no RUU entry free
+	DispatchLSQFull  uint64 // next instruction was a blocked memory op
+
+	// Issue: cycles issue moved nothing while instructions were in flight...
+	IssueNoReady uint64 // every in-flight instruction was waiting on operands
+	IssueFUBusy  uint64 // ready instructions existed but no unit was free
+
+	// Commit: cycles commit retired nothing because...
+	CommitEmptyRUU      uint64 // the window was empty
+	CommitOldestNotDone uint64 // the oldest instruction had not completed
+}
+
+// PipeStats is the per-stage occupancy and stall breakdown of one run —
+// the structured Metrics extension the observability layer exposes
+// through run manifests and the daemon's /metrics. All counters are
+// deterministic functions of (config, instruction stream): they are
+// covered by the golden corpus and the determinism property test like
+// every other Result field.
+type PipeStats struct {
+	// Per-cycle throughput distributions of the four pipeline stages.
+	Fetch    OccHist
+	Dispatch OccHist
+	Issue    OccHist
+	Commit   OccHist
+
+	Stall StallStats
+}
+
+// mergePipe pools two runs' pipeline stats (counters add).
+func mergePipe(a, b PipeStats) PipeStats {
+	out := a
+	out.Fetch.merge(b.Fetch)
+	out.Dispatch.merge(b.Dispatch)
+	out.Issue.merge(b.Issue)
+	out.Commit.merge(b.Commit)
+	out.Stall.FetchIFQFull += b.Stall.FetchIFQFull
+	out.Stall.FetchPenalty += b.Stall.FetchPenalty
+	out.Stall.FetchStreamEnd += b.Stall.FetchStreamEnd
+	out.Stall.DispatchEmptyIFQ += b.Stall.DispatchEmptyIFQ
+	out.Stall.DispatchRUUFull += b.Stall.DispatchRUUFull
+	out.Stall.DispatchLSQFull += b.Stall.DispatchLSQFull
+	out.Stall.IssueNoReady += b.Stall.IssueNoReady
+	out.Stall.IssueFUBusy += b.Stall.IssueFUBusy
+	out.Stall.CommitEmptyRUU += b.Stall.CommitEmptyRUU
+	out.Stall.CommitOldestNotDone += b.Stall.CommitOldestNotDone
+	return out
+}
+
+// MergePipeStats pools two runs' pipeline stats (exported for the
+// experiment harness's seed averaging).
+func MergePipeStats(a, b PipeStats) PipeStats { return mergePipe(a, b) }

@@ -46,12 +46,38 @@ func (b BranchStats) MispredictsPerKI(instructions uint64) float64 {
 	return 1000 * float64(b.Mispredicted) / float64(instructions)
 }
 
+// MispredictRate returns the fraction of committed branches that were
+// mispredicted.
+func (b BranchStats) MispredictRate() float64 {
+	return ratio(b.Mispredicted, b.Branches)
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
 // CacheStats counts committed-path locality events observed by the
 // pipeline (live mode: from the hierarchy; trace mode: from flags).
 type CacheStats struct {
 	IFetches, L1IMisses, L2IMisses, ITLBMisses  uint64
 	DAccesses, L1DMisses, L2DMisses, DTLBMisses uint64
 }
+
+// L1DMissRate returns L1 D-cache misses per data access.
+func (c CacheStats) L1DMissRate() float64 { return ratio(c.L1DMisses, c.DAccesses) }
+
+// L2DMissRate returns the local L2 miss rate of the data side (L2
+// misses per L1 D-miss that reached the L2).
+func (c CacheStats) L2DMissRate() float64 { return ratio(c.L2DMisses, c.L1DMisses) }
+
+// L1IMissRate returns L1 I-cache misses per fetch.
+func (c CacheStats) L1IMissRate() float64 { return ratio(c.L1IMisses, c.IFetches) }
+
+// L2IMissRate returns the local L2 miss rate of the instruction side.
+func (c CacheStats) L2IMissRate() float64 { return ratio(c.L2IMisses, c.L1IMisses) }
 
 // Result summarises one simulation run.
 type Result struct {
@@ -61,6 +87,7 @@ type Result struct {
 	Branch BranchStats
 	Cache  CacheStats
 	Act    Activity
+	Pipe   PipeStats
 
 	// Time-averaged structure occupancies (Table 4 metrics).
 	AvgRUUOcc float64

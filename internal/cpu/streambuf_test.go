@@ -1,0 +1,114 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func countingSource(n int) trace.Source {
+	insts := make([]trace.DynInst, n)
+	for i := range insts {
+		insts[i].PC = uint64(i)
+	}
+	return trace.NewSliceSource(insts)
+}
+
+func TestStreamBufSequentialAndRewind(t *testing.T) {
+	s := newStreamBuf(countingSource(100))
+	for pos := uint64(0); pos < 100; pos++ {
+		d := s.at(pos)
+		if d == nil || d.PC != pos {
+			t.Fatalf("at(%d) = %+v", pos, d)
+		}
+	}
+	// Rewind to an unreleased position (the misprediction re-fetch path).
+	if d := s.at(10); d == nil || d.PC != 10 {
+		t.Fatalf("rewind to 10: %+v", d)
+	}
+}
+
+func TestStreamBufEOF(t *testing.T) {
+	s := newStreamBuf(countingSource(5))
+	if d := s.at(4); d == nil || d.PC != 4 {
+		t.Fatalf("last instruction: %+v", d)
+	}
+	if d := s.at(5); d != nil {
+		t.Fatalf("read past EOF: %+v", d)
+	}
+	// EOF is sticky: the source is not consulted again.
+	if d := s.at(1_000); d != nil {
+		t.Fatalf("far past EOF: %+v", d)
+	}
+	// Buffered instructions stay readable after EOF.
+	if d := s.at(2); d == nil || d.PC != 2 {
+		t.Fatalf("buffered after EOF: %+v", d)
+	}
+}
+
+func TestStreamBufAccessBelowReleasePanics(t *testing.T) {
+	s := newStreamBuf(countingSource(10_000))
+	for pos := uint64(0); pos < 5_000; pos++ {
+		s.at(pos)
+	}
+	s.release(5_000) // drop >= 4096 forces compaction
+	if s.base != 5_000 {
+		t.Fatalf("base after release = %d, want 5000", s.base)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("access below release point did not panic")
+		}
+	}()
+	s.at(4_999)
+}
+
+func TestStreamBufReleaseBoundaries(t *testing.T) {
+	s := newStreamBuf(countingSource(100))
+	for pos := uint64(0); pos < 100; pos++ {
+		s.at(pos)
+	}
+	// Releasing at or below base is a no-op.
+	s.release(0)
+	if s.base != 0 || len(s.buf) != 100 {
+		t.Fatalf("release(0) changed state: base=%d len=%d", s.base, len(s.buf))
+	}
+	// A small release below the compaction threshold keeps the prefix
+	// buffered (base unchanged) — release is advisory, not exact.
+	s.release(10)
+	if s.base != 0 {
+		t.Fatalf("small release compacted early: base=%d", s.base)
+	}
+	// Releasing the whole buffer compacts regardless of size.
+	s.release(100)
+	if s.base != 100 || len(s.buf) != 0 {
+		t.Fatalf("full release: base=%d len=%d", s.base, len(s.buf))
+	}
+	// Releasing beyond everything buffered clamps to the buffered end.
+	s.release(1_000)
+	if s.base != 100 {
+		t.Fatalf("over-release moved base to %d", s.base)
+	}
+	// The stream continues cleanly after a full release... until EOF.
+	if d := s.at(100); d != nil {
+		t.Fatalf("exhausted source produced %+v", d)
+	}
+}
+
+func TestStreamBufCompactionPreservesContent(t *testing.T) {
+	const n = 20_000
+	s := newStreamBuf(countingSource(n))
+	for pos := uint64(0); pos < n; pos++ {
+		if d := s.at(pos); d == nil || d.PC != pos {
+			t.Fatalf("at(%d) = %+v", pos, d)
+		}
+		// Release in chunks as commit would; compaction must be
+		// invisible to subsequent reads.
+		if pos%4_096 == 0 {
+			s.release(pos)
+		}
+	}
+	if uint64(len(s.buf))+s.base < n {
+		t.Fatalf("buffer lost instructions: base=%d len=%d", s.base, len(s.buf))
+	}
+}

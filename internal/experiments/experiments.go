@@ -196,5 +196,6 @@ func poolResults(a, b cpu.Result) cpu.Result {
 	out.Act.StoreOps += b.Act.StoreOps
 	out.Act.FPOps += b.Act.FPOps
 	out.Act.IntMulOps += b.Act.IntMulOps
+	out.Pipe = cpu.MergePipeStats(a.Pipe, b.Pipe)
 	return out
 }

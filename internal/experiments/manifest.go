@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Manifest records the provenance of one experiment run: which
+// experiment, at what scale, how long it took, and a fingerprint that
+// ties a results file back to the exact inputs that produced it.
+// cmd/paperexp writes one alongside each experiment's results so a
+// regenerated table can always answer "what produced this?".
+type Manifest struct {
+	Version    int       `json:"version"`
+	Experiment string    `json:"experiment"`
+	Created    time.Time `json:"created"`
+	GoVersion  string    `json:"go_version"`
+	// ScaleFingerprint hashes the Scale; two runs with equal
+	// fingerprints saw identical inputs.
+	ScaleFingerprint string  `json:"scale_fingerprint"`
+	Scale            Scale   `json:"scale"`
+	ElapsedS         float64 `json:"elapsed_s"`
+}
+
+// NewManifest describes one completed experiment run.
+func NewManifest(name string, s Scale, elapsed time.Duration) Manifest {
+	return Manifest{
+		Version:          obs.ManifestVersion,
+		Experiment:       name,
+		Created:          time.Now().UTC(),
+		GoVersion:        runtime.Version(),
+		ScaleFingerprint: obs.Fingerprint(s),
+		Scale:            s,
+		ElapsedS:         elapsed.Seconds(),
+	}
+}
+
+// WriteFile persists the manifest as indented JSON.
+func (m Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestManifestRoundTrip pins the provenance record: fingerprints are a
+// pure function of the Scale, and the file round-trips through JSON.
+func TestManifestRoundTrip(t *testing.T) {
+	s := QuickScale()
+	m := NewManifest("fig6", s, 1500*time.Millisecond)
+	if m.Experiment != "fig6" || m.ElapsedS != 1.5 || m.GoVersion == "" {
+		t.Fatalf("manifest fields: %+v", m)
+	}
+	if m.ScaleFingerprint != NewManifest("other", s, 0).ScaleFingerprint {
+		t.Error("fingerprint not a pure function of the scale")
+	}
+	s2 := s
+	s2.Seeds++
+	if m.ScaleFingerprint == NewManifest("fig6", s2, 0).ScaleFingerprint {
+		t.Error("fingerprint blind to a scale change")
+	}
+
+	path := filepath.Join(t.TempDir(), "fig6.manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("manifest file is not valid JSON: %v", err)
+	}
+	if back.ScaleFingerprint != m.ScaleFingerprint || back.Scale.Seeds != s.Seeds {
+		t.Errorf("round trip mismatch: %+v vs %+v", back, m)
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// ManifestVersion is bumped when the manifest schema changes shape.
+const ManifestVersion = 1
+
+// StageTiming is one pipeline stage's contribution to a run.
+type StageTiming struct {
+	Name         string  `json:"name"`
+	DurationS    float64 `json:"duration_s"`
+	Instructions uint64  `json:"instructions,omitempty"`
+	InstPerSec   float64 `json:"inst_per_sec,omitempty"`
+}
+
+// ManifestMetrics is the final-metrics block of a run manifest — the
+// numbers the paper's evaluation argues about, in a stable wire form.
+type ManifestMetrics struct {
+	IPC              float64 `json:"ipc"`
+	EPC              float64 `json:"epc"`
+	EDP              float64 `json:"edp"`
+	Instructions     uint64  `json:"instructions"`
+	Cycles           uint64  `json:"cycles"`
+	MispredictsPerKI float64 `json:"mispredicts_per_ki"`
+	L1DMissRate      float64 `json:"l1d_miss_rate"`
+	L2DMissRate      float64 `json:"l2d_miss_rate"`
+	L1IMissRate      float64 `json:"l1i_miss_rate"`
+	L2IMissRate      float64 `json:"l2i_miss_rate"`
+}
+
+// Manifest is the JSON run manifest a front end emits (statsim -stats,
+// experiment artifacts): everything needed to reproduce the run plus
+// where its time went.
+type Manifest struct {
+	Version   int    `json:"version"`
+	Tool      string `json:"tool"`    // e.g. "statsim compare"
+	Created   string `json:"created"` // RFC 3339
+	GoVersion string `json:"go_version"`
+
+	// Reproducibility inputs.
+	ConfigFingerprint string `json:"config_fingerprint"`
+	Workload          string `json:"workload,omitempty"`
+	K                 int    `json:"k"`
+	Seed              uint64 `json:"seed,omitempty"`
+	SimSeed           uint64 `json:"sim_seed,omitempty"`
+	Reduction         uint64 `json:"reduction,omitempty"`
+	StreamLength      uint64 `json:"stream_length,omitempty"`
+
+	// Where the time went.
+	Stages     []StageTiming `json:"stages"`
+	WallTimeS  float64       `json:"wall_time_s"`
+	MaxProcs   int           `json:"gomaxprocs"`
+	NumWorkers int           `json:"workers,omitempty"`
+
+	// What came out.
+	Metrics *ManifestMetrics `json:"metrics,omitempty"`
+}
+
+// NewManifest starts a manifest for the named tool, stamped now.
+func NewManifest(tool string) Manifest {
+	return Manifest{
+		Version:   ManifestVersion,
+		Tool:      tool,
+		Created:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+	}
+}
+
+// FillStages folds a recorder's spans into per-stage aggregate timings
+// in pipeline order (profile, reduce, generate, simulate, reference,
+// then anything else alphabetically-stable by first appearance).
+func (m *Manifest) FillStages(rec *Recorder) {
+	if rec == nil {
+		return
+	}
+	totals := rec.StageTotals()
+	order := []string{StageProfile, StageReduce, StageGenerate, StageSimulate, StageReference}
+	seen := make(map[string]bool, len(order))
+	emit := func(name string) {
+		t, ok := totals[name]
+		if !ok || seen[name] {
+			return
+		}
+		seen[name] = true
+		st := StageTiming{Name: name, DurationS: t.DurationS, Instructions: t.Instructions}
+		st.InstPerSec = t.InstPerSec()
+		m.Stages = append(m.Stages, st)
+		m.WallTimeS += t.DurationS
+	}
+	for _, name := range order {
+		emit(name)
+	}
+	for _, s := range rec.Spans() { // preserve first-appearance order for extras
+		emit(s.Name)
+	}
+}
+
+// WriteJSON writes the manifest as indented JSON.
+func (m Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// Fingerprint returns a stable hex digest of any JSON-marshalable
+// value — used to fingerprint microarchitecture configurations so a
+// manifest pins exactly what was simulated. Two configs fingerprint
+// equal iff their JSON forms are byte-identical (struct field order is
+// fixed by the type, so this is deterministic for the same binary).
+func Fingerprint(v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Configurations are plain structs; a marshal failure is a
+		// programming error surfaced loudly rather than silently hashed.
+		panic(fmt.Sprintf("obs: fingerprint marshal: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8]) // 64 bits is plenty for identity
+}

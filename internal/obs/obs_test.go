@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// fakeClock advances a fixed step per reading, making span durations
+// deterministic.
+type fakeClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) now() time.Time {
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+func TestNilRecorderNoOps(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	sp := r.Start(StageSimulate)
+	sp.EndInstructions(123) // must not panic
+	sp.End()
+	r.Record(SpanData{Name: "x"})
+	if got := r.Spans(); got != nil {
+		t.Fatalf("nil recorder returned spans: %v", got)
+	}
+	if got := r.StageTotals(); got != nil {
+		t.Fatalf("nil recorder returned totals: %v", got)
+	}
+}
+
+func TestNilSpanStartAllocates(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := r.Start(StageSimulate)
+		sp.EndInstructions(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span start/end allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestRecorderSpans(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0), step: time.Second}
+	r := newWithClock(clock.now)
+
+	sp := r.Start(StageProfile) // start at +1s
+	sp.EndInstructions(3000)    // end at +2s: 1s duration
+
+	r.Start(StageSimulate).End() // 1s duration, no instructions
+
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != StageProfile || spans[1].Name != StageSimulate {
+		t.Fatalf("span order wrong: %+v", spans)
+	}
+	if spans[0].DurationS != 1.0 {
+		t.Fatalf("profile duration %v, want 1s", spans[0].DurationS)
+	}
+	if got := spans[0].InstPerSec(); got != 3000 {
+		t.Fatalf("profile inst/s %v, want 3000", got)
+	}
+	if got := spans[1].InstPerSec(); got != 0 {
+		t.Fatalf("instruction-less span inst/s %v, want 0", got)
+	}
+}
+
+func TestStageTotalsAggregate(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0), step: time.Second}
+	r := newWithClock(clock.now)
+	r.Start(StageSimulate).EndInstructions(10)
+	r.Start(StageSimulate).EndInstructions(20)
+	r.Start(StageReduce).End()
+
+	totals := r.StageTotals()
+	sim := totals[StageSimulate]
+	if sim.Instructions != 30 || sim.DurationS != 2.0 {
+		t.Fatalf("simulate totals %+v, want 30 insts over 2s", sim)
+	}
+	if _, ok := totals[StageReduce]; !ok {
+		t.Fatal("reduce stage missing from totals")
+	}
+}
+
+func TestRecorderConcurrentUse(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Start(StageSimulate).EndInstructions(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.StageTotals()[StageSimulate].Instructions; got != 800 {
+		t.Fatalf("got %d instructions recorded, want 800", got)
+	}
+}
+
+type countSource struct{ n int }
+
+func (c *countSource) Next(d *trace.DynInst) bool {
+	if c.n == 0 {
+		return false
+	}
+	c.n--
+	return true
+}
+
+func TestTimedSource(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0), step: time.Millisecond}
+	ts := NewTimedSource(&countSource{n: 5})
+	ts.now = clock.now
+	var d trace.DynInst
+	for ts.Next(&d) {
+	}
+	if ts.Instructions() != 5 {
+		t.Fatalf("timed source counted %d instructions, want 5", ts.Instructions())
+	}
+	// 6 Next calls (5 hits + 1 EOF), 1ms per call under the fake clock.
+	if ts.Duration() != 6*time.Millisecond {
+		t.Fatalf("timed source duration %v, want 6ms", ts.Duration())
+	}
+	sp := ts.Span(StageGenerate)
+	if sp.Name != StageGenerate || sp.Instructions != 5 {
+		t.Fatalf("span %+v", sp)
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	type cfg struct{ A, B int }
+	f1 := Fingerprint(cfg{1, 2})
+	f2 := Fingerprint(cfg{1, 2})
+	f3 := Fingerprint(cfg{1, 3})
+	if f1 != f2 {
+		t.Fatalf("identical values fingerprint differently: %s vs %s", f1, f2)
+	}
+	if f1 == f3 {
+		t.Fatalf("different values share fingerprint %s", f1)
+	}
+	if len(f1) != 16 {
+		t.Fatalf("fingerprint %q is not 16 hex chars", f1)
+	}
+}
+
+func TestManifestJSON(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0), step: time.Second}
+	rec := newWithClock(clock.now)
+	rec.Start(StageProfile).EndInstructions(1000)
+	rec.Start(StageSimulate).EndInstructions(500)
+	rec.Record(SpanData{Name: StageGenerate, DurationS: 0.25, Instructions: 500})
+
+	m := NewManifest("statsim test")
+	m.ConfigFingerprint = Fingerprint(struct{ X int }{1})
+	m.Workload = "gzip"
+	m.K = 1
+	m.Seed = 1
+	m.FillStages(rec)
+
+	if len(m.Stages) != 3 {
+		t.Fatalf("got %d stages, want 3: %+v", len(m.Stages), m.Stages)
+	}
+	// Pipeline order regardless of recording order.
+	if m.Stages[0].Name != StageProfile || m.Stages[1].Name != StageGenerate || m.Stages[2].Name != StageSimulate {
+		t.Fatalf("stage order wrong: %+v", m.Stages)
+	}
+	if m.WallTimeS != 2.25 {
+		t.Fatalf("wall time %v, want 2.25", m.WallTimeS)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if back.Version != ManifestVersion || back.Workload != "gzip" || len(back.Stages) != 3 {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	if !strings.Contains(buf.String(), "config_fingerprint") {
+		t.Fatal("manifest JSON missing config_fingerprint")
+	}
+}

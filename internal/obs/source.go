@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TimedSource wraps a trace.Source and accumulates the wall-clock time
+// spent inside Next — the synthetic-trace generator runs lazily,
+// interleaved with simulation, so this is how generation time is
+// separated from pure timing-simulation time when tracing is enabled.
+// Wrap only when a recorder is live: the per-instruction clock reads
+// are exactly the overhead the disabled path avoids.
+type TimedSource struct {
+	Src trace.Source
+
+	insts uint64
+	dur   time.Duration
+	now   func() time.Time
+}
+
+// NewTimedSource wraps src for generation-time attribution.
+func NewTimedSource(src trace.Source) *TimedSource {
+	return &TimedSource{Src: src, now: time.Now}
+}
+
+// Next implements trace.Source.
+func (t *TimedSource) Next(d *trace.DynInst) bool {
+	start := t.now()
+	ok := t.Src.Next(d)
+	t.dur += t.now().Sub(start)
+	if ok {
+		t.insts++
+	}
+	return ok
+}
+
+// Span returns the accumulated generation span (start offset is left
+// zero; callers place it with Recorder.Record).
+func (t *TimedSource) Span(name string) SpanData {
+	return SpanData{Name: name, DurationS: t.dur.Seconds(), Instructions: t.insts}
+}
+
+// Instructions returns the number of instructions delivered so far.
+func (t *TimedSource) Instructions() uint64 { return t.insts }
+
+// Duration returns the accumulated time spent generating.
+func (t *TimedSource) Duration() time.Duration { return t.dur }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sfg"
 )
 
@@ -268,8 +269,10 @@ func (p ProfileSpec) key(opts Options) (ProfileKey, error) {
 // the worker pool — retrying transient failures per the server's
 // policy — and persists the result for the next daemon life. The bool
 // reports whether the profile was served without this request paying
-// for profiling.
-func (s *Server) resolveProfile(ctx context.Context, spec ProfileSpec) (*sfg.Graph, ProfileKey, bool, error) {
+// for profiling. rec, when non-nil, collects a "profile" span for
+// whatever profiling work this request actually paid for (cache and
+// store hits record nothing).
+func (s *Server) resolveProfile(ctx context.Context, rec *obs.Recorder, spec ProfileSpec) (*sfg.Graph, ProfileKey, bool, error) {
 	key, err := spec.key(s.opts)
 	if err != nil {
 		return nil, ProfileKey{}, false, err
@@ -292,7 +295,7 @@ func (s *Server) resolveProfile(ctx context.Context, spec ProfileSpec) (*sfg.Gra
 				if err != nil {
 					return badRequest("%v", err)
 				}
-				g, err = core.Profile(cpu.DefaultConfig(), w.Stream(key.Seed, 0, key.N),
+				g, err = core.ProfileTraced(rec, cpu.DefaultConfig(), w.Stream(key.Seed, 0, key.N),
 					core.ProfileOptions{K: key.K, ImmediateUpdate: key.Immediate})
 				return err
 			})
@@ -371,10 +374,12 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) (any, err
 		return nil, err
 	}
 	start := time.Now()
-	g, key, cached, err := s.resolveProfile(r.Context(), req.ProfileSpec)
+	rec := obs.New()
+	g, key, cached, err := s.resolveProfile(r.Context(), rec, req.ProfileSpec)
 	if err != nil {
 		return nil, err
 	}
+	s.metrics.ObserveStages(rec)
 	return ProfileResponse{
 		Key:               key,
 		Nodes:             g.NumNodes(),
@@ -441,7 +446,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) (any, er
 		req.SimSeed = 1
 	}
 	start := time.Now()
-	g, key, cached, err := s.resolveProfile(r.Context(), req.Profile)
+	rec := obs.New()
+	g, key, cached, err := s.resolveProfile(r.Context(), rec, req.Profile)
 	if err != nil {
 		return nil, err
 	}
@@ -453,13 +459,14 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) (any, er
 				return err
 			}
 			var err error
-			m, err = core.StatSim(req.Config.apply(cpu.DefaultConfig()), g, red, req.SimSeed)
+			m, err = core.StatSimTraced(rec, req.Config.apply(cpu.DefaultConfig()), g, red, req.SimSeed)
 			return err
 		})
 	})
 	if err != nil {
 		return nil, err
 	}
+	s.metrics.ObserveStages(rec)
 	return SimulateResponse{
 		Key:           key,
 		ProfileCached: cached,
@@ -534,10 +541,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (any, error
 		req.SimSeed = 1
 	}
 	start := time.Now()
-	g, key, cached, err := s.resolveProfile(r.Context(), req.Profile)
+	rec := obs.New()
+	g, key, cached, err := s.resolveProfile(r.Context(), rec, req.Profile)
 	if err != nil {
 		return nil, err
 	}
+	defer s.metrics.ObserveStages(rec)
 	base := req.Config.apply(cpu.DefaultConfig())
 	red := core.ReductionFor(g, req.Target)
 	results, resumed, err := s.runSweep(r.Context(), base, g, points, red, req.SimSeed)

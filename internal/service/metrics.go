@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -91,18 +92,25 @@ func (l *LatencyHist) Snapshot() LatencySnapshot {
 }
 
 // Metrics aggregates the daemon's operational counters: per-endpoint
-// latency histograms plus cache and pool statistics, served as JSON by
-// GET /metrics.
+// latency histograms, per-pipeline-stage timing histograms (profile /
+// reduce / generate / simulate, fed by the obs recorders the handlers
+// thread through the core pipeline), plus cache and pool statistics,
+// served as JSON by GET /metrics.
 type Metrics struct {
 	start time.Time
 
 	mu        sync.Mutex
 	endpoints map[string]*LatencyHist
+	stages    map[string]*LatencyHist
 }
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now(), endpoints: make(map[string]*LatencyHist)}
+	return &Metrics{
+		start:     time.Now(),
+		endpoints: make(map[string]*LatencyHist),
+		stages:    make(map[string]*LatencyHist),
+	}
 }
 
 // Endpoint returns (creating if needed) the histogram for an endpoint.
@@ -117,6 +125,28 @@ func (m *Metrics) Endpoint(name string) *LatencyHist {
 	return l
 }
 
+// StageObserve records one pipeline stage execution. Stage timings use
+// the same log2-microsecond buckets as endpoint latencies, so both
+// families read identically off /metrics.
+func (m *Metrics) StageObserve(name string, d time.Duration) {
+	m.mu.Lock()
+	l, ok := m.stages[name]
+	if !ok {
+		l = NewLatencyHist()
+		m.stages[name] = l
+	}
+	m.mu.Unlock()
+	l.Observe(d, false)
+}
+
+// ObserveStages folds every span a request's recorder collected into
+// the per-stage families. A nil recorder is a no-op.
+func (m *Metrics) ObserveStages(rec *obs.Recorder) {
+	for _, sp := range rec.Spans() {
+		m.StageObserve(sp.Name, time.Duration(sp.DurationS*float64(time.Second)))
+	}
+}
+
 // RobustnessStats counts the degradation machinery's activity — the
 // numbers an operator alerts on (see the README runbook): shed requests
 // mean sustained overload, retries mean flaky jobs, resumed sweep
@@ -127,7 +157,10 @@ type RobustnessStats struct {
 	SweepPointsResumed uint64 `json:"sweep_points_resumed"`
 }
 
-// MetricsSnapshot is the GET /metrics response body.
+// MetricsSnapshot is the GET /metrics response body. Stages breaks the
+// endpoint time down by pipeline stage (profile, reduce, generate,
+// simulate): a slow /v1/simulate whose time sits in "profile" is a
+// cache problem, one whose time sits in "simulate" is a sizing problem.
 type MetricsSnapshot struct {
 	UptimeSeconds float64                    `json:"uptime_seconds"`
 	Cache         CacheStats                 `json:"cache"`
@@ -135,6 +168,7 @@ type MetricsSnapshot struct {
 	Robustness    RobustnessStats            `json:"robustness"`
 	Store         *StoreStats                `json:"store,omitempty"`
 	Endpoints     map[string]LatencySnapshot `json:"endpoints"`
+	Stages        map[string]LatencySnapshot `json:"stages"`
 }
 
 // Snapshot assembles the full metrics view from the registry plus the
@@ -143,6 +177,7 @@ func (m *Metrics) Snapshot(cache *GraphCache, pool *Pool) MetricsSnapshot {
 	s := MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Endpoints:     make(map[string]LatencySnapshot),
+		Stages:        make(map[string]LatencySnapshot),
 	}
 	if cache != nil {
 		s.Cache = cache.Stats()
@@ -154,6 +189,9 @@ func (m *Metrics) Snapshot(cache *GraphCache, pool *Pool) MetricsSnapshot {
 	defer m.mu.Unlock()
 	for name, l := range m.endpoints {
 		s.Endpoints[name] = l.Snapshot()
+	}
+	for name, l := range m.stages {
+		s.Stages[name] = l.Snapshot()
 	}
 	return s
 }

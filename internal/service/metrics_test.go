@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestLatencyHistSnapshot(t *testing.T) {
@@ -70,5 +72,31 @@ func TestLatencyHistConcurrent(t *testing.T) {
 	wg.Wait()
 	if s := l.Snapshot(); s.Count != 8000 {
 		t.Errorf("lost observations: %+v", s)
+	}
+}
+
+// TestStageMetrics pins the pipeline-stage family: StageObserve creates
+// families on demand, ObserveStages folds a recorder's spans in, and
+// both surface through Snapshot under the span names.
+func TestStageMetrics(t *testing.T) {
+	m := NewMetrics()
+	m.StageObserve(obs.StageProfile, 3*time.Millisecond)
+	m.StageObserve(obs.StageProfile, 5*time.Millisecond)
+
+	rec := obs.New()
+	sp := rec.Start(obs.StageSimulate)
+	sp.End()
+	m.ObserveStages(rec)
+	m.ObserveStages(nil) // nil recorder is a no-op
+
+	snap := m.Snapshot(nil, nil)
+	if st := snap.Stages[obs.StageProfile]; st.Count != 2 || st.MeanMS <= 0 {
+		t.Errorf("profile stage: %+v", st)
+	}
+	if st := snap.Stages[obs.StageSimulate]; st.Count != 1 {
+		t.Errorf("simulate stage: %+v", st)
+	}
+	if len(snap.Stages) != 2 {
+		t.Errorf("unexpected stage families: %+v", snap.Stages)
 	}
 }

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
@@ -174,11 +176,13 @@ func TestWorkloadsHealthzMetrics(t *testing.T) {
 		ProfileRequest{ProfileSpec: ProfileSpec{Workload: "vpr", N: 20_000}}, nil)
 	postJSON(t, ts.URL+"/v1/profile",
 		ProfileRequest{ProfileSpec: ProfileSpec{Workload: "vpr", N: 20_000}}, nil)
+	postJSON(t, ts.URL+"/v1/simulate",
+		SimulateRequest{Profile: ProfileSpec{Workload: "vpr", N: 20_000}, Target: 5_000}, nil)
 	var snap MetricsSnapshot
 	if code := getJSON(t, ts.URL+"/metrics", &snap); code != 200 {
 		t.Fatalf("metrics: %d", code)
 	}
-	if snap.Cache.Hits != 1 || snap.Cache.Misses != 1 || snap.Cache.HitRate != 0.5 {
+	if snap.Cache.Hits != 2 || snap.Cache.Misses != 1 {
 		t.Errorf("cache stats: %+v", snap.Cache)
 	}
 	if ep, ok := snap.Endpoints["/v1/profile"]; !ok || ep.Count != 2 || ep.MeanMS <= 0 {
@@ -186,6 +190,17 @@ func TestWorkloadsHealthzMetrics(t *testing.T) {
 	}
 	if snap.Pool.Workers != 4 || snap.Pool.Completed == 0 {
 		t.Errorf("pool stats: %+v", snap.Pool)
+	}
+	// Stage families: exactly one real profiling run happened (the other
+	// two requests hit the cache), and the simulate request recorded its
+	// reduce/generate/simulate breakdown.
+	if st, ok := snap.Stages[obs.StageProfile]; !ok || st.Count != 1 {
+		t.Errorf("profile stage stats: %+v", snap.Stages)
+	}
+	for _, stage := range []string{obs.StageReduce, obs.StageGenerate, obs.StageSimulate} {
+		if st, ok := snap.Stages[stage]; !ok || st.Count != 1 {
+			t.Errorf("stage %q stats: %+v", stage, snap.Stages[stage])
+		}
 	}
 	_ = svc
 }

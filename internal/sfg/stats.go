@@ -1,0 +1,41 @@
+package sfg
+
+// GraphStats summarises a statistical flow graph for observability
+// surfaces (run manifests, `statsim inspect`, the daemon's profile
+// responses): how big the profile is and how concentrated its mass is.
+type GraphStats struct {
+	K                 int     `json:"k"`
+	Nodes             int     `json:"nodes"`
+	Edges             int     `json:"edges"`
+	TotalInstructions uint64  `json:"total_instructions"`
+	TotalBlocks       uint64  `json:"total_blocks"`
+	AvgOutDegree      float64 `json:"avg_out_degree"`
+	// MaxNodeShare is the occurrence share of the hottest node — a
+	// quick read on how skewed the walk over this graph will be.
+	MaxNodeShare float64 `json:"max_node_share"`
+}
+
+// Stats computes the summary. It is read-only and safe on frozen
+// graphs.
+func (g *Graph) Stats() GraphStats {
+	s := GraphStats{
+		K:                 g.K,
+		Nodes:             len(g.Nodes),
+		Edges:             len(g.Edges),
+		TotalInstructions: g.TotalInstructions,
+		TotalBlocks:       g.TotalBlocks,
+	}
+	if len(g.Nodes) > 0 {
+		s.AvgOutDegree = float64(len(g.Edges)) / float64(len(g.Nodes))
+	}
+	var maxOcc uint64
+	for _, n := range g.Nodes {
+		if n.Occ > maxOcc {
+			maxOcc = n.Occ
+		}
+	}
+	if g.TotalBlocks > 0 {
+		s.MaxNodeShare = float64(maxOcc) / float64(g.TotalBlocks)
+	}
+	return s
+}

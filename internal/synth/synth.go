@@ -130,6 +130,28 @@ func (r *Reduced) AliveNodes() int {
 	return n
 }
 
+// ReduceStats summarises one graph reduction for observability
+// surfaces: how much of the profile survived division by R.
+type ReduceStats struct {
+	R              uint64 `json:"r"`
+	NodesAlive     int    `json:"nodes_alive"`
+	NodesDropped   int    `json:"nodes_dropped"`
+	Occurrences    uint64 `json:"occurrences"` // surviving block instances
+	ExpectedLength uint64 `json:"expected_length"`
+}
+
+// Stats computes the reduction summary.
+func (r *Reduced) Stats() ReduceStats {
+	alive := r.AliveNodes()
+	return ReduceStats{
+		R:              r.opts.R,
+		NodesAlive:     alive,
+		NodesDropped:   len(r.g.Nodes) - alive,
+		Occurrences:    r.total,
+		ExpectedLength: r.ExpectedLength(),
+	}
+}
+
 // TraceSource generates the synthetic trace lazily, block by block; it
 // implements trace.Source so the timing simulator can consume traces of
 // any length in constant memory.

@@ -1,0 +1,64 @@
+package statsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// TestObsDisabledOverhead guards the observability layer's core
+// promise: with a nil recorder, the traced entry points cost nothing
+// measurable — under 5% on the simulate path. The comparison runs the
+// same materialised trace through the plain and nil-traced entry
+// points, taking the minimum of several repetitions of each so
+// scheduler noise cancels; a small absolute slack keeps the ratio
+// meaningful when a run is fast enough for timer granularity to bite.
+func TestObsDisabledOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	w, err := LoadWorkload("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	g, err := Profile(cfg, w.Stream(1, 0, 100_000), ProfileOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSyntheticTrace(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := trace.Collect(src, 0)
+
+	const reps = 7
+	minTime := func(f func()) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			f()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	// Warm up both paths once so neither pays first-run costs.
+	core.SimulateTrace(cfg, trace.NewSliceSource(insts))
+	core.SimulateTraceTraced(nil, cfg, trace.NewSliceSource(insts))
+
+	plain := minTime(func() { core.SimulateTrace(cfg, trace.NewSliceSource(insts)) })
+	traced := minTime(func() { core.SimulateTraceTraced(nil, cfg, trace.NewSliceSource(insts)) })
+
+	// 5% relative budget plus 2ms absolute slack for timer jitter on
+	// very fast runs.
+	budget := plain + plain/20 + 2*time.Millisecond
+	t.Logf("plain %v, nil-traced %v (budget %v)", plain, traced, budget)
+	if traced > budget {
+		t.Errorf("disabled obs path too slow: %v vs plain %v (budget %v)", traced, plain, budget)
+	}
+}
