@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// RegressionThreshold is the relative ns/op increase past which a
+// benchmark is flagged as a regression in compare mode.
+const RegressionThreshold = 0.10
+
+// Delta is one benchmark present in both reports, with the relative
+// ns/op change (positive = slower).
+type Delta struct {
+	Name     string
+	OldNs    float64
+	NewNs    float64
+	Relative float64
+}
+
+// Regressed reports whether the benchmark slowed past the threshold.
+func (d Delta) Regressed() bool { return d.Relative > RegressionThreshold }
+
+// Compare pairs benchmarks by name (ignoring procs differences: CI
+// runners are homogeneous, and a procs change would rename the pair
+// anyway) and computes ns/op deltas, sorted most-regressed first.
+// Benchmarks present in only one report are skipped — a renamed or new
+// benchmark has no meaningful baseline.
+func Compare(old, cur Report) []Delta {
+	base := make(map[string]float64, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		if ns, ok := b.Metrics["ns/op"]; ok && ns > 0 {
+			base[b.Name] = ns
+		}
+	}
+	var ds []Delta
+	for _, b := range cur.Benchmarks {
+		ns, ok := b.Metrics["ns/op"]
+		if !ok || ns <= 0 {
+			continue
+		}
+		oldNs, ok := base[b.Name]
+		if !ok {
+			continue
+		}
+		ds = append(ds, Delta{
+			Name:     b.Name,
+			OldNs:    oldNs,
+			NewNs:    ns,
+			Relative: ns/oldNs - 1,
+		})
+	}
+	sort.SliceStable(ds, func(i, j int) bool { return ds[i].Relative > ds[j].Relative })
+	return ds
+}
+
+// WriteCompare renders a benchstat-style table to w and warning lines
+// for every regression to warnw. It returns the number of regressions.
+func WriteCompare(w, warnw io.Writer, ds []Delta) int {
+	fmt.Fprintf(w, "%-40s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	regressed := 0
+	for _, d := range ds {
+		fmt.Fprintf(w, "%-40s %14.0f %14.0f %+7.1f%%\n", d.Name, d.OldNs, d.NewNs, d.Relative*100)
+		if d.Regressed() {
+			regressed++
+			fmt.Fprintf(warnw, "WARNING: %s regressed %.1f%% (%.0f -> %.0f ns/op, threshold %.0f%%)\n",
+				d.Name, d.Relative*100, d.OldNs, d.NewNs, RegressionThreshold*100)
+		}
+	}
+	return regressed
+}
+
+// runCompare implements `benchjson -compare old.json new.json`.
+// Regressions warn on stderr but exit 0: CI archives every commit's
+// numbers, and a human decides whether a slowdown is real or runner
+// noise (see the bench job in .github/workflows/ci.yml).
+func runCompare(oldPath, newPath string) error {
+	load := func(path string) (Report, error) {
+		var rep Report
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return rep, err
+		}
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return rep, fmt.Errorf("%s: %w", path, err)
+		}
+		return rep, nil
+	}
+	old, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	ds := Compare(old, cur)
+	if len(ds) == 0 {
+		fmt.Println("no common benchmarks to compare")
+		return nil
+	}
+	if n := WriteCompare(os.Stdout, os.Stderr, ds); n > 0 {
+		fmt.Printf("%d of %d benchmarks regressed >%.0f%%\n", n, len(ds), RegressionThreshold*100)
+	}
+	return nil
+}

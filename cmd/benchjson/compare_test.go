@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func report(pairs map[string]float64) Report {
+	var rep Report
+	for name, ns := range pairs {
+		rep.Benchmarks = append(rep.Benchmarks, Benchmark{
+			Name:    name,
+			Procs:   8,
+			Metrics: map[string]float64{"ns/op": ns},
+		})
+	}
+	return rep
+}
+
+func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
+	old := report(map[string]float64{
+		"Profile":  1000,
+		"Generate": 2000,
+		"Simulate": 3000,
+		"Removed":  500,
+	})
+	cur := report(map[string]float64{
+		"Profile":  1095, // +9.5%: inside threshold
+		"Generate": 2300, // +15%: regression
+		"Simulate": 1500, // -50%: improvement
+		"Added":    100,  // no baseline
+	})
+	ds := Compare(old, cur)
+	if len(ds) != 3 {
+		t.Fatalf("got %d deltas, want 3 (added/removed benchmarks must be skipped)", len(ds))
+	}
+	// Sorted most-regressed first.
+	if ds[0].Name != "Generate" || !ds[0].Regressed() {
+		t.Fatalf("worst delta = %+v, want Generate regression", ds[0])
+	}
+	for _, d := range ds[1:] {
+		if d.Regressed() {
+			t.Errorf("%s flagged as regression (%.1f%%)", d.Name, d.Relative*100)
+		}
+	}
+
+	var out, warn bytes.Buffer
+	if n := WriteCompare(&out, &warn, ds); n != 1 {
+		t.Fatalf("WriteCompare reported %d regressions, want 1", n)
+	}
+	if !strings.Contains(warn.String(), "Generate regressed 15.0%") {
+		t.Errorf("warning output missing regression line: %q", warn.String())
+	}
+	if strings.Contains(warn.String(), "Simulate") {
+		t.Errorf("improvement warned about: %q", warn.String())
+	}
+	for _, name := range []string{"Profile", "Generate", "Simulate"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("table missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestCompareEmptyAndMissingMetrics(t *testing.T) {
+	old := report(map[string]float64{"A": 100})
+	cur := Report{Benchmarks: []Benchmark{{Name: "A", Metrics: map[string]float64{"inst/s": 5}}}}
+	if ds := Compare(old, cur); len(ds) != 0 {
+		t.Fatalf("benchmark without ns/op compared: %+v", ds)
+	}
+	if ds := Compare(Report{}, Report{}); len(ds) != 0 {
+		t.Fatalf("empty reports produced deltas: %+v", ds)
+	}
+}

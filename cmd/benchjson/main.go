@@ -7,6 +7,11 @@
 //
 //	go test -run '^$' -bench . -benchmem . | benchjson -o BENCH_abc.json
 //	benchjson -o out.json bench.txt
+//	benchjson -compare BENCH_old.json BENCH_new.json
+//
+// Compare mode prints a benchstat-style ns/op table of two archived
+// reports and warns on stderr for every benchmark that slowed by more
+// than 10%; the exit status stays 0 so CI surfaces rather than blocks.
 package main
 
 import (
@@ -18,7 +23,18 @@ import (
 
 func main() {
 	out := flag.String("o", "-", "output file, '-' for stdout")
+	compare := flag.Bool("compare", false, "compare two JSON reports: benchjson -compare old.json new.json")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two JSON reports, got %v", flag.Args()))
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1)); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() == 1 {

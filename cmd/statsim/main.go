@@ -202,6 +202,8 @@ func cmdProfile(args []string) error {
 	seed := fs.Uint64("seed", 1, "execution seed")
 	k := fs.Int("k", 1, "SFG order")
 	immediate := fs.Bool("immediate", false, "use immediate-update branch profiling")
+	shards := fs.Int("profile-shards", 1, "parallel profiling shards (>1 enables interval-sharded profiling)")
+	shardInterval := fs.Uint64("profile-shard-interval", 0, "sharded profiling slab length (0 = default 65536)")
 	out := fs.String("o", "", "output profile file (required)")
 	ob := obsFlags(fs, "statsim profile")
 	mkCfg := configFlags(fs)
@@ -217,7 +219,7 @@ func cmdProfile(args []string) error {
 	}
 	cfg := mkCfg()
 	g, err := core.ProfileTraced(ob.recorder(), cfg, w.Stream(*seed, 0, *n),
-		core.ProfileOptions{K: *k, ImmediateUpdate: *immediate})
+		core.ProfileOptions{K: *k, ImmediateUpdate: *immediate, Shards: *shards, ShardInterval: *shardInterval})
 	if err != nil {
 		return err
 	}

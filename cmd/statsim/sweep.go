@@ -23,6 +23,7 @@ func cmdSweep(args []string) error {
 	n := fs.Uint64("n", 1_000_000, "instructions to profile (ignored with -profile)")
 	seed := fs.Uint64("seed", 1, "execution seed (ignored with -profile)")
 	k := fs.Int("k", 1, "SFG order (ignored with -profile)")
+	shards := fs.Int("profile-shards", 1, "parallel profiling shards (>1 enables interval-sharded profiling)")
 	grid := fs.String("grid", "quick", "design space: quick (9 points) or paper (1792 points)")
 	target := fs.Uint64("target", 100_000, "synthetic trace length target per point")
 	simSeed := fs.Uint64("sim-seed", 1, "synthetic trace generation seed")
@@ -54,7 +55,7 @@ func cmdSweep(args []string) error {
 		if err != nil {
 			return err
 		}
-		if g, err = core.ProfileTraced(rec, mkCfg(), w.Stream(*seed, 0, *n), core.ProfileOptions{K: *k}); err != nil {
+		if g, err = core.ProfileTraced(rec, mkCfg(), w.Stream(*seed, 0, *n), core.ProfileOptions{K: *k, Shards: *shards}); err != nil {
 			return err
 		}
 	}

@@ -60,6 +60,8 @@ func parseFlags(args []string) (daemonConfig, error) {
 	fs.DurationVar(&c.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown budget on SIGTERM")
 	fs.Uint64Var(&c.opts.MaxProfileInstructions, "max-profile-insts", 50_000_000,
 		"largest accepted profiling stream length")
+	fs.IntVar(&c.opts.ProfileShards, "profile-shards", 1,
+		"parallel profiling shards per job (>1 enables interval-sharded profiling; part of the cache key)")
 	fs.BoolVar(&c.pprof, "pprof", false,
 		"serve net/http/pprof under /debug/pprof/ (CPU, heap, goroutine profiles)")
 	if err := fs.Parse(args); err != nil {

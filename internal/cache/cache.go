@@ -72,12 +72,18 @@ func (c Config) Sets() int { return c.SizeBytes / (c.Assoc * c.BlockBytes) }
 // Cache is a set-associative cache with true-LRU replacement. It is a
 // tag-only model: no data is stored, only presence.
 type Cache struct {
-	cfg      Config
-	sets     int
-	shift    uint
-	setMask  uint64
-	tags     []uint64 // sets*assoc entries; tag 0 encoded via valid bit
-	valid    []bool
+	cfg     Config
+	sets    int
+	assoc   int // == cfg.Assoc, hoisted out of the hot loop
+	repl    Replacement
+	shift   uint
+	setMask uint64
+	// tags holds sets*assoc entries storing blockNumber+1; zero means
+	// the way is invalid. The +1 encoding folds the valid bit into the
+	// tag word so the hit scan is a single compare per way. (The only
+	// unrepresentable line is block number ^uint64(0), which requires a
+	// 1-byte block size and the last byte of the address space.)
+	tags     []uint64
 	lastUsed []uint64 // LRU: last touch; FIFO: insertion tick
 	tick     uint64
 	rng      uint64 // xorshift state for Random replacement
@@ -100,10 +106,11 @@ func New(cfg Config) *Cache {
 	return &Cache{
 		cfg:      cfg,
 		sets:     sets,
+		assoc:    cfg.Assoc,
+		repl:     cfg.Repl,
 		shift:    shift,
 		setMask:  uint64(sets - 1),
 		tags:     make([]uint64, n),
-		valid:    make([]bool, n),
 		lastUsed: make([]uint64, n),
 		rng:      0x2545f4914f6cdd1d,
 	}
@@ -119,38 +126,43 @@ func (c *Cache) Access(addr uint64) bool {
 	c.Accesses++
 	c.tick++
 	blk := addr >> c.shift
-	set := int(blk & c.setMask)
-	tag := blk // full block number as tag; set bits included is harmless
-	base := set * c.cfg.Assoc
-	victim := -1
-	oldest := ^uint64(0)
-	for i := base; i < base+c.cfg.Assoc; i++ {
-		if c.valid[i] && c.tags[i] == tag {
-			if c.cfg.Repl == LRU {
-				c.lastUsed[i] = c.tick
+	tag := blk + 1 // full block number as tag; set bits included is harmless
+	base := int(blk&c.setMask) * c.assoc
+	// Hit scan first: hits dominate, and with the +1 tag encoding the
+	// scan is one compare per way with no victim bookkeeping.
+	ways := c.tags[base : base+c.assoc]
+	for i, t := range ways {
+		if t == tag {
+			if c.repl == LRU {
+				c.lastUsed[base+i] = c.tick
 			}
 			return true
 		}
-		if !c.valid[i] {
-			if victim < 0 || oldest != 0 {
-				victim = i
-				oldest = 0
-			}
-		} else if oldest != 0 && c.lastUsed[i] < oldest {
-			victim = i
-			oldest = c.lastUsed[i]
+	}
+	// Miss: choose a victim — the first invalid way if any (oldest==0
+	// marks that case), else the least-recently-used/oldest-inserted.
+	c.Misses++
+	victim := base
+	oldest := ^uint64(0)
+	for i, t := range ways {
+		if t == 0 {
+			victim = base + i
+			oldest = 0
+			break
+		}
+		if c.lastUsed[base+i] < oldest {
+			victim = base + i
+			oldest = c.lastUsed[base+i]
 		}
 	}
-	c.Misses++
-	if c.cfg.Repl == Random && oldest != 0 {
+	if c.repl == Random && oldest != 0 {
 		// No invalid way: pick a pseudo-random victim.
 		c.rng ^= c.rng << 13
 		c.rng ^= c.rng >> 7
 		c.rng ^= c.rng << 17
-		victim = base + int(c.rng%uint64(c.cfg.Assoc))
+		victim = base + int(c.rng%uint64(c.assoc))
 	}
 	c.tags[victim] = tag
-	c.valid[victim] = true
 	c.lastUsed[victim] = c.tick
 	return false
 }
@@ -158,10 +170,9 @@ func (c *Cache) Access(addr uint64) bool {
 // Probe reports whether addr is resident without updating any state.
 func (c *Cache) Probe(addr uint64) bool {
 	blk := addr >> c.shift
-	set := int(blk & c.setMask)
-	base := set * c.cfg.Assoc
-	for i := base; i < base+c.cfg.Assoc; i++ {
-		if c.valid[i] && c.tags[i] == blk {
+	base := int(blk&c.setMask) * c.assoc
+	for _, t := range c.tags[base : base+c.assoc] {
+		if t == blk+1 {
 			return true
 		}
 	}
@@ -178,8 +189,8 @@ func (c *Cache) MissRate() float64 {
 
 // Reset clears contents and counters.
 func (c *Cache) Reset() {
-	for i := range c.valid {
-		c.valid[i] = false
+	for i := range c.tags {
+		c.tags[i] = 0
 	}
 	c.tick = 0
 	c.Accesses = 0

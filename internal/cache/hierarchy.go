@@ -83,6 +83,38 @@ type Hierarchy struct {
 	// Split accounting of unified-L2 misses (§2.1.2 footnote 1).
 	L2IAccesses, L2IMisses uint64
 	L2DAccesses, L2DMisses uint64
+
+	// Same-line fast path: a repeat access to the line (and therefore
+	// page) just accessed on the same side is a guaranteed L1+TLB hit —
+	// the side's caches are touched by no other call, and re-touching
+	// the MRU way cannot change LRU order — so the set scans are
+	// skipped. Access counters are still advanced, keeping every
+	// observable statistic identical. The shift uses the side's smallest
+	// block size so line equality implies page equality. Stored as
+	// line+1 so zero means "no previous access".
+	iMemo, dMemo   uint64
+	iShift, dShift uint
+
+	// Same-page fast path for the TLBs alone: a new line inside the page
+	// just accessed on the same side is still a guaranteed TLB hit, by
+	// the identical MRU-retouch argument (the side's TLB is touched by no
+	// other call, so the page stayed most recently used). Pages change
+	// ~2 orders of magnitude less often than lines, so this skips almost
+	// every 8-way TLB set scan. Stored as page+1 so zero means "none".
+	iPageMemo, dPageMemo   uint64
+	iPageShift, dPageShift uint
+}
+
+func memoShift(l1, tlb Config) uint {
+	block := l1.BlockBytes
+	if tlb.BlockBytes < block {
+		block = tlb.BlockBytes
+	}
+	shift := uint(0)
+	for 1<<shift != block {
+		shift++
+	}
+	return shift
 }
 
 // NewHierarchy builds a hierarchy; cfg must validate.
@@ -91,12 +123,16 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 		panic(err)
 	}
 	return &Hierarchy{
-		cfg:  cfg,
-		L1I:  New(cfg.L1I),
-		L1D:  New(cfg.L1D),
-		L2:   New(cfg.L2),
-		ITLB: New(cfg.ITLB),
-		DTLB: New(cfg.DTLB),
+		cfg:        cfg,
+		L1I:        New(cfg.L1I),
+		L1D:        New(cfg.L1D),
+		L2:         New(cfg.L2),
+		ITLB:       New(cfg.ITLB),
+		DTLB:       New(cfg.DTLB),
+		iShift:     memoShift(cfg.L1I, cfg.ITLB),
+		dShift:     memoShift(cfg.L1D, cfg.DTLB),
+		iPageShift: memoShift(cfg.ITLB, cfg.ITLB),
+		dPageShift: memoShift(cfg.DTLB, cfg.DTLB),
 	}
 }
 
@@ -106,7 +142,19 @@ func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
 // AccessI performs an instruction fetch at pc.
 func (h *Hierarchy) AccessI(pc uint64) IResult {
 	var r IResult
-	r.TLBMiss = !h.ITLB.Access(pc)
+	if line := pc>>h.iShift + 1; line == h.iMemo {
+		h.ITLB.Accesses++
+		h.L1I.Accesses++
+		return r
+	} else {
+		h.iMemo = line
+	}
+	if page := pc>>h.iPageShift + 1; page == h.iPageMemo {
+		h.ITLB.Accesses++
+	} else {
+		h.iPageMemo = page
+		r.TLBMiss = !h.ITLB.Access(pc)
+	}
 	if !h.L1I.Access(pc) {
 		r.L1Miss = true
 		h.L2IAccesses++
@@ -122,7 +170,19 @@ func (h *Hierarchy) AccessI(pc uint64) IResult {
 // (write-allocate), matching sim-cache's default.
 func (h *Hierarchy) AccessD(addr uint64) DResult {
 	var r DResult
-	r.TLBMiss = !h.DTLB.Access(addr)
+	if line := addr>>h.dShift + 1; line == h.dMemo {
+		h.DTLB.Accesses++
+		h.L1D.Accesses++
+		return r
+	} else {
+		h.dMemo = line
+	}
+	if page := addr>>h.dPageShift + 1; page == h.dPageMemo {
+		h.DTLB.Accesses++
+	} else {
+		h.dPageMemo = page
+		r.TLBMiss = !h.DTLB.Access(addr)
+	}
 	if !h.L1D.Access(addr) {
 		r.L1Miss = true
 		h.L2DAccesses++
@@ -178,4 +238,6 @@ func (h *Hierarchy) Reset() {
 	h.DTLB.Reset()
 	h.L2IAccesses, h.L2IMisses = 0, 0
 	h.L2DAccesses, h.L2DMisses = 0, 0
+	h.iMemo, h.dMemo = 0, 0
+	h.iPageMemo, h.dPageMemo = 0, 0
 }

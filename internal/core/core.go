@@ -64,6 +64,14 @@ type ProfileOptions struct {
 	ImmediateUpdate bool
 	FIFOSize        int    // defaults to cfg.IFQSize
 	Warmup          uint64 // leading instructions that only warm locality state
+
+	// Shards > 1 enables parallel sharded profiling (sfg.ProfileSharded):
+	// the stream is chopped into ShardInterval-length slabs profiled
+	// concurrently and merged deterministically. Sequential profiling
+	// (Shards <= 1) remains the default and the golden reference.
+	Shards        int
+	ShardInterval uint64 // slab length; 0 = sfg.DefaultShardInterval
+	ShardWarmup   uint64 // per-shard warm window; 0 = ShardInterval
 }
 
 // Profile measures the statistical profile of src under the locality
@@ -73,14 +81,22 @@ func Profile(cfg cpu.Config, src trace.Source, opts ProfileOptions) (*sfg.Graph,
 	if fifo == 0 {
 		fifo = cfg.IFQSize
 	}
-	return sfg.Profile(src, sfg.Options{
+	sopts := sfg.Options{
 		K:               opts.K,
 		Hier:            cfg.Hier,
 		Bpred:           cfg.Bpred,
 		ImmediateUpdate: opts.ImmediateUpdate,
 		FIFOSize:        fifo,
 		Warmup:          opts.Warmup,
-	})
+	}
+	if opts.Shards > 1 {
+		return sfg.ProfileSharded(src, sopts, sfg.ShardOptions{
+			Shards:   opts.Shards,
+			Interval: opts.ShardInterval,
+			Warmup:   opts.ShardWarmup,
+		})
+	}
+	return sfg.Profile(src, sopts)
 }
 
 // StatSim runs the full statistical simulation pipeline: reduce the

@@ -1,0 +1,50 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// endlessSource is an unbounded committed stream for steady-state
+// measurements.
+type endlessSource struct{ pc uint64 }
+
+func (s *endlessSource) Next(d *trace.DynInst) bool {
+	*d = trace.DynInst{PC: s.pc}
+	s.pc++
+	return true
+}
+
+// TestStreamBufZeroAllocSteadyState pins the fetch path's allocation
+// behaviour: once the stream buffer has grown to its working size,
+// at/refill/release cycles (chunked in-place refills, in-place
+// compaction) allocate nothing. Skipped under -race: the race runtime
+// instruments allocations.
+func TestStreamBufZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	s := newStreamBuf(&endlessSource{})
+	pos := uint64(0)
+	for ; pos < 100_000; pos++ { // warm: buffer capacity stabilises
+		if s.at(pos) == nil {
+			t.Fatal("endless source reported EOF")
+		}
+		if pos%4096 == 0 {
+			s.release(pos)
+		}
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		for end := pos + 8192; pos < end; pos++ {
+			if s.at(pos) == nil {
+				t.Fatal("endless source reported EOF")
+			}
+			if pos%4096 == 0 {
+				s.release(pos)
+			}
+		}
+	}); a != 0 {
+		t.Errorf("streamBuf at/release: %v allocs/run in steady state, want 0", a)
+	}
+}

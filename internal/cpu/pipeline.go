@@ -2,7 +2,7 @@ package cpu
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/bpred"
 	"repro/internal/cache"
@@ -465,8 +465,18 @@ func (p *Pipeline) issueOutOfOrder() (uint64, bool) {
 	// Oldest-first selection. Stream positions order in-flight entries
 	// totally: wrong-path entries are strictly younger than every
 	// correct-path entry, and positions are unique among live entries.
-	sort.Slice(p.ready, func(i, j int) bool {
-		return p.ruu[p.ready[i]].pos < p.ruu[p.ready[j]].pos
+	// slices.SortFunc rather than sort.Slice: the comparator is total,
+	// so both produce the same order, and SortFunc does not allocate a
+	// reflect-based swapper every cycle.
+	slices.SortFunc(p.ready, func(a, b int32) int {
+		pa, pb := p.ruu[a].pos, p.ruu[b].pos
+		switch {
+		case pa < pb:
+			return -1
+		case pa > pb:
+			return 1
+		}
+		return 0
 	})
 	issued := uint64(0)
 	sawReady := false

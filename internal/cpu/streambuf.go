@@ -7,20 +7,26 @@ import "repro/internal/trace"
 // upcoming instructions "as if they were from the incorrect path"
 // (§2.3), squashes them when the branch resolves, and re-fetches the
 // same instructions as the correct path.
+//
+// The source is consumed through the batch interface: refills read one
+// chunk directly into the buffer's tail, so steady-state fetch performs
+// no per-instruction interface calls and no allocation (the buffer is
+// grown manually and compacted in place by release).
 type streamBuf struct {
-	src  trace.Source
+	src  trace.BatchSource
 	base uint64 // stream position of buf[0]
 	buf  []trace.DynInst
 	eof  bool
 }
 
 func newStreamBuf(src trace.Source) *streamBuf {
-	return &streamBuf{src: src}
+	return &streamBuf{src: trace.Batched(src)}
 }
 
 // at returns the instruction at stream position pos, pulling from the
 // source as needed; nil once the stream is exhausted. pos must be
-// >= the last release point.
+// >= the last release point. Refills are chunked, so the buffer may run
+// up to one chunk ahead of pos.
 func (s *streamBuf) at(pos uint64) *trace.DynInst {
 	if pos < s.base {
 		panic("cpu: streamBuf access below release point")
@@ -29,14 +35,26 @@ func (s *streamBuf) at(pos uint64) *trace.DynInst {
 		if s.eof {
 			return nil
 		}
-		var d trace.DynInst
-		if !s.src.Next(&d) {
-			s.eof = true
-			return nil
-		}
-		s.buf = append(s.buf, d)
+		s.refill()
 	}
 	return &s.buf[pos-s.base]
+}
+
+// refill appends up to one chunk of instructions, reading in place into
+// the buffer's spare capacity.
+func (s *streamBuf) refill() {
+	n := len(s.buf)
+	if cap(s.buf)-n < trace.DefaultBatchSize {
+		grown := make([]trace.DynInst, n, 2*cap(s.buf)+trace.DefaultBatchSize)
+		copy(grown, s.buf)
+		s.buf = grown
+	}
+	k := s.src.NextBatch(s.buf[n : n+trace.DefaultBatchSize])
+	if k == 0 {
+		s.eof = true
+		return
+	}
+	s.buf = s.buf[:n+k]
 }
 
 // release discards buffered instructions below pos (already committed),

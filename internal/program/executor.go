@@ -241,6 +241,18 @@ func max64(a, b uint64) uint64 {
 	return b
 }
 
+// NextBatch implements trace.BatchSource. A synthetic program never
+// terminates, so every batch comes back full; callers bound runs with
+// trace.LimitSource (whose batch path clips the final chunk) or an
+// explicit count. Next fully initialises every field of each record, so
+// recycled chunk buffers never leak stale data.
+func (e *Executor) NextBatch(dst []trace.DynInst) int {
+	for i := range dst {
+		e.Next(&dst[i])
+	}
+	return len(dst)
+}
+
 // Skip fast-forwards the executor by n instructions without producing
 // output records (used to position phase windows).
 func (e *Executor) Skip(n uint64) {
@@ -259,4 +271,7 @@ func (e *Executor) Run(n int) []trace.DynInst {
 	return out
 }
 
-var _ trace.Source = (*Executor)(nil)
+var (
+	_ trace.Source      = (*Executor)(nil)
+	_ trace.BatchSource = (*Executor)(nil)
+)

@@ -23,6 +23,11 @@ type ProfileKey struct {
 	// default false is the paper's delayed-update discipline. Part of
 	// the key because it changes the measured branch statistics.
 	Immediate bool `json:"immediate,omitempty"`
+	// Shards records the server's parallel-profiling setting (0 or 1 =
+	// sequential). Part of the key because sharded locality/mispredict
+	// counts are a bounded approximation of the sequential ones, not
+	// bit-identical.
+	Shards int `json:"shards,omitempty"`
 }
 
 // profileCall is one in-flight profiling run that coalesced requests

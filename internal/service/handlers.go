@@ -54,6 +54,12 @@ type Options struct {
 	// Faults injects deterministic failures for chaos testing; nil in
 	// production.
 	Faults *fault.Injector
+	// ProfileShards, when > 1, profiles cache-miss requests with
+	// interval-sharded parallelism (core.ProfileOptions.Shards). Sharded
+	// results differ slightly from sequential ones (bounded warm-up
+	// approximation), so the shard count is part of ProfileKey and
+	// changing it never aliases cached sequential profiles.
+	ProfileShards int
 }
 
 func (o Options) withDefaults() Options {
@@ -260,7 +266,11 @@ func (p ProfileSpec) key(opts Options) (ProfileKey, error) {
 	if p.Seed == 0 {
 		p.Seed = 1
 	}
-	return ProfileKey{Workload: p.Workload, K: p.K, N: p.N, Seed: p.Seed, Immediate: p.Immediate}, nil
+	shards := opts.ProfileShards
+	if shards <= 1 {
+		shards = 0
+	}
+	return ProfileKey{Workload: p.Workload, K: p.K, N: p.N, Seed: p.Seed, Immediate: p.Immediate, Shards: shards}, nil
 }
 
 // resolveProfile returns the (frozen) graph for the spec. On an
@@ -296,7 +306,7 @@ func (s *Server) resolveProfile(ctx context.Context, rec *obs.Recorder, spec Pro
 					return badRequest("%v", err)
 				}
 				g, err = core.ProfileTraced(rec, cpu.DefaultConfig(), w.Stream(key.Seed, 0, key.N),
-					core.ProfileOptions{K: key.K, ImmediateUpdate: key.Immediate})
+					core.ProfileOptions{K: key.K, ImmediateUpdate: key.Immediate, Shards: key.Shards})
 				return err
 			})
 		})

@@ -48,10 +48,15 @@ func (a *AddrProfile) observe(addr uint64) {
 			a.Max = addr
 		}
 		delta := int64(addr) - int64(a.prev)
-		if _, ok := a.Strides[delta]; ok || len(a.Strides) < MaxDistinctStrides {
+		// Below the cap every delta is admitted, so the increment alone
+		// suffices (one map operation); only a full table needs the
+		// membership probe first.
+		if len(a.Strides) < MaxDistinctStrides {
 			if a.Strides == nil {
 				a.Strides = make(map[int64]uint64)
 			}
+			a.Strides[delta]++
+		} else if _, ok := a.Strides[delta]; ok {
 			a.Strides[delta]++
 		} else {
 			a.Overflow++

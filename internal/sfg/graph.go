@@ -179,14 +179,23 @@ func (g *Graph) node(h histKey) *Node {
 // edge returns (creating if necessary) the edge from node from for
 // block, wiring it to the shifted destination node.
 func (g *Graph) edge(from *Node, block int32) *Edge {
-	key := edgeKey{from: from.ID, block: block}
-	if id, ok := g.edgeIdx[key]; ok {
+	// Out holds every edge leaving from, so a short scan is a complete
+	// lookup; loop bodies and two-way branches resolve within a couple
+	// of compares, skipping the map hash. High-degree nodes (indirect
+	// branches) fall back to the index map.
+	if out := from.Out; len(out) <= 8 {
+		for _, eid := range out {
+			if e := g.Edges[eid]; e.Block == block {
+				return e
+			}
+		}
+	} else if id, ok := g.edgeIdx[edgeKey{from: from.ID, block: block}]; ok {
 		return g.Edges[id]
 	}
 	to := g.node(from.Hist.shift(block, g.K))
 	e := &Edge{ID: int32(len(g.Edges)), From: from.ID, To: to.ID, Block: block}
 	g.Edges = append(g.Edges, e)
-	g.edgeIdx[key] = e.ID
+	g.edgeIdx[edgeKey{from: from.ID, block: block}] = e.ID
 	from.Out = append(from.Out, e.ID)
 	to.In = append(to.In, e.ID)
 	return e

@@ -52,31 +52,63 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Profile builds an order-k statistical flow graph from the committed
-// instruction stream src (step 1 of Figure 1). The stream must carry
-// valid BlockID/Index annotations (as produced by the functional
-// executor).
-func Profile(src trace.Source, opts Options) (*Graph, error) {
-	opts = opts.withDefaults()
-	if opts.K < 0 || opts.K > MaxK {
-		return nil, fmt.Errorf("sfg: order %d outside [0,%d]", opts.K, MaxK)
+func (o Options) validate() error {
+	if o.K < 0 || o.K > MaxK {
+		return fmt.Errorf("sfg: order %d outside [0,%d]", o.K, MaxK)
 	}
-	if err := opts.Hier.Validate(); err != nil {
-		return nil, err
+	if err := o.Hier.Validate(); err != nil {
+		return err
 	}
-	if err := opts.Bpred.Validate(); err != nil {
-		return nil, err
-	}
+	return o.Bpred.Validate()
+}
 
-	g := NewGraph(opts.K)
-	hier := cache.NewHierarchy(opts.Hier)
+// profiler is the resumable core of statistical profiling: it consumes
+// the committed stream chunk by chunk and accumulates an SFG. Profile
+// drives one over a whole stream; ProfileSharded drives one per shard.
+type profiler struct {
+	g     *Graph
+	hier  *cache.Hierarchy
+	bprof bpred.BranchProfiler
+	opts  Options
+
+	hist histKey
+	cur  *Edge
+	// node caches the graph node whose Hist equals hist (nil until the
+	// first recorded block). Successive transitions walk edge.To, so
+	// steady-state profiling never looks the history key up in the node
+	// map at all.
+	node *Node
+
+	// Warm-up state: warmLeft instructions only warm cache/predictor
+	// state; afterwards recording still waits for the next block
+	// boundary so it never starts mid-block (phantom instruction slots
+	// would otherwise pollute the first edge). warmHist additionally
+	// warms the k-block history key during the warm window — used by
+	// sharded profiling, where the warm prefix is the true predecessor
+	// stream, so the first recorded edge hangs off its real context.
+	warmLeft      uint64
+	awaitBoundary bool
+	warmHist      bool
+}
+
+// newProfiler builds a profiler; opts must have defaults applied and be
+// validated.
+func newProfiler(opts Options, warm uint64, warmHist bool) *profiler {
+	p := &profiler{
+		g:             NewGraph(opts.K),
+		hier:          cache.NewHierarchy(opts.Hier),
+		opts:          opts,
+		hist:          emptyHist(),
+		warmLeft:      warm,
+		awaitBoundary: warm > 0,
+		warmHist:      warmHist,
+	}
 	pred := bpred.New(opts.Bpred)
-
 	onBranch := func(tag uint64, o bpred.Outcome) {
 		if tag == warmupTag {
 			return
 		}
-		e := g.Edges[tag]
+		e := p.g.Edges[tag]
 		e.BrCount++
 		if o.Taken {
 			e.BrTaken++
@@ -87,45 +119,69 @@ func Profile(src trace.Source, opts Options) (*Graph, error) {
 			e.BrRedirect++
 		}
 	}
-	var bprof bpred.BranchProfiler
 	if opts.ImmediateUpdate {
-		bprof = &bpred.ImmediateProfiler{Pred: pred, Emit: onBranch}
+		p.bprof = &bpred.ImmediateProfiler{Pred: pred, Emit: onBranch}
 	} else {
-		bprof = bpred.NewDelayedProfiler(pred, opts.FIFOSize, onBranch)
+		p.bprof = bpred.NewDelayedProfiler(pred, opts.FIFOSize, onBranch)
 	}
+	return p
+}
 
-	hist := emptyHist()
-	var cur *Edge
-	var d trace.DynInst
-	warmLeft := opts.Warmup
-	for src.Next(&d) {
+// warmInst runs one instruction through the cache and predictor models
+// without recording it in the graph.
+func (p *profiler) warmInst(d *trace.DynInst) {
+	if p.warmHist && d.Index == 0 {
+		p.hist = p.hist.shift(d.BlockID, p.g.K)
+	}
+	p.hier.AccessI(d.PC)
+	if d.Class.IsMem() {
+		p.hier.AccessD(d.EffAddr)
+	}
+	if d.Class.IsBranch() {
+		p.bprof.Feed(d.PC, d.Class, d.Taken, d.NextPC, warmupTag)
+	} else {
+		p.bprof.Feed(d.PC, d.Class, false, 0, warmupTag)
+	}
+}
+
+// feed processes one chunk of the committed stream.
+func (p *profiler) feed(chunk []trace.DynInst) error {
+	g := p.g
+	for i := range chunk {
+		d := &chunk[i]
 		if d.BlockID < 0 {
-			return nil, fmt.Errorf("sfg: instruction %d lacks a basic-block annotation", d.Seq)
+			return fmt.Errorf("sfg: instruction %d lacks a basic-block annotation", d.Seq)
 		}
-		// Warm until the budget is spent AND a block boundary is reached,
-		// so recording never starts mid-block (phantom instruction slots
-		// would otherwise pollute the first edge).
-		if warmLeft > 0 || (opts.Warmup > 0 && cur == nil && d.Index != 0) {
-			if warmLeft > 0 {
-				warmLeft--
-			}
-			hier.AccessI(d.PC)
-			if d.Class.IsMem() {
-				hier.AccessD(d.EffAddr)
-			}
-			if d.Class.IsBranch() {
-				bprof.Feed(d.PC, d.Class, d.Taken, d.NextPC, warmupTag)
-			} else {
-				bprof.Feed(d.PC, d.Class, false, 0, warmupTag)
-			}
+		// Warm until the budget is spent AND a block boundary is
+		// reached (see the profiler struct comment).
+		if p.warmLeft > 0 {
+			p.warmLeft--
+			p.warmInst(d)
 			continue
 		}
+		if p.awaitBoundary {
+			if d.Index != 0 {
+				p.warmInst(d)
+				continue
+			}
+			p.awaitBoundary = false
+		}
+		cur := p.cur
 		if d.Index == 0 || cur == nil {
-			from := g.node(hist)
+			from := p.node
+			if from == nil {
+				from = g.node(p.hist)
+			}
 			cur = g.edge(from, d.BlockID)
+			p.cur = cur
 			cur.Count++
-			hist = hist.shift(d.BlockID, g.K)
-			g.Nodes[g.nodeIdx[hist]].Occ++
+			p.hist = p.hist.shift(d.BlockID, g.K)
+			// edge() wired cur.To to node(from.Hist.shift(block, K)),
+			// which is exactly the node for the freshly shifted history —
+			// no map lookup needed.
+			to := g.Nodes[cur.To]
+			to.Occ++
+			p.node = to
 			g.TotalBlocks++
 		}
 		g.TotalInstructions++
@@ -146,21 +202,21 @@ func Profile(src trace.Source, opts Options) (*Graph, error) {
 		for op := 0; op < int(d.NumSrcs); op++ {
 			if dd := d.DepDist[op]; dd > 0 {
 				if ip.Dep[op] == nil {
-					ip.Dep[op] = stats.NewHistogram(opts.DepMax)
+					ip.Dep[op] = stats.NewHistogram(p.opts.DepMax)
 				}
 				ip.Dep[op].Add(int(dd))
 			}
 		}
 		if d.WAWDist > 0 {
 			if ip.WAW == nil {
-				ip.WAW = stats.NewHistogram(opts.DepMax)
+				ip.WAW = stats.NewHistogram(p.opts.DepMax)
 			}
 			ip.WAW.Add(int(d.WAWDist))
 		}
 
 		// I-side locality (§2.1.2), resolved to the instruction slot.
 		cur.Fetches++
-		ir := hier.AccessI(d.PC)
+		ir := p.hier.AccessI(d.PC)
 		if ir.L1Miss {
 			cur.L1IMiss++
 			ip.L1IMiss++
@@ -182,7 +238,7 @@ func Profile(src trace.Source, opts Options) (*Graph, error) {
 				ip.Addr = &AddrProfile{}
 			}
 			ip.Addr.observe(d.EffAddr)
-			dr := hier.AccessD(d.EffAddr)
+			dr := p.hier.AccessD(d.EffAddr)
 			if d.Class == isa.Store {
 				cur.Stores++
 			} else {
@@ -204,13 +260,43 @@ func Profile(src trace.Source, opts Options) (*Graph, error) {
 
 		// Branch behaviour, through the configured update discipline.
 		if d.Class.IsBranch() {
-			bprof.Feed(d.PC, d.Class, d.Taken, d.NextPC, uint64(cur.ID))
+			p.bprof.Feed(d.PC, d.Class, d.Taken, d.NextPC, uint64(cur.ID))
 		} else {
-			bprof.Feed(d.PC, d.Class, false, 0, 0)
+			p.bprof.Feed(d.PC, d.Class, false, 0, 0)
 		}
 	}
-	bprof.Flush()
-	return g, nil
+	return nil
+}
+
+// finish flushes the delayed branch FIFO at end of stream.
+func (p *profiler) finish() { p.bprof.Flush() }
+
+// Profile builds an order-k statistical flow graph from the committed
+// instruction stream src (step 1 of Figure 1). The stream must carry
+// valid BlockID/Index annotations (as produced by the functional
+// executor). The stream is consumed through the batch interface with a
+// pooled chunk buffer, so per-instruction interface dispatch and
+// steady-state allocation are both gone from the hot loop.
+func Profile(src trace.Source, opts Options) (*Graph, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	p := newProfiler(opts, opts.Warmup, false)
+	bs := trace.Batched(src)
+	buf := trace.GetBatch()
+	defer trace.PutBatch(buf)
+	for {
+		n := bs.NextBatch(buf)
+		if n == 0 {
+			break
+		}
+		if err := p.feed(buf[:n]); err != nil {
+			return nil, err
+		}
+	}
+	p.finish()
+	return p.g, nil
 }
 
 // MispredictsPerKI returns branch mispredictions per 1,000 profiled

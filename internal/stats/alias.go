@@ -1,0 +1,80 @@
+package stats
+
+// AliasTable is the O(1)-expected sampling index used by the synthetic
+// trace generator's random walk. It is built once over a frozen
+// cumulative distribution and replaces the per-sample binary search
+// with a single guided probe.
+//
+// Soundness note (see DESIGN.md "Performance architecture"): a textbook
+// Walker alias table partitions probability mass into equal columns and
+// therefore maps a given uniform variate u to a *different* outcome
+// than inverse-CDF sampling does, even though the distributions match.
+// That would silently re-route the shared RNG stream and break the
+// byte-identical golden corpus. This implementation instead keeps the
+// exact inverse-transform semantics — target = floor(u·total), clamped
+// to total−1, answer = first index i with cum[i] > target — and
+// accelerates the search with a guide table: bucket j (a 2^shift-wide
+// slice of the weight space) stores the first index whose cumulative
+// weight exceeds the bucket's start, so a lookup is one indexed load
+// plus a short forward scan. Every (u → index) mapping is bit-identical
+// to the binary search it replaces.
+type AliasTable struct {
+	cum   []uint64 // non-decreasing cumulative weights; last = total
+	guide []int32  // guide[j] = first i with cum[i] > j<<shift
+	total uint64
+	shift uint
+}
+
+// NewAliasTable builds the index over a non-decreasing cumulative
+// weight sequence whose last element is the total weight. It panics on
+// an empty distribution. The slice is retained, not copied: callers
+// must not mutate it afterwards.
+func NewAliasTable(cum []uint64) *AliasTable {
+	if len(cum) == 0 || cum[len(cum)-1] == 0 {
+		panic("stats: alias table over empty distribution")
+	}
+	total := cum[len(cum)-1]
+	// Widen buckets until the guide is at most ~2x the number of
+	// distribution entries, bounding memory while keeping the expected
+	// forward scan O(1).
+	var shift uint
+	for total>>shift > uint64(2*len(cum)) {
+		shift++
+	}
+	// Only targets in [0, total) are ever looked up, so the last bucket
+	// starts at or below total-1 and a valid answer always exists.
+	nb := int((total-1)>>shift) + 1
+	guide := make([]int32, nb)
+	var i int32
+	for j := 0; j < nb; j++ {
+		start := uint64(j) << shift
+		for cum[i] <= start {
+			i++
+		}
+		guide[j] = i
+	}
+	return &AliasTable{cum: cum, guide: guide, total: total, shift: shift}
+}
+
+// Total returns the total weight.
+func (a *AliasTable) Total() uint64 { return a.total }
+
+// Lookup returns the first index i with cum[i] > target. target must be
+// in [0, total).
+func (a *AliasTable) Lookup(target uint64) int {
+	i := a.guide[target>>a.shift]
+	for a.cum[i] <= target {
+		i++
+	}
+	return int(i)
+}
+
+// Sample maps a uniform variate u in [0,1) to an index, bit-identically
+// to the binary-search inverse-CDF sampling it replaces.
+func (a *AliasTable) Sample(u float64) int {
+	target := uint64(u * float64(a.total))
+	if target >= a.total {
+		target = a.total - 1
+	}
+	return a.Lookup(target)
+}

@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// refLookup is the binary search the alias table replaced: first index
+// i with cum[i] > target. The alias table must reproduce it exactly for
+// every target, since the synthetic-trace RNG stream depends on the
+// (u → index) mapping bit for bit.
+func refLookup(cum []uint64, target uint64) int {
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] <= target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func cumFromWeights(weights []uint64) []uint64 {
+	cum := make([]uint64, len(weights))
+	var t uint64
+	for i, w := range weights {
+		t += w
+		cum[i] = t
+	}
+	return cum
+}
+
+func TestAliasMatchesBinarySearch(t *testing.T) {
+	rng := NewRNG(42)
+	cases := [][]uint64{
+		{1},
+		{5},
+		{1, 1},
+		{0, 3},       // leading zero weight
+		{3, 0, 0, 7}, // interior zero run
+		{0, 0, 1},    // answer past zero run
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		{1000000, 1, 1, 1},      // heavy head
+		{1, 1, 1, 1000000},      // heavy tail
+		{7, 0, 11, 0, 0, 13, 2}, // mixed
+	}
+	// Plus randomized distributions of varying size and skew.
+	for i := 0; i < 20; i++ {
+		n := 1 + int(rng.Uint64()%200)
+		w := make([]uint64, n)
+		for j := range w {
+			switch rng.Uint64() % 4 {
+			case 0:
+				w[j] = 0
+			case 1:
+				w[j] = rng.Uint64() % 3
+			default:
+				w[j] = rng.Uint64() % 10000
+			}
+		}
+		var total uint64
+		for _, x := range w {
+			total += x
+		}
+		if total == 0 {
+			w[0] = 1
+		}
+		cases = append(cases, w)
+	}
+
+	for ci, w := range cases {
+		cum := cumFromWeights(w)
+		a := NewAliasTable(cum)
+		total := cum[len(cum)-1]
+		// Exhaustive over targets when small, sampled when large.
+		if total <= 100000 {
+			for target := uint64(0); target < total; target++ {
+				if got, want := a.Lookup(target), refLookup(cum, target); got != want {
+					t.Fatalf("case %d target %d: alias %d, binary search %d", ci, target, got, want)
+				}
+			}
+		} else {
+			for k := 0; k < 100000; k++ {
+				target := rng.Uint64() % total
+				if got, want := a.Lookup(target), refLookup(cum, target); got != want {
+					t.Fatalf("case %d target %d: alias %d, binary search %d", ci, target, got, want)
+				}
+			}
+		}
+		// And via the float path both ends take.
+		for k := 0; k < 10000; k++ {
+			u := rng.Float64()
+			target := uint64(u * float64(total))
+			if target >= total {
+				target = total - 1
+			}
+			if got, want := a.Sample(u), refLookup(cum, target); got != want {
+				t.Fatalf("case %d u %v: alias %d, binary search %d", ci, u, got, want)
+			}
+		}
+	}
+}
+
+func TestHistogramSampleMatchesPreAliasSemantics(t *testing.T) {
+	// The histogram's sparse sampling cache must keep mapping each u to
+	// the same value the pre-alias binary search produced. Rebuild the
+	// sparse (value, cumulative) pairs independently and compare.
+	rng := NewRNG(7)
+	h := NewHistogram(MaxDependencyDistance)
+	for i := 0; i < 5000; i++ {
+		h.Add(1 + int(rng.Uint64()%600)) // exercises clamping at Max
+	}
+	var vals []int32
+	var cum []uint64
+	var run uint64
+	for v := 1; v <= h.Max; v++ {
+		if c := h.Count(v); c != 0 {
+			run += c
+			vals = append(vals, int32(v))
+			cum = append(cum, run)
+		}
+	}
+	for k := 0; k < 200000; k++ {
+		u := rng.Float64()
+		target := uint64(u * float64(h.Total()))
+		if target >= h.Total() {
+			target = h.Total() - 1
+		}
+		want := int(vals[refLookup(cum, target)])
+		if got := h.Sample(u); got != want {
+			t.Fatalf("u %v: histogram sample %d, reference %d", u, got, want)
+		}
+	}
+}
+
+// TestAliasChiSquare checks that alias-table sampling reproduces the
+// source distribution: a chi-square goodness-of-fit test of observed
+// draw frequencies against the histogram's own probabilities.
+func TestAliasChiSquare(t *testing.T) {
+	rng := NewRNG(99)
+	weights := []uint64{50, 200, 10, 740, 120, 33, 1, 446}
+	cum := cumFromWeights(weights)
+	a := NewAliasTable(cum)
+	total := float64(cum[len(cum)-1])
+
+	const draws = 400000
+	obs := make([]uint64, len(weights))
+	for i := 0; i < draws; i++ {
+		obs[a.Sample(rng.Float64())]++
+	}
+	var chi2 float64
+	for i, w := range weights {
+		exp := float64(w) / total * draws
+		if exp == 0 {
+			if obs[i] != 0 {
+				t.Fatalf("drew zero-weight index %d", i)
+			}
+			continue
+		}
+		d := float64(obs[i]) - exp
+		chi2 += d * d / exp
+	}
+	// 7 degrees of freedom; p=0.001 critical value is 24.32. A correct
+	// sampler fails this with probability 0.1%, and the RNG seed is
+	// fixed so the test is deterministic.
+	if chi2 > 24.32 {
+		t.Fatalf("chi-square %v exceeds critical value 24.32 (7 dof, p=0.001); observed %v, weights %v", chi2, obs, weights)
+	}
+}
+
+// TestAliasGuideBounds exercises degenerate shapes: single entry, huge
+// totals forcing wide guide buckets, and totals landing exactly on
+// bucket boundaries.
+func TestAliasGuideBounds(t *testing.T) {
+	for _, total := range []uint64{1, 2, 3, 255, 256, 257, 1 << 20} {
+		a := NewAliasTable([]uint64{total})
+		for _, target := range []uint64{0, total / 2, total - 1} {
+			if got := a.Lookup(target); got != 0 {
+				t.Fatalf("total %d target %d: got %d, want 0", total, target, got)
+			}
+		}
+		if got := a.Sample(math.Nextafter(1, 0)); got != 0 {
+			t.Fatalf("total %d u→1: got %d, want 0", total, got)
+		}
+	}
+	// Two entries splitting a power-of-two total exactly in half.
+	a := NewAliasTable([]uint64{512, 1024})
+	for target := uint64(0); target < 1024; target++ {
+		want := 0
+		if target >= 512 {
+			want = 1
+		}
+		if got := a.Lookup(target); got != want {
+			t.Fatalf("target %d: got %d, want %d", target, got, want)
+		}
+	}
+}

@@ -17,17 +17,25 @@ type Histogram struct {
 	counts []uint64
 	total  uint64
 
-	// Sparse cumulative cache for sampling: (value, cumulative-count)
-	// pairs over the non-empty buckets, rebuilt lazily after mutation.
-	// Profiling mutates histograms heavily and never samples; synthesis
-	// samples heavily and never mutates — the cache serves the latter
-	// without taxing the former.
-	cum []cumEntry
+	// Sparse sampling cache over the non-empty buckets, rebuilt lazily
+	// after mutation: interleaved (cumulative count, value) entries plus
+	// a guide table giving O(1)-expected lookups with the same
+	// inverse-CDF (u → value) mapping as a linear or binary search over
+	// the raw counts (see AliasTable for the soundness argument; the
+	// guide here is the same construction). The entries are interleaved
+	// rather than parallel slices so one sample touches one or two cache
+	// lines instead of four. Profiling mutates histograms heavily and
+	// never samples; synthesis samples heavily and never mutates — the
+	// cache serves the latter without taxing the former.
+	entries []histEntry
+	guide   []int32
+	gshift  uint
 }
 
-type cumEntry struct {
-	v int32
-	c uint64
+// histEntry pairs a cumulative count with its bucket value.
+type histEntry struct {
+	cum uint64
+	val int32
 }
 
 // NewHistogram returns an empty histogram over [1, max].
@@ -53,7 +61,16 @@ func (h *Histogram) Add(v int) {
 	}
 	h.counts[v]++
 	h.total++
-	h.cum = nil
+	h.invalidate()
+}
+
+func (h *Histogram) invalidate() {
+	// Skip the pointer stores (and their write barriers) when there is
+	// no cache to drop — the overwhelmingly common case, since profiling
+	// mutates millions of times before anything ever samples.
+	if h.entries != nil {
+		h.entries, h.guide = nil, nil
+	}
 }
 
 // AddN records n observations of v.
@@ -72,7 +89,7 @@ func (h *Histogram) AddN(v int, n uint64) {
 	}
 	h.counts[v] += n
 	h.total += n
-	h.cum = nil
+	h.invalidate()
 }
 
 // Total returns the number of recorded observations.
@@ -102,39 +119,61 @@ func (h *Histogram) Mean() float64 {
 }
 
 // Sample draws a value from the empirical distribution using u, a
-// uniform variate in [0,1). It panics on an empty histogram.
+// uniform variate in [0,1). It panics on an empty histogram. The
+// (u → value) mapping is the inverse-CDF transform, preserved
+// bit-identically by the alias-table fast path (see AliasTable).
 func (h *Histogram) Sample(u float64) int {
 	if h.total == 0 {
 		panic("stats: sampling empty histogram")
 	}
-	if h.cum == nil {
+	if h.entries == nil {
 		h.buildCum()
 	}
 	target := uint64(u * float64(h.total))
 	if target >= h.total {
 		target = h.total - 1
 	}
-	lo, hi := 0, len(h.cum)-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if h.cum[mid].c <= target {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
+	i := h.guide[target>>h.gshift]
+	for h.entries[i].cum <= target {
+		i++
 	}
-	return int(h.cum[lo].v)
+	return int(h.entries[i].val)
 }
 
 func (h *Histogram) buildCum() {
+	n := 0
+	for _, c := range h.counts {
+		if c != 0 {
+			n++
+		}
+	}
+	entries := make([]histEntry, 0, n)
 	var run uint64
 	for v, c := range h.counts {
 		if c == 0 {
 			continue
 		}
 		run += c
-		h.cum = append(h.cum, cumEntry{v: int32(v), c: run})
+		entries = append(entries, histEntry{cum: run, val: int32(v)})
 	}
+	// Guide construction mirrors NewAliasTable: bucket j holds the first
+	// entry whose cumulative count exceeds j<<gshift, with the bucket
+	// width widened until the guide is at most ~2x the entry count.
+	var shift uint
+	for h.total>>shift > uint64(2*n) {
+		shift++
+	}
+	nb := int((h.total-1)>>shift) + 1
+	guide := make([]int32, nb)
+	var gi int32
+	for j := 0; j < nb; j++ {
+		start := uint64(j) << shift
+		for entries[gi].cum <= start {
+			gi++
+		}
+		guide[j] = gi
+	}
+	h.entries, h.guide, h.gshift = entries, guide, shift
 }
 
 // Freeze eagerly builds the cumulative sampling cache. A frozen
@@ -143,7 +182,7 @@ func (h *Histogram) buildCum() {
 // call is read-only. Any later Add/Merge un-freezes the histogram
 // (profiling and sampling phases never overlap in this framework).
 func (h *Histogram) Freeze() {
-	if h.total != 0 && h.cum == nil {
+	if h.total != 0 && h.entries == nil {
 		h.buildCum()
 	}
 }
@@ -187,7 +226,7 @@ func (h *Histogram) Merge(o *Histogram) {
 		h.counts[v] += c
 	}
 	h.total += o.total
-	h.cum = nil
+	h.invalidate()
 }
 
 // Clone returns a deep copy of h.

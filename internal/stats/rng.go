@@ -14,7 +14,10 @@ import "math"
 //
 // The zero value is not usable; construct with NewRNG.
 type RNG struct {
-	s [4]uint64
+	// Four named words rather than an array: scalar field accesses keep
+	// Uint64 inside the compiler's inlining budget (array indexing is
+	// charged enough to push it over).
+	s0, s1, s2, s3 uint64
 }
 
 // NewRNG returns a generator seeded from seed using splitmix64, which
@@ -23,29 +26,43 @@ func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
 	// splitmix64 to expand the seed into 256 bits of state.
 	x := seed
-	for i := range r.s {
+	for i := 0; i < 4; i++ {
 		x += 0x9e3779b97f4a7c15
 		z := x
 		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		r.s[i] = z ^ (z >> 31)
+		z ^= z >> 31
+		switch i {
+		case 0:
+			r.s0 = z
+		case 1:
+			r.s1 = z
+		case 2:
+			r.s2 = z
+		case 3:
+			r.s3 = z
+		}
 	}
 	return r
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
-// Uint64 returns the next 64 random bits.
+// Uint64 returns the next 64 random bits. The xoshiro step is written
+// with the rotations expanded and the state in locals so the method
+// fits the compiler's inlining budget — it sits on the innermost
+// random-walk sampling path.
 func (r *RNG) Uint64() uint64 {
-	result := rotl(r.s[1]*5, 7) * 9
-	t := r.s[1] << 17
-	r.s[2] ^= r.s[0]
-	r.s[3] ^= r.s[1]
-	r.s[1] ^= r.s[2]
-	r.s[0] ^= r.s[3]
-	r.s[2] ^= t
-	r.s[3] = rotl(r.s[3], 45)
-	return result
+	s1 := r.s1
+	x := s1 * 5
+	x = (x<<7 | x>>57) * 9
+	s2 := r.s2 ^ r.s0
+	s3 := r.s3 ^ s1
+	r.s1 = s1 ^ s2
+	r.s0 ^= s3
+	r.s2 = s2 ^ s1<<17
+	r.s3 = s3<<45 | s3>>19
+	return x
 }
 
 // Float64 returns a uniform float64 in [0, 1).

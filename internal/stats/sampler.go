@@ -102,11 +102,13 @@ func (s *WeightedSampler) SetWeight(i int, w uint64) {
 }
 
 // CDF is an immutable cumulative distribution over [0, n) built once
-// from weights; Sample is O(log n) by binary search. It is cheaper than
-// WeightedSampler when weights never change (e.g. edge transition
-// probabilities).
+// from weights; Sample is O(1) expected via an alias (guide) table that
+// preserves the inverse-CDF (u → index) mapping bit-identically. It is
+// cheaper than WeightedSampler when weights never change (e.g. edge
+// transition probabilities).
 type CDF struct {
-	cum []uint64
+	cum  []uint64
+	samp *AliasTable
 }
 
 // NewCDF builds a CDF from the given weights.
@@ -117,7 +119,11 @@ func NewCDF(weights []uint64) *CDF {
 		t += w
 		cum[i] = t
 	}
-	return &CDF{cum: cum}
+	c := &CDF{cum: cum}
+	if t != 0 {
+		c.samp = NewAliasTable(cum)
+	}
+	return c
 }
 
 // Total returns the total weight.
@@ -131,22 +137,8 @@ func (c *CDF) Total() uint64 {
 // Sample maps a uniform variate u in [0,1) to an index. It panics when
 // the total weight is zero.
 func (c *CDF) Sample(u float64) int {
-	total := c.Total()
-	if total == 0 {
+	if c.samp == nil {
 		panic("stats: sampling from empty CDF")
 	}
-	target := uint64(u * float64(total))
-	if target >= total {
-		target = total - 1
-	}
-	lo, hi := 0, len(c.cum)-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if c.cum[mid] <= target {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
+	return c.samp.Sample(u)
 }

@@ -65,8 +65,12 @@ type Reduced struct {
 	occ      []uint64 // floored node occurrences
 	alive    []bool
 	aliveOut [][]int32    // per node: surviving out-edge IDs
+	outCDF   []*stats.CDF // per node: CDF over aliveOut edge counts (step-9 fast path)
 	inCDF    []*stats.CDF // per node: CDF over ALL in-edge counts (entry stats)
 	total    uint64       // sum of floored occurrences
+
+	maxBlock int // longest block (instructions) among surviving edges
+	maxOut   int // largest surviving out-degree
 }
 
 // Reduce builds the reduced graph for the given options.
@@ -81,6 +85,7 @@ func Reduce(g *sfg.Graph, opts Options) (*Reduced, error) {
 		occ:      make([]uint64, len(g.Nodes)),
 		alive:    make([]bool, len(g.Nodes)),
 		aliveOut: make([][]int32, len(g.Nodes)),
+		outCDF:   make([]*stats.CDF, len(g.Nodes)),
 		inCDF:    make([]*stats.CDF, len(g.Nodes)),
 	}
 	for i, n := range g.Nodes {
@@ -91,6 +96,13 @@ func Reduce(g *sfg.Graph, opts Options) (*Reduced, error) {
 	if r.total == 0 {
 		return nil, fmt.Errorf("synth: R=%d removes every node (profile has %d blocks)", opts.R, g.TotalBlocks)
 	}
+	// Build every sampling structure the walk needs up front, so the
+	// per-step hot path is allocation-free: alias-backed CDFs over out-
+	// and in-edges, eagerly frozen dependency histograms (Freeze is
+	// idempotent; for a shared graph the service freezes before fan-out
+	// and this pass is read-only), and buffer bounds for the trace
+	// source's preallocated scratch space.
+	g.Freeze()
 	for i, n := range g.Nodes {
 		if !r.alive[i] {
 			continue
@@ -102,10 +114,26 @@ func Reduce(g *sfg.Graph, opts Options) (*Reduced, error) {
 			}
 		}
 		r.aliveOut[i] = out
+		if len(out) > r.maxOut {
+			r.maxOut = len(out)
+		}
+		if len(out) > 0 {
+			wo := make([]uint64, len(out))
+			for j, eid := range out {
+				wo[j] = g.Edges[eid].Count
+				if insts := len(g.Edges[eid].Insts); insts > r.maxBlock {
+					r.maxBlock = insts
+				}
+			}
+			r.outCDF[i] = stats.NewCDF(wo)
+		}
 		if len(n.In) > 0 {
 			wi := make([]uint64, len(n.In))
 			for j, eid := range n.In {
 				wi[j] = g.Edges[eid].Count
+				if insts := len(g.Edges[eid].Insts); insts > r.maxBlock {
+					r.maxBlock = insts
+				}
 			}
 			r.inCDF[i] = stats.NewCDF(wi)
 		}
@@ -168,9 +196,19 @@ type TraceSource struct {
 	bufPos int
 	done   bool
 
-	// Scratch buffers for the per-step outgoing-edge choice.
+	// Scratch buffers for the per-step outgoing-edge choice
+	// (preallocated to the graph's maximum out-degree).
 	candEdges   []int32
 	candWeights []uint64
+
+	// depleted[n] counts in-edges of exhausted nodes arriving at
+	// targets reachable from n: while depleted[cur] == 0, every
+	// aliveOut target of cur still has occurrence budget and the step-9
+	// draw can use the precomputed alias-backed out-edge CDF (O(1))
+	// instead of rebuilding the candidate set — bit-identical, since
+	// the candidate set equals aliveOut and both paths consume one
+	// uniform variate with the same inverse-CDF mapping.
+	depleted []int32
 
 	// Synthetic-address state (SyntheticAddresses option): per-slot
 	// walk positions and sampling-ready stride tables.
@@ -188,12 +226,16 @@ const destRing = 2048 // > MaxDependencyDistance, power of two
 // NewTrace starts a fresh stochastic walk over the reduced graph.
 func (r *Reduced) NewTrace(seed uint64) *TraceSource {
 	t := &TraceSource{
-		r:         r,
-		rng:       stats.NewRNG(seed),
-		nodeOcc:   stats.NewWeightedSampler(r.occ),
-		remaining: r.total,
-		cur:       -1,
-		hasDest:   make([]bool, destRing),
+		r:           r,
+		rng:         stats.NewRNG(seed),
+		nodeOcc:     stats.NewWeightedSampler(r.occ),
+		remaining:   r.total,
+		cur:         -1,
+		hasDest:     make([]bool, destRing),
+		buf:         make([]trace.DynInst, 0, r.maxBlock),
+		candEdges:   make([]int32, 0, r.maxOut),
+		candWeights: make([]uint64, 0, r.maxOut),
+		depleted:    make([]int32, len(r.g.Nodes)),
 	}
 	if r.opts.SyntheticAddresses {
 		t.addrStates = make(map[int64]*addrState)
@@ -214,6 +256,25 @@ func (t *TraceSource) Next(out *trace.DynInst) bool {
 	return true
 }
 
+// NextBatch implements trace.BatchSource: it drains whole blocks of
+// the walk into dst, copying straight out of the block buffer, so
+// batch consumers skip the per-instruction Next dispatch.
+func (t *TraceSource) NextBatch(dst []trace.DynInst) int {
+	n := 0
+	for n < len(dst) {
+		if t.bufPos >= len(t.buf) {
+			if !t.step() {
+				break
+			}
+			continue
+		}
+		c := copy(dst[n:], t.buf[t.bufPos:])
+		t.bufPos += c
+		n += c
+	}
+	return n
+}
+
 // step advances the walk by one basic block, refilling the buffer.
 // It returns false when the trace is complete.
 //
@@ -231,35 +292,51 @@ func (t *TraceSource) step() bool {
 		return false
 	}
 	// Step 9: follow an outgoing edge by transition probability, among
-	// targets that still have occurrence budget.
+	// targets that still have occurrence budget. While no reachable
+	// target is depleted the candidate set is exactly aliveOut and the
+	// draw goes through the precomputed alias-backed CDF; otherwise the
+	// candidate set is rebuilt by the filtering scan. Both paths map
+	// the uniform variate through the same inverse-CDF transform, so
+	// the choice of path never changes the outcome.
 	if t.cur >= 0 {
-		t.candEdges = t.candEdges[:0]
-		t.candWeights = t.candWeights[:0]
-		var total uint64
-		for _, eid := range t.r.aliveOut[t.cur] {
-			e := t.r.g.Edges[eid]
-			if t.nodeOcc.Weight(int(e.To)) > 0 {
-				t.candEdges = append(t.candEdges, eid)
-				t.candWeights = append(t.candWeights, e.Count)
-				total += e.Count
+		if t.depleted[t.cur] == 0 {
+			if cdf := t.r.outCDF[t.cur]; cdf != nil {
+				eid := t.r.aliveOut[t.cur][cdf.Sample(t.rng.Float64())]
+				e := t.r.g.Edges[eid]
+				t.emitBlock(e)
+				t.cur = e.To
+				t.consume(t.cur)
+				return true
 			}
-		}
-		if total > 0 {
-			target := uint64(t.rng.Float64() * float64(total))
-			var cum uint64
-			eid := t.candEdges[len(t.candEdges)-1]
-			for i, w := range t.candWeights {
-				cum += w
-				if target < cum {
-					eid = t.candEdges[i]
-					break
+		} else {
+			t.candEdges = t.candEdges[:0]
+			t.candWeights = t.candWeights[:0]
+			var total uint64
+			for _, eid := range t.r.aliveOut[t.cur] {
+				e := t.r.g.Edges[eid]
+				if t.nodeOcc.Weight(int(e.To)) > 0 {
+					t.candEdges = append(t.candEdges, eid)
+					t.candWeights = append(t.candWeights, e.Count)
+					total += e.Count
 				}
 			}
-			e := t.r.g.Edges[eid]
-			t.emitBlock(e)
-			t.cur = e.To
-			t.consume(t.cur)
-			return true
+			if total > 0 {
+				target := uint64(t.rng.Float64() * float64(total))
+				var cum uint64
+				eid := t.candEdges[len(t.candEdges)-1]
+				for i, w := range t.candWeights {
+					cum += w
+					if target < cum {
+						eid = t.candEdges[i]
+						break
+					}
+				}
+				e := t.r.g.Edges[eid]
+				t.emitBlock(e)
+				t.cur = e.To
+				t.consume(t.cur)
+				return true
+			}
 		}
 	}
 	// Step 1: select a node through the cumulative occurrence
@@ -286,10 +363,19 @@ func (t *TraceSource) step() bool {
 	return true
 }
 
-// consume decrements the occurrence of node n (step 2).
+// consume decrements the occurrence of node n (step 2). When n's
+// budget reaches zero, every predecessor is flagged so its step-9 draw
+// falls back to the depletion-filtering scan.
 func (t *TraceSource) consume(n int32) {
 	if t.nodeOcc.Decrement(int(n)) {
 		t.remaining--
+		if t.nodeOcc.Weight(int(n)) == 0 {
+			for _, eid := range t.r.g.Nodes[n].In {
+				if from := t.r.g.Edges[eid].From; t.r.alive[from] {
+					t.depleted[from]++
+				}
+			}
+		}
 	}
 	if t.remaining == 0 {
 		t.done = true
@@ -449,4 +535,7 @@ func (t *TraceSource) bernoulli(num, den uint64) bool {
 // Generated returns how many instructions have been emitted so far.
 func (t *TraceSource) Generated() uint64 { return t.seq }
 
-var _ trace.Source = (*TraceSource)(nil)
+var (
+	_ trace.Source      = (*TraceSource)(nil)
+	_ trace.BatchSource = (*TraceSource)(nil)
+)

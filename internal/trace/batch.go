@@ -1,0 +1,165 @@
+package trace
+
+import "sync"
+
+// DefaultBatchSize is the chunk length used by the batch adapters and
+// by batch-native producers. It is large enough to amortise interface
+// dispatch to well under a nanosecond per instruction and small enough
+// (72 KiB of DynInst) to stay cache-resident.
+const DefaultBatchSize = 1024
+
+// BatchSource produces the dynamic instruction stream in chunks,
+// amortising per-instruction interface dispatch on the hot paths
+// (functional execution, profiling, synthetic generation, fetch).
+//
+// Contract: NextBatch fills a prefix of dst and returns its length.
+// Every element of dst[:n] must be fully initialised — dst may hold
+// stale records recycled from a previous refill. A return of 0 means
+// end of stream and is sticky: subsequent calls keep returning 0. A
+// short (non-zero) return does NOT signal end of stream; callers must
+// keep calling until 0. NextBatch must not retain dst.
+type BatchSource interface {
+	NextBatch(dst []DynInst) int
+}
+
+// batchPool recycles chunk buffers used by the adapters so steady-state
+// streaming does not allocate.
+var batchPool = sync.Pool{
+	New: func() any { return make([]DynInst, DefaultBatchSize) },
+}
+
+// GetBatch returns a DefaultBatchSize chunk buffer from the shared
+// pool; return it with PutBatch when done.
+func GetBatch() []DynInst { return batchPool.Get().([]DynInst) }
+
+// PutBatch returns a chunk buffer obtained from GetBatch to the pool.
+func PutBatch(buf []DynInst) {
+	if cap(buf) >= DefaultBatchSize {
+		batchPool.Put(buf[:DefaultBatchSize])
+	}
+}
+
+// batcher adapts a per-instruction Source to BatchSource.
+type batcher struct {
+	src Source
+	eof bool
+}
+
+// Batched returns a BatchSource view of src. If src already implements
+// BatchSource it is returned directly, so adapting is free for
+// batch-native producers and chains of adapters collapse.
+func Batched(src Source) BatchSource {
+	if bs, ok := src.(BatchSource); ok {
+		return bs
+	}
+	return &batcher{src: src}
+}
+
+// NextBatch implements BatchSource.
+func (b *batcher) NextBatch(dst []DynInst) int {
+	if b.eof {
+		return 0
+	}
+	n := 0
+	for n < len(dst) && b.src.Next(&dst[n]) {
+		n++
+	}
+	if n < len(dst) {
+		b.eof = true
+	}
+	return n
+}
+
+// unbatcher adapts a BatchSource to the per-instruction Source
+// interface, refilling a pooled chunk as needed.
+type unbatcher struct {
+	src  BatchSource
+	buf  []DynInst
+	pos  int
+	n    int
+	done bool
+}
+
+// Unbatched returns a Source view of src. If src already implements
+// Source it is returned directly.
+func Unbatched(src BatchSource) Source {
+	if s, ok := src.(Source); ok {
+		return s
+	}
+	return &unbatcher{src: src}
+}
+
+// Next implements Source.
+func (u *unbatcher) Next(out *DynInst) bool {
+	for u.pos >= u.n {
+		if u.done {
+			return false
+		}
+		if u.buf == nil {
+			u.buf = GetBatch()
+		}
+		u.n = u.src.NextBatch(u.buf)
+		u.pos = 0
+		if u.n == 0 {
+			u.done = true
+			PutBatch(u.buf)
+			u.buf = nil
+			return false
+		}
+	}
+	*out = u.buf[u.pos]
+	u.pos++
+	return true
+}
+
+// NextBatch implements BatchSource on SliceSource: the stream is
+// already materialised, so chunks are copied straight out of the
+// backing slice.
+func (s *SliceSource) NextBatch(dst []DynInst) int {
+	n := copy(dst, s.Insts[s.pos:])
+	s.pos += n
+	return n
+}
+
+// NextBatch implements BatchSource on LimitSource, clipping the final
+// chunk at the limit. The inner batched view is cached across calls so
+// adapter state (buffered lookahead is none — batcher pulls exactly
+// what is asked) survives between refills.
+func (l *LimitSource) NextBatch(dst []DynInst) int {
+	if l.seen >= l.N {
+		return 0
+	}
+	if l.batch == nil {
+		l.batch = Batched(l.Src)
+	}
+	if rem := l.N - l.seen; uint64(len(dst)) > rem {
+		dst = dst[:rem]
+	}
+	n := l.batch.NextBatch(dst)
+	l.seen += uint64(n)
+	return n
+}
+
+// CollectBatch drains up to max instructions from src into a slice
+// through the batch interface. A max of 0 means no limit.
+func CollectBatch(src BatchSource, max int) []DynInst {
+	var out []DynInst
+	buf := GetBatch()
+	defer PutBatch(buf)
+	for {
+		chunk := buf
+		if max > 0 {
+			if rem := max - len(out); rem < len(chunk) {
+				chunk = chunk[:rem]
+			}
+		}
+		n := src.NextBatch(chunk)
+		if n == 0 {
+			return out
+		}
+		out = append(out, chunk[:n]...)
+		if max > 0 && len(out) >= max {
+			return out
+		}
+	}
+}

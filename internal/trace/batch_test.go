@@ -1,0 +1,180 @@
+package trace
+
+import "testing"
+
+// seqInsts builds n distinguishable instructions.
+func seqInsts(n int) []DynInst {
+	out := make([]DynInst, n)
+	for i := range out {
+		out[i].Seq = uint64(i)
+		out[i].PC = uint64(i) * 8
+	}
+	return out
+}
+
+// checkStream verifies that insts are the first len(insts) records of
+// the canonical sequence.
+func checkStream(t *testing.T, insts []DynInst, want int) {
+	t.Helper()
+	if len(insts) != want {
+		t.Fatalf("got %d instructions, want %d", len(insts), want)
+	}
+	for i, d := range insts {
+		if d.Seq != uint64(i) || d.PC != uint64(i)*8 {
+			t.Fatalf("instruction %d corrupted: %+v", i, d)
+		}
+	}
+}
+
+func TestBatchedRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, DefaultBatchSize - 1, DefaultBatchSize, DefaultBatchSize + 1, 3 * DefaultBatchSize} {
+		src := NewSliceSource(seqInsts(n))
+		got := Collect(Unbatched(Batched(src)), 0)
+		checkStream(t, got, n)
+	}
+}
+
+// TestBatcherAdaptsPlainSource forces the pull-loop adapter (FuncSource
+// does not implement BatchSource) and checks sticky EOF.
+func TestBatcherAdaptsPlainSource(t *testing.T) {
+	const n = DefaultBatchSize + 7
+	insts := seqInsts(n)
+	pos := 0
+	var plain Source = FuncSource(func(out *DynInst) bool {
+		if pos >= len(insts) {
+			return false
+		}
+		*out = insts[pos]
+		pos++
+		return true
+	})
+	bs := Batched(plain)
+	if _, ok := bs.(*batcher); !ok {
+		t.Fatalf("expected pull-loop adapter, got %T", bs)
+	}
+	buf := make([]DynInst, DefaultBatchSize)
+	var got []DynInst
+	for {
+		k := bs.NextBatch(buf)
+		if k == 0 {
+			break
+		}
+		got = append(got, buf[:k]...)
+	}
+	checkStream(t, got, n)
+	for i := 0; i < 3; i++ {
+		if k := bs.NextBatch(buf); k != 0 {
+			t.Fatalf("EOF not sticky: NextBatch returned %d", k)
+		}
+	}
+}
+
+// TestLimitSourceBatchMidChunk puts the limit in the middle of a chunk:
+// the final chunk must be clipped exactly at N and the underlying
+// source must not be consumed past it.
+func TestLimitSourceBatchMidChunk(t *testing.T) {
+	const limit = DefaultBatchSize + DefaultBatchSize/2
+	under := NewSliceSource(seqInsts(4 * DefaultBatchSize))
+	l := &LimitSource{Src: under, N: limit}
+	buf := make([]DynInst, DefaultBatchSize)
+	var got []DynInst
+	for {
+		k := l.NextBatch(buf)
+		if k == 0 {
+			break
+		}
+		got = append(got, buf[:k]...)
+	}
+	checkStream(t, got, limit)
+	// The next record of the underlying stream must still be available:
+	// the limit clip may not over-consume.
+	var d DynInst
+	if !under.Next(&d) || d.Seq != limit {
+		t.Fatalf("underlying source over-consumed: next=%+v", d)
+	}
+}
+
+// TestLimitSourceBatchEmptyFinalChunk exhausts the limit exactly on a
+// chunk boundary: the final NextBatch call must return an empty (zero)
+// chunk, sticky thereafter.
+func TestLimitSourceBatchEmptyFinalChunk(t *testing.T) {
+	const limit = 2 * DefaultBatchSize
+	l := &LimitSource{Src: NewSliceSource(seqInsts(4 * DefaultBatchSize)), N: limit}
+	buf := make([]DynInst, DefaultBatchSize)
+	total := 0
+	for i := 0; i < 2; i++ {
+		if k := l.NextBatch(buf); k != DefaultBatchSize {
+			t.Fatalf("chunk %d: got %d, want full chunk", i, k)
+		}
+		total += DefaultBatchSize
+	}
+	for i := 0; i < 3; i++ {
+		if k := l.NextBatch(buf); k != 0 {
+			t.Fatalf("expected empty final chunk, got %d", k)
+		}
+	}
+	if total != limit {
+		t.Fatalf("delivered %d, want %d", total, limit)
+	}
+}
+
+// TestLimitSourceShortUnderlying checks the limit does not mask a
+// shorter underlying stream.
+func TestLimitSourceShortUnderlying(t *testing.T) {
+	const n = 100
+	l := &LimitSource{Src: NewSliceSource(seqInsts(n)), N: 1000}
+	got := CollectBatch(l, 0)
+	checkStream(t, got, n)
+}
+
+func TestCollectMax(t *testing.T) {
+	for _, tc := range []struct{ n, max, want int }{
+		{3 * DefaultBatchSize, 0, 3 * DefaultBatchSize},
+		{3 * DefaultBatchSize, DefaultBatchSize + 13, DefaultBatchSize + 13},
+		{10, 100, 10},
+		{0, 5, 0},
+	} {
+		src := NewSliceSource(seqInsts(tc.n))
+		got := Collect(src, tc.max)
+		checkStream(t, got, tc.want)
+		if tc.max > 0 && tc.n > tc.max {
+			// Collect must not consume past max.
+			var d DynInst
+			if !src.Next(&d) || d.Seq != uint64(tc.max) {
+				t.Fatalf("Collect over-consumed: next=%+v", d)
+			}
+		}
+	}
+}
+
+// TestUnbatchedIdentity checks that adapting in either direction is
+// free when the source is already of the requested shape.
+func TestUnbatchedIdentity(t *testing.T) {
+	s := NewSliceSource(seqInsts(1))
+	if Batched(s) != BatchSource(s) {
+		t.Fatal("Batched re-wrapped a batch-native source")
+	}
+	if Unbatched(s) != Source(s) {
+		t.Fatal("Unbatched re-wrapped a plain source")
+	}
+}
+
+// TestUnbatcherStaleBuffer checks the contract that producers fully
+// initialise dst[:n]: the unbatcher recycles its chunk buffer, so a
+// producer writing partial records would leak stale fields.
+func TestUnbatcherStaleBuffer(t *testing.T) {
+	const n = 2*DefaultBatchSize + 5
+	u := Unbatched(Batched(FuncSource(func(out *DynInst) bool { return false })))
+	var d DynInst
+	if u.Next(&d) {
+		t.Fatal("empty stream produced an instruction")
+	}
+	src := NewSliceSource(seqInsts(n))
+	got := Collect(Unbatched(&forceBatch{src: src}), 0)
+	checkStream(t, got, n)
+}
+
+// forceBatch hides SliceSource's Source methods so Unbatched must wrap.
+type forceBatch struct{ src *SliceSource }
+
+func (f *forceBatch) NextBatch(dst []DynInst) int { return f.src.NextBatch(dst) }

@@ -100,6 +100,8 @@ type LimitSource struct {
 	Src  Source
 	N    uint64
 	seen uint64
+
+	batch BatchSource // cached batched view of Src (see NextBatch)
 }
 
 // Next implements Source.
@@ -115,17 +117,11 @@ func (l *LimitSource) Next(out *DynInst) bool {
 }
 
 // Collect drains up to max instructions from src into a slice. A max of
-// 0 means no limit.
+// 0 means no limit. It streams through the batch interface (batch-native
+// sources deliver chunks directly; plain sources are adapted) and never
+// consumes past max.
 func Collect(src Source, max int) []DynInst {
-	var out []DynInst
-	var d DynInst
-	for src.Next(&d) {
-		out = append(out, d)
-		if max > 0 && len(out) >= max {
-			break
-		}
-	}
-	return out
+	return CollectBatch(Batched(src), max)
 }
 
 // FuncSource adapts a closure to the Source interface.

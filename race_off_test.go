@@ -1,0 +1,5 @@
+//go:build !race
+
+package statsim
+
+const raceEnabled = false
