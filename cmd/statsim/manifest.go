@@ -32,13 +32,16 @@ func obsFlags(fs *flag.FlagSet, tool string) *runObs {
 }
 
 // recorder returns the recorder to thread through the pipeline: nil
-// (disabled) unless -stats or -trace was given.
+// (disabled) unless -stats or -trace was given. An enabled recorder is
+// stamped with a freshly minted trace ID, so a CLI invocation's
+// manifest carries the same kind of identifier a daemon request does.
 func (o *runObs) recorder() *obs.Recorder {
 	if o.statsPath == "" && o.tracePath == "" {
 		return nil
 	}
 	if o.rec == nil {
 		o.rec = obs.New()
+		o.rec.SetTraceID(obs.NewTraceID())
 	}
 	return o.rec
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -31,6 +32,7 @@ func cmdSweep(args []string) error {
 	top := fs.Int("top", 0, "print only the N lowest-EDP points (0 = all, in grid order)")
 	journal := fs.String("journal", "", "checkpoint file: completed points are appended as they finish")
 	resume := fs.Bool("resume", false, "reuse an existing -journal file, recomputing only missing points")
+	showProgress := fs.Bool("progress", false, "print live completion progress to stderr")
 	mkCfg := configFlags(fs)
 	ob := obsFlags(fs, "statsim sweep")
 	if err := fs.Parse(args); err != nil {
@@ -75,13 +77,28 @@ func cmdSweep(args []string) error {
 		defer j.Close()
 	}
 
+	var progressFn func(int, service.SweepResult)
+	if *showProgress {
+		var completed atomic.Int64
+		if j != nil {
+			completed.Store(int64(j.Resumed()))
+		}
+		total := int64(len(points))
+		step := max(total/20, 1)
+		progressFn = func(int, service.SweepResult) {
+			if n := completed.Add(1); n%step == 0 || n == total {
+				fmt.Fprintf(os.Stderr, "sweep: %d/%d points\n", n, total)
+			}
+		}
+	}
+
 	pool := service.NewPool(*workers)
 	defer pool.Drain(context.Background())
 	// The sweep interleaves reduce/generate/simulate per point across
 	// workers; one aggregate span is the honest attribution.
 	sp := rec.Start("sweep")
 	results, resumed, err := service.SweepWithJournal(context.Background(), pool, mkCfg(), g,
-		points, red, *simSeed, j, nil)
+		points, red, *simSeed, j, nil, progressFn)
 	sp.End()
 	if err != nil {
 		return err

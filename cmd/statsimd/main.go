@@ -5,15 +5,21 @@
 //
 // Endpoints:
 //
-//	POST /v1/profile    profile a workload into a cached SFG
-//	POST /v1/simulate   statistical simulation of one configuration
-//	POST /v1/sweep      parallel design-space sweep from one profile
-//	GET  /v1/workloads  list the built-in benchmarks
-//	GET  /healthz       liveness/readiness and load (503 while draining or shedding)
-//	GET  /metrics       cache/pool/store/latency/stage statistics (JSON)
-//	GET  /debug/pprof/  runtime profiles (only with -pprof)
+//	POST /v1/profile         profile a workload into a cached SFG
+//	POST /v1/simulate        statistical simulation of one configuration
+//	POST /v1/sweep           parallel design-space sweep from one profile
+//	GET  /v1/workloads       list the built-in benchmarks
+//	GET  /v1/debug/requests  the flight recorder: recent request events
+//	GET  /v1/sweep/progress  live sweep progress as server-sent events
+//	GET  /healthz            liveness/readiness, load, build provenance
+//	GET  /metrics            statistics (JSON; ?format=prometheus for scrape)
+//	GET  /debug/pprof/       runtime profiles (only with -pprof)
 //
-// See the "Running statsimd" section of README.md for curl examples.
+// Every request is answered with an X-Request-Id header (honouring a
+// well-formed inbound one), and the same trace ID keys the structured
+// log lines, the flight-recorder events, the run manifests and the SSE
+// progress stream. See the "Running statsimd" section of README.md for
+// curl examples.
 package main
 
 import (
@@ -21,7 +27,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -39,6 +46,12 @@ type daemonConfig struct {
 	opts         service.Options
 	drainTimeout time.Duration
 	pprof        bool
+	logLevel     string
+	logFormat    string
+
+	// ready, when non-nil, receives the bound listen address once the
+	// daemon is serving — how the smoke test finds a :0 listener.
+	ready chan<- net.Addr
 }
 
 func parseFlags(args []string) (daemonConfig, error) {
@@ -64,23 +77,56 @@ func parseFlags(args []string) (daemonConfig, error) {
 		"parallel profiling shards per job (>1 enables interval-sharded profiling; part of the cache key)")
 	fs.BoolVar(&c.pprof, "pprof", false,
 		"serve net/http/pprof under /debug/pprof/ (CPU, heap, goroutine profiles)")
+	fs.StringVar(&c.logLevel, "log-level", "info", "log level: debug, info, warn or error")
+	fs.StringVar(&c.logFormat, "log-format", "json", "log format: json or text")
+	fs.IntVar(&c.opts.FlightRecorderSize, "flight-records", 256,
+		"request events retained by the flight recorder (GET /v1/debug/requests)")
+	fs.StringVar(&c.opts.ManifestDir, "manifest-dir", "",
+		"write one JSON run manifest per successful profile/simulate/sweep request here (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return c, err
 	}
 	if fs.NArg() != 0 {
 		return c, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	if _, err := c.logger(io.Discard); err != nil {
+		return c, err
+	}
 	return c, nil
+}
+
+// logger builds the structured logger the -log-level and -log-format
+// flags describe.
+func (c daemonConfig) logger(w io.Writer) (*slog.Logger, error) {
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(c.logLevel)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", c.logLevel)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch c.logFormat {
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want json or text)", c.logFormat)
+	}
 }
 
 func main() {
 	c, err := parseFlags(os.Args[1:])
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "statsimd:", err)
+		os.Exit(2)
+	}
+	logger, err := c.logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statsimd:", err)
 		os.Exit(2)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, c, log.New(os.Stderr, "statsimd: ", log.LstdFlags)); err != nil {
+	if err := run(ctx, c, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "statsimd:", err)
 		os.Exit(1)
 	}
@@ -102,8 +148,10 @@ func withPprof(h http.Handler) http.Handler {
 }
 
 // run serves until ctx is cancelled (SIGINT/SIGTERM in main), then
-// drains in-flight work within the drain budget.
-func run(ctx context.Context, c daemonConfig, logger *log.Logger) error {
+// drains in-flight work within the drain budget. The logger feeds both
+// the daemon's lifecycle lines and the service's per-request telemetry.
+func run(ctx context.Context, c daemonConfig, logger *slog.Logger) error {
+	c.opts.Logger = logger
 	svc, err := service.New(c.opts)
 	if err != nil {
 		return err
@@ -126,8 +174,11 @@ func run(ctx context.Context, c daemonConfig, logger *log.Logger) error {
 	if st := svc.Store(); st != nil {
 		durable = "cache-dir " + st.Dir()
 	}
-	logger.Printf("listening on http://%s (workers=%d cache=%d, %s)",
-		ln.Addr(), svc.Pool().Stats().Workers, c.opts.CacheSize, durable)
+	logger.Info("listening", "addr", fmt.Sprintf("http://%s", ln.Addr()),
+		"workers", svc.Pool().Stats().Workers, "cache", c.opts.CacheSize, "durable", durable)
+	if c.ready != nil {
+		c.ready <- ln.Addr()
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
@@ -137,17 +188,17 @@ func run(ctx context.Context, c daemonConfig, logger *log.Logger) error {
 		return err
 	case <-ctx.Done():
 	}
-	logger.Printf("shutting down: draining for up to %s", c.drainTimeout)
+	logger.Info("shutting down", "drain_timeout", c.drainTimeout.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), c.drainTimeout)
 	defer cancel()
 	// Stop accepting connections and wait for handlers first, then for
 	// the pool's queued jobs.
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		logger.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err.Error())
 	}
 	if err := svc.Close(drainCtx); err != nil && !errors.Is(err, service.ErrPoolClosed) {
-		logger.Printf("pool drain: %v", err)
+		logger.Warn("pool drain", "err", err.Error())
 	}
-	logger.Printf("bye")
+	logger.Info("bye")
 	return nil
 }

@@ -3,7 +3,7 @@ package main
 import (
 	"context"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -12,6 +12,10 @@ import (
 
 	"repro/internal/service"
 )
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
 
 func TestParseFlags(t *testing.T) {
 	c, err := parseFlags([]string{"-addr", ":0", "-workers", "3", "-cache", "2", "-job-timeout", "1s"})
@@ -36,7 +40,7 @@ func TestRunStartsAndDrains(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- run(ctx, c, log.New(io.Discard, "", 0)) }()
+	go func() { done <- run(ctx, c, discardLogger()) }()
 	time.Sleep(100 * time.Millisecond) // let the listener come up
 	cancel()
 	select {
@@ -54,7 +58,7 @@ func TestRunRejectsBadAddr(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), c, log.New(io.Discard, "", 0)); err == nil {
+	if err := run(context.Background(), c, discardLogger()); err == nil {
 		t.Error("bad listen address accepted")
 	}
 }
@@ -84,7 +88,7 @@ func TestRunRejectsUnusableCacheDir(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), c, log.New(io.Discard, "", 0)); err == nil {
+	if err := run(context.Background(), c, discardLogger()); err == nil {
 		t.Error("file used as cache-dir accepted")
 	}
 }

@@ -1,0 +1,357 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe log sink: handlers log concurrently
+// with the test's reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// postJSON posts a JSON body with an explicit X-Request-Id and decodes
+// the JSON reply into out, returning the echoed trace ID.
+func postJSON(t *testing.T, url, traceID, body string, out any) string {
+	t.Helper()
+	req, err := http.NewRequest("POST", url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", traceID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		var e struct{ Error string }
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("POST %s: status %d (%s)", url, resp.StatusCode, e.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("POST %s: decoding reply: %v", url, err)
+	}
+	return resp.Header.Get("X-Request-Id")
+}
+
+// promLine matches one exposition sample:  name{labels} value  or
+// name value.
+var promLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (NaN|[+-]?Inf|-?[0-9.]+(?:[eE][+-]?[0-9]+)?)$`)
+
+// checkPrometheus validates the scrape body: every sample's family has
+// HELP and TYPE preamble, every line parses, and the required families
+// are present. Returns the set of (family, labels) series seen.
+func checkPrometheus(t *testing.T, body string, required ...string) map[string]bool {
+	t.Helper()
+	typed := map[string]bool{}
+	helped := map[string]bool{}
+	series := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			helped[strings.Fields(rest)[0]] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			f := strings.Fields(rest)
+			if len(f) != 2 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			typed[f[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := promLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		name := m[1]
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name && typed[base] {
+				family = base
+			}
+		}
+		if !typed[family] || !helped[family] {
+			t.Fatalf("sample %q has no TYPE/HELP preamble", line)
+		}
+		key := name + m[2]
+		if series[key] {
+			t.Fatalf("duplicate series %q", key)
+		}
+		series[key] = true
+	}
+	for _, name := range required {
+		if !typed[name] {
+			t.Fatalf("required family %q missing from exposition", name)
+		}
+	}
+	return series
+}
+
+// TestSmoke boots the daemon end to end — real listener, real HTTP —
+// runs one profile/simulate/sweep round with client-chosen trace IDs,
+// watches the sweep through the SSE progress stream, and then checks
+// that the same trace IDs are followable through every telemetry
+// surface: response headers, structured log, flight recorder, run
+// manifests, and that both metrics formats are well-formed.
+func TestSmoke(t *testing.T) {
+	dir := t.TempDir()
+	manifests := filepath.Join(dir, "manifests")
+	c, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "10s",
+		"-cache-dir", filepath.Join(dir, "cache"), "-manifest-dir", manifests,
+		"-log-level", "debug", "-log-format", "json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logBuf syncBuffer
+	logger, err := c.logger(&logBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := make(chan net.Addr, 1)
+	c.ready = ready
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, c, logger) }()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr.String()
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not come up")
+	}
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("run: %v", err)
+		}
+	}()
+
+	// One round of the pipeline, each request with its own trace ID.
+	profileBody := `{"workload":"vpr","k":1,"n":200000}`
+	var prof struct{ Nodes int }
+	if got := postJSON(t, base+"/v1/profile", "smoke-profile", profileBody, &prof); got != "smoke-profile" {
+		t.Fatalf("profile X-Request-Id = %q, want smoke-profile", got)
+	}
+	if prof.Nodes == 0 {
+		t.Fatal("profile returned no nodes")
+	}
+	var sim struct {
+		Metrics struct{ IPC float64 }
+	}
+	simBody := `{"profile":{"workload":"vpr","k":1,"n":200000},"config":{"ruu":64},"target":50000}`
+	postJSON(t, base+"/v1/simulate", "smoke-simulate", simBody, &sim)
+	if sim.Metrics.IPC <= 0 {
+		t.Fatalf("simulate IPC = %v", sim.Metrics.IPC)
+	}
+
+	// Subscribe to the sweep's progress stream before starting it, then
+	// read events until the terminal one.
+	sseCtx, sseCancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer sseCancel()
+	sseReq, err := http.NewRequestWithContext(sseCtx, "GET", base+"/v1/sweep/progress?id=smoke-sweep", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sseResp, err := http.DefaultClient.Do(sseReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sseResp.Body.Close()
+	if ct := sseResp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("progress Content-Type = %q", ct)
+	}
+	sseEvents := make(chan string, 64)
+	go func() {
+		defer close(sseEvents)
+		sc := bufio.NewScanner(sseResp.Body)
+		for sc.Scan() {
+			if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+				sseEvents <- data
+			}
+		}
+	}()
+
+	var sweep struct{ Points, Best int }
+	sweepBody := `{"profile":{"workload":"vpr","k":1,"n":200000},"grid":"quick","target":50000}`
+	postJSON(t, base+"/v1/sweep", "smoke-sweep", sweepBody, &sweep)
+	if sweep.Points != 9 {
+		t.Fatalf("sweep points = %d, want 9", sweep.Points)
+	}
+	var types []string
+	for data := range sseEvents {
+		var ev struct {
+			Type    string `json:"type"`
+			TraceID string `json:"trace_id"`
+		}
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", data, err)
+		}
+		if ev.TraceID != "smoke-sweep" {
+			t.Fatalf("SSE event trace_id = %q", ev.TraceID)
+		}
+		types = append(types, ev.Type)
+	}
+	joined := strings.Join(types, ",")
+	if !strings.HasPrefix(joined, "start,") || !strings.HasSuffix(joined, ",done") ||
+		strings.Count(joined, "point") != 9 {
+		t.Fatalf("SSE event sequence = %v", types)
+	}
+
+	// The flight recorder saw all three requests under their trace IDs.
+	var debug struct {
+		Events []struct {
+			TraceID  string `json:"trace_id"`
+			Endpoint string `json:"endpoint"`
+			Status   int    `json:"status"`
+		}
+	}
+	getJSON(t, base+"/v1/debug/requests", &debug)
+	seen := map[string]string{}
+	for _, ev := range debug.Events {
+		seen[ev.TraceID] = ev.Endpoint
+	}
+	for id, ep := range map[string]string{"smoke-profile": "/v1/profile",
+		"smoke-simulate": "/v1/simulate", "smoke-sweep": "/v1/sweep"} {
+		if seen[id] != ep {
+			t.Errorf("flight recorder: trace %s → %q, want %q", id, seen[id], ep)
+		}
+	}
+
+	// Structured log: every request logged one line keyed by trace ID.
+	logs := logBuf.String()
+	for _, id := range []string{"smoke-profile", "smoke-simulate", "smoke-sweep"} {
+		if !strings.Contains(logs, fmt.Sprintf("%q:%q", "trace_id", id)) {
+			t.Errorf("log has no line with trace_id %q", id)
+		}
+	}
+
+	// Run manifests landed on disk, named and stamped by trace ID.
+	for _, name := range []string{"v1-profile-smoke-profile.json",
+		"v1-simulate-smoke-simulate.json", "v1-sweep-smoke-sweep.json"} {
+		data, err := os.ReadFile(filepath.Join(manifests, name))
+		if err != nil {
+			t.Errorf("manifest %s: %v", name, err)
+			continue
+		}
+		var m struct {
+			TraceID string `json:"trace_id"`
+		}
+		if err := json.Unmarshal(data, &m); err != nil || m.TraceID == "" {
+			t.Errorf("manifest %s: trace_id missing (err=%v)", name, err)
+		}
+	}
+
+	// Health carries build provenance and cache shape.
+	var health struct {
+		Status string
+		Build  struct {
+			GoVersion string `json:"go_version"`
+		}
+		CacheCapacity int `json:"cache_capacity"`
+	}
+	getJSON(t, base+"/healthz", &health)
+	if health.Status != "ok" || health.Build.GoVersion == "" || health.CacheCapacity != 16 {
+		t.Errorf("healthz = %+v", health)
+	}
+
+	// Both metrics formats: JSON with the expected families, then the
+	// Prometheus exposition parsed line by line.
+	var metrics struct {
+		Endpoints map[string]json.RawMessage
+		Stages    map[string]json.RawMessage
+	}
+	getJSON(t, base+"/metrics", &metrics)
+	for _, ep := range []string{"/v1/profile", "/v1/simulate", "/v1/sweep"} {
+		if _, ok := metrics.Endpoints[ep]; !ok {
+			t.Errorf("JSON metrics missing endpoint %s", ep)
+		}
+	}
+	for _, st := range []string{"profile", "simulate"} {
+		if _, ok := metrics.Stages[st]; !ok {
+			t.Errorf("JSON metrics missing stage %s", st)
+		}
+	}
+
+	resp, err := http.Get(base + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := readAll(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Fatalf("prometheus Content-Type = %q", resp.Header.Get("Content-Type"))
+	}
+	series := checkPrometheus(t, body,
+		"statsimd_uptime_seconds", "statsimd_build_info",
+		"statsimd_requests_total", "statsimd_request_duration_seconds",
+		"statsimd_stage_duration_seconds", "statsimd_cache_lookups_total",
+		"statsimd_pool_workers", "statsimd_shed_requests_total",
+		"statsimd_flight_events_total", "statsimd_store_loads_total")
+	for _, stage := range []string{"profile", "simulate", "generate"} {
+		key := fmt.Sprintf(`statsimd_stage_duration_seconds_count{stage="%s"}`, stage)
+		if !series[key] {
+			t.Errorf("prometheus exposition missing %s", key)
+		}
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decoding: %v", url, err)
+	}
+}
+
+func readAll(resp *http.Response) (string, error) {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}

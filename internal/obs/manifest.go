@@ -44,6 +44,10 @@ type Manifest struct {
 	Tool      string `json:"tool"`    // e.g. "statsim compare"
 	Created   string `json:"created"` // RFC 3339
 	GoVersion string `json:"go_version"`
+	// TraceID ties the manifest to the request (daemon) or invocation
+	// (CLI) that produced it — the same ID the structured logs and the
+	// flight recorder carry.
+	TraceID string `json:"trace_id,omitempty"`
 
 	// Reproducibility inputs.
 	ConfigFingerprint string `json:"config_fingerprint"`
@@ -81,6 +85,9 @@ func NewManifest(tool string) Manifest {
 func (m *Manifest) FillStages(rec *Recorder) {
 	if rec == nil {
 		return
+	}
+	if m.TraceID == "" {
+		m.TraceID = rec.TraceID()
 	}
 	totals := rec.StageTotals()
 	order := []string{StageProfile, StageReduce, StageGenerate, StageSimulate, StageReference}

@@ -60,8 +60,9 @@ type Recorder struct {
 	start time.Time
 	now   func() time.Time // injectable clock for tests
 
-	mu    sync.Mutex
-	spans []SpanData
+	mu      sync.Mutex
+	traceID string
+	spans   []SpanData
 }
 
 // New returns an enabled recorder.
@@ -77,6 +78,29 @@ func newWithClock(clock func() time.Time) *Recorder {
 
 // Enabled reports whether spans are being collected.
 func (r *Recorder) Enabled() bool { return r != nil }
+
+// SetTraceID associates the recorder (and everything derived from it:
+// manifests, stage metrics, log lines) with a request's trace ID. A
+// no-op on a nil recorder.
+func (r *Recorder) SetTraceID(id string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.traceID = id
+	r.mu.Unlock()
+}
+
+// TraceID returns the associated trace ID ("" on a nil recorder or when
+// none was set).
+func (r *Recorder) TraceID() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.traceID
+}
 
 // Span is an in-flight span. It is a small value (not a pointer) so
 // starting a span on a disabled recorder allocates nothing.

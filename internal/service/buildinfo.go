@@ -1,0 +1,37 @@
+package service
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo is the binary's provenance as /healthz and the Prometheus
+// build_info family report it: which toolchain built the daemon, from
+// which VCS revision, and whether the working tree was dirty — the
+// paper's evaluation discipline (every reported number traceable to a
+// configuration) applied to the server itself.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+	Dirty     bool   `json:"dirty,omitempty"`
+}
+
+// readBuildInfo assembles the binary's provenance from
+// runtime/debug.ReadBuildInfo. Binaries built without VCS stamping
+// (tests, `go run` from a tarball) report only the Go version.
+func readBuildInfo() BuildInfo {
+	b := BuildInfo{GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+}

@@ -5,8 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +65,19 @@ type Options struct {
 	// approximation), so the shard count is part of ProfileKey and
 	// changing it never aliases cached sequential profiles.
 	ProfileShards int
+	// Logger receives the daemon's structured logs; every request-scoped
+	// line carries the request's trace ID. nil discards everything
+	// (tests, embedded use).
+	Logger *slog.Logger
+	// FlightRecorderSize bounds the ring of recent request events served
+	// by GET /v1/debug/requests and dumped on shed storms and worker
+	// panics (<= 0 means 256).
+	FlightRecorderSize int
+	// ManifestDir, when set, writes one JSON run manifest per successful
+	// profile/simulate/sweep request into the directory, named
+	// <endpoint>-<trace-id>.json — per-request provenance as a durable,
+	// queryable artifact.
+	ManifestDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -75,6 +93,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxRequestBytes <= 0 {
 		o.MaxRequestBytes = 1 << 20
 	}
+	if o.FlightRecorderSize <= 0 {
+		o.FlightRecorderSize = 256
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return o
 }
 
@@ -82,32 +106,56 @@ func (o Options) withDefaults() Options {
 // optional durable store, and the HTTP handlers that expose the paper's
 // profile/simulate/sweep pipeline as long-lived endpoints.
 type Server struct {
-	opts    Options
-	pool    *Pool
-	cache   *GraphCache
-	store   *Store // nil without CacheDir
-	faults  *fault.Injector
-	metrics *Metrics
-	mux     *http.ServeMux
+	opts     Options
+	pool     *Pool
+	cache    *GraphCache
+	store    *Store // nil without CacheDir
+	faults   *fault.Injector
+	metrics  *Metrics
+	mux      *http.ServeMux
+	log      *slog.Logger
+	flight   *obs.FlightRecorder
+	progress *progressHub
+	build    BuildInfo
 
 	draining     atomic.Bool
 	shed         atomic.Uint64
 	retries      atomic.Uint64
 	sweepResumed atomic.Uint64
 	sweepLocks   sync.Map // sweep fingerprint -> *sync.Mutex
+
+	// Shed-storm detection: a burst of 429s inside stormWindow triggers
+	// one flight-recorder dump per stormCooldown, so the black box lands
+	// in the log while the incident is happening, not after.
+	stormMu    sync.Mutex
+	stormStart time.Time
+	stormSheds int
+	lastDump   time.Time
 }
+
+// Shed-storm thresholds: stormThreshold sheds inside stormWindow count
+// as a storm; dumps are spaced at least stormCooldown apart.
+const (
+	stormThreshold = 8
+	stormWindow    = 10 * time.Second
+	stormCooldown  = 30 * time.Second
+)
 
 // New assembles a Server (and starts its worker pool). The only
 // construction failure is an unusable CacheDir.
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:    opts,
-		pool:    NewPoolTimeout(opts.Workers, opts.JobTimeout),
-		cache:   NewGraphCache(opts.CacheSize),
-		faults:  opts.Faults,
-		metrics: NewMetrics(),
-		mux:     http.NewServeMux(),
+		opts:     opts,
+		pool:     NewPoolTimeout(opts.Workers, opts.JobTimeout),
+		cache:    NewGraphCache(opts.CacheSize),
+		faults:   opts.Faults,
+		metrics:  NewMetrics(),
+		mux:      http.NewServeMux(),
+		log:      opts.Logger,
+		flight:   obs.NewFlightRecorder(opts.FlightRecorderSize),
+		progress: newProgressHub(64),
+		build:    readBuildInfo(),
 	}
 	if s.opts.MaxQueueDepth <= 0 {
 		s.opts.MaxQueueDepth = 4 * s.pool.Stats().Workers
@@ -120,10 +168,18 @@ func New(opts Options) (*Server, error) {
 		}
 		s.store = store
 	}
+	if opts.ManifestDir != "" {
+		if err := os.MkdirAll(opts.ManifestDir, 0o755); err != nil {
+			s.pool.Drain(context.Background())
+			return nil, fmt.Errorf("service: creating manifest dir: %w", err)
+		}
+	}
 	s.mux.HandleFunc("POST /v1/profile", s.instrument("/v1/profile", s.handleProfile))
 	s.mux.HandleFunc("POST /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
 	s.mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	s.mux.HandleFunc("GET /v1/workloads", s.instrument("/v1/workloads", s.handleWorkloads))
+	s.mux.HandleFunc("GET /v1/debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("GET /v1/sweep/progress", s.handleSweepProgress)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
@@ -187,19 +243,87 @@ func badRequest(format string, args ...any) *apiError {
 	return &apiError{code: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
 }
 
-// instrument wraps a JSON handler with latency observation and uniform
-// error rendering: every failure — malformed JSON, oversized body, shed
-// load, job fault — renders as a structured JSON error with the right
-// status, never a bare 500 with a text body.
+// reqInfo rides the request context so the depths of the pipeline (the
+// cache fill, the retry loop, the sweep engine) can report outcomes
+// back to the instrument middleware without threading return values
+// through every layer. Fields are atomics because sweep workers and the
+// singleflight fill touch them concurrently with the handler goroutine.
+type reqInfo struct {
+	rec      *obs.Recorder
+	cacheHit atomic.Bool
+	retries  atomic.Uint64
+	resumed  atomic.Int64
+}
+
+type reqInfoKey struct{}
+
+func withReqInfo(ctx context.Context, ri *reqInfo) context.Context {
+	return context.WithValue(ctx, reqInfoKey{}, ri)
+}
+
+// requestInfo returns the request's telemetry carrier, or nil outside
+// an instrumented request (direct handler tests, embedded use).
+func requestInfo(ctx context.Context) *reqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return ri
+}
+
+// requestRecorder returns the request's span recorder. nil (a valid,
+// zero-overhead disabled recorder) outside an instrumented request.
+func requestRecorder(ctx context.Context) *obs.Recorder {
+	if ri := requestInfo(ctx); ri != nil {
+		return ri.rec
+	}
+	return nil
+}
+
+// retryRun applies the server's retry policy with per-request
+// attribution: retries land in the server-wide counter and in the
+// request's telemetry (flight recorder, log line).
+func (s *Server) retryRun(ctx context.Context, fn func() error) error {
+	var local atomic.Uint64
+	err := s.opts.Retry.run(ctx, &local, fn)
+	if n := local.Load(); n > 0 {
+		s.retries.Add(n)
+		if ri := requestInfo(ctx); ri != nil {
+			ri.retries.Add(n)
+		}
+	}
+	return err
+}
+
+// instrument wraps a JSON handler with per-request telemetry and
+// uniform error rendering. It mints the request's trace ID (honouring a
+// well-formed inbound X-Request-Id, so a client-chosen ID is followable
+// across systems), threads it through the context to every layer below,
+// echoes it in the X-Request-Id response header, observes latency and
+// pipeline-stage timings, emits one structured log line, and records
+// the request into the flight recorder. Every failure — malformed JSON,
+// oversized body, shed load, job fault — renders as a structured JSON
+// error with the right status, never a bare 500 with a text body.
 func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Request) (any, error)) http.HandlerFunc {
 	hist := s.metrics.Endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		traceID := obs.SanitizeTraceID(r.Header.Get("X-Request-Id"))
+		if traceID == "" {
+			traceID = obs.NewTraceID()
+		}
+		w.Header().Set("X-Request-Id", traceID)
+		rec := obs.New()
+		rec.SetTraceID(traceID)
+		ri := &reqInfo{rec: rec}
+		r = r.WithContext(withReqInfo(obs.WithTraceID(r.Context(), traceID), ri))
+
 		resp, err := h(w, r)
-		hist.Observe(time.Since(start), err != nil)
+		elapsed := time.Since(start)
+		hist.Observe(elapsed, err != nil)
+		s.metrics.ObserveStages(rec)
+
 		w.Header().Set("Content-Type", "application/json")
+		code := http.StatusOK
 		if err != nil {
-			code := http.StatusInternalServerError
+			code = http.StatusInternalServerError
 			var ae *apiError
 			if errors.As(err, &ae) {
 				code = ae.code
@@ -213,10 +337,94 @@ func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Reque
 			}
 			w.WriteHeader(code)
 			json.NewEncoder(w).Encode(httpError{Error: err.Error()})
-			return
+		} else {
+			json.NewEncoder(w).Encode(resp)
 		}
-		json.NewEncoder(w).Encode(resp)
+		s.finishRequest(name, traceID, ri, code, elapsed, err)
 	}
+}
+
+// finishRequest is the telemetry tail of every instrumented request:
+// the flight-recorder event, the structured log line, and the decision
+// whether this request's outcome (a shed burst, a worker panic)
+// warrants dumping the flight recorder into the log.
+func (s *Server) finishRequest(name, traceID string, ri *reqInfo, code int, elapsed time.Duration, err error) {
+	ev := obs.RequestEvent{
+		Time:       time.Now(),
+		TraceID:    traceID,
+		Endpoint:   name,
+		Status:     code,
+		DurationMS: float64(elapsed) / float64(time.Millisecond),
+		CacheHit:   ri.cacheHit.Load(),
+		Shed:       code == http.StatusTooManyRequests,
+		Retries:    int(ri.retries.Load()),
+		Resumed:    int(ri.resumed.Load()),
+	}
+	if totals := ri.rec.StageTotals(); len(totals) > 0 {
+		ev.StageMS = make(map[string]float64, len(totals))
+		for stage, t := range totals {
+			ev.StageMS[stage] = t.DurationS * 1e3
+		}
+	}
+	if err != nil {
+		ev.Error = err.Error()
+		ev.Panicked = errors.Is(err, ErrJobPanic)
+	}
+	s.flight.Record(ev)
+
+	args := []any{"trace_id", traceID, "endpoint", name, "status", code,
+		"dur_ms", ev.DurationMS, "cache_hit", ev.CacheHit}
+	if ev.Retries > 0 {
+		args = append(args, "retries", ev.Retries)
+	}
+	if ev.Resumed > 0 {
+		args = append(args, "resumed", ev.Resumed)
+	}
+	if err != nil {
+		args = append(args, "err", err.Error())
+		s.log.Warn("request", args...)
+	} else {
+		s.log.Info("request", args...)
+	}
+
+	switch {
+	case ev.Panicked:
+		s.dumpFlight("worker panic", traceID)
+	case ev.Shed:
+		s.noteShed(traceID)
+	}
+}
+
+// noteShed counts 429s toward storm detection: stormThreshold sheds
+// inside stormWindow dump the flight recorder, at most once per
+// stormCooldown — the black box lands in the log while the overload is
+// live, not after the postmortem starts.
+func (s *Server) noteShed(traceID string) {
+	now := time.Now()
+	s.stormMu.Lock()
+	if now.Sub(s.stormStart) > stormWindow {
+		s.stormStart, s.stormSheds = now, 0
+	}
+	s.stormSheds++
+	storm := s.stormSheds >= stormThreshold && now.Sub(s.lastDump) >= stormCooldown
+	if storm {
+		s.lastDump = now
+	}
+	s.stormMu.Unlock()
+	if storm {
+		s.dumpFlight("shed storm", traceID)
+	}
+}
+
+// dumpFlight writes the flight recorder's recent history into the log
+// as one structured record.
+func (s *Server) dumpFlight(reason, traceID string) {
+	data, err := json.Marshal(s.flight.Recent(32))
+	if err != nil {
+		return
+	}
+	s.log.Error("flight recorder dump", "reason", reason, "trace_id", traceID,
+		"events", json.RawMessage(data))
 }
 
 // decodeJSON reads one JSON value from the body under a hard size cap.
@@ -279,24 +487,30 @@ func (p ProfileSpec) key(opts Options) (ProfileKey, error) {
 // the worker pool — retrying transient failures per the server's
 // policy — and persists the result for the next daemon life. The bool
 // reports whether the profile was served without this request paying
-// for profiling. rec, when non-nil, collects a "profile" span for
-// whatever profiling work this request actually paid for (cache and
-// store hits record nothing).
-func (s *Server) resolveProfile(ctx context.Context, rec *obs.Recorder, spec ProfileSpec) (*sfg.Graph, ProfileKey, bool, error) {
+// for profiling. The request's recorder (from the context) collects a
+// "profile" span for whatever profiling work this request actually paid
+// for (cache and store hits record nothing), and each resolution step
+// logs at Debug keyed by the request's trace ID.
+func (s *Server) resolveProfile(ctx context.Context, spec ProfileSpec) (*sfg.Graph, ProfileKey, bool, error) {
 	key, err := spec.key(s.opts)
 	if err != nil {
 		return nil, ProfileKey{}, false, err
 	}
+	rec := requestRecorder(ctx)
+	lg := s.log.With("trace_id", obs.TraceIDFromContext(ctx),
+		"workload", key.Workload, "k", key.K, "n", key.N)
 	g, cached, err := s.cache.GetOrProfile(key, func() (*sfg.Graph, error) {
 		if s.store != nil {
 			if g, err := s.store.Load(key); err == nil {
+				lg.Debug("profile served from durable store")
 				return g, nil
 			}
 			// Missing or quarantined-corrupt: fall through and
 			// re-profile; a fresh Save below overwrites.
 		}
+		lg.Debug("profile cache miss, profiling")
 		var g *sfg.Graph
-		err := s.opts.Retry.run(ctx, &s.retries, func() error {
+		err := s.retryRun(ctx, func() error {
 			return s.pool.Do(ctx, func(ctx context.Context) error {
 				if err := s.faults.Fire(SiteProfileJob); err != nil {
 					return err
@@ -320,6 +534,12 @@ func (s *Server) resolveProfile(ctx context.Context, rec *obs.Recorder, spec Pro
 		}
 		return g, nil
 	})
+	if err == nil && cached {
+		lg.Debug("profile served from cache")
+		if ri := requestInfo(ctx); ri != nil {
+			ri.cacheHit.Store(true)
+		}
+	}
 	return g, key, cached, err
 }
 
@@ -384,12 +604,17 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) (any, err
 		return nil, err
 	}
 	start := time.Now()
-	rec := obs.New()
-	g, key, cached, err := s.resolveProfile(r.Context(), rec, req.ProfileSpec)
+	g, key, cached, err := s.resolveProfile(r.Context(), req.ProfileSpec)
 	if err != nil {
 		return nil, err
 	}
-	s.metrics.ObserveStages(rec)
+	s.writeManifest(r.Context(), "/v1/profile", func(m *obs.Manifest) {
+		m.ConfigFingerprint = obs.Fingerprint(cpu.DefaultConfig())
+		m.Workload = key.Workload
+		m.K = key.K
+		m.Seed = key.Seed
+		m.StreamLength = key.N
+	})
 	return ProfileResponse{
 		Key:               key,
 		Nodes:             g.NumNodes(),
@@ -456,27 +681,37 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) (any, er
 		req.SimSeed = 1
 	}
 	start := time.Now()
-	rec := obs.New()
-	g, key, cached, err := s.resolveProfile(r.Context(), rec, req.Profile)
+	g, key, cached, err := s.resolveProfile(r.Context(), req.Profile)
 	if err != nil {
 		return nil, err
 	}
+	rec := requestRecorder(r.Context())
+	cfg := req.Config.apply(cpu.DefaultConfig())
 	red := core.ReductionFor(g, req.Target)
 	var m core.Metrics
-	err = s.opts.Retry.run(r.Context(), &s.retries, func() error {
+	err = s.retryRun(r.Context(), func() error {
 		return s.pool.Do(r.Context(), func(context.Context) error {
 			if err := s.faults.Fire(SiteSimulateJob); err != nil {
 				return err
 			}
 			var err error
-			m, err = core.StatSimTraced(rec, req.Config.apply(cpu.DefaultConfig()), g, red, req.SimSeed)
+			m, err = core.StatSimTraced(rec, cfg, g, red, req.SimSeed)
 			return err
 		})
 	})
 	if err != nil {
 		return nil, err
 	}
-	s.metrics.ObserveStages(rec)
+	s.writeManifest(r.Context(), "/v1/simulate", func(mf *obs.Manifest) {
+		mf.ConfigFingerprint = obs.Fingerprint(cfg)
+		mf.Workload = key.Workload
+		mf.K = key.K
+		mf.Seed = key.Seed
+		mf.SimSeed = req.SimSeed
+		mf.Reduction = red
+		mf.StreamLength = key.N
+		mf.Metrics = core.ManifestMetrics(m)
+	})
 	return SimulateResponse{
 		Key:           key,
 		ProfileCached: cached,
@@ -551,18 +786,25 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (any, error
 		req.SimSeed = 1
 	}
 	start := time.Now()
-	rec := obs.New()
-	g, key, cached, err := s.resolveProfile(r.Context(), rec, req.Profile)
+	g, key, cached, err := s.resolveProfile(r.Context(), req.Profile)
 	if err != nil {
 		return nil, err
 	}
-	defer s.metrics.ObserveStages(rec)
 	base := req.Config.apply(cpu.DefaultConfig())
 	red := core.ReductionFor(g, req.Target)
 	results, resumed, err := s.runSweep(r.Context(), base, g, points, red, req.SimSeed)
 	if err != nil {
 		return nil, err
 	}
+	s.writeManifest(r.Context(), "/v1/sweep", func(m *obs.Manifest) {
+		m.ConfigFingerprint = obs.Fingerprint(base)
+		m.Workload = key.Workload
+		m.K = key.K
+		m.Seed = key.Seed
+		m.SimSeed = req.SimSeed
+		m.Reduction = red
+		m.StreamLength = key.N
+	})
 	resp := SweepResponse{
 		Key:           key,
 		ProfileCached: cached,
@@ -587,9 +829,42 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (any, error
 // serialise on a per-fingerprint lock (the second finds every point
 // checkpointed). Journal failures degrade to an un-checkpointed sweep
 // rather than failing the request.
+//
+// Progress is published into the hub feed keyed by the request's trace
+// ID: a "start" event once the resume count is known, one "point" event
+// per freshly simulated point in completion order, and a terminal
+// "done" or "error" — the stream GET /v1/sweep/progress serves.
 func (s *Server) runSweep(ctx context.Context, base cpu.Config, g *sfg.Graph, points []SweepPoint, red, simSeed uint64) ([]SweepResult, int, error) {
+	feed := s.progress.feed(obs.TraceIDFromContext(ctx))
+	var completed atomic.Int64
+	progress := func(index int, res SweepResult) {
+		m := wireMetrics(res.Metrics)
+		p := res.Point
+		feed.publish(ProgressEvent{Type: "point", Completed: int(completed.Add(1)),
+			Index: index, Point: &p, Metrics: &m})
+	}
+	results, resumed, err := s.sweepJournaled(ctx, base, g, points, red, simSeed, feed, &completed, progress)
+	if err != nil {
+		feed.publish(ProgressEvent{Type: "error", Total: len(points), Resumed: resumed,
+			Completed: int(completed.Load()), Error: err.Error()})
+		return nil, resumed, err
+	}
+	feed.publish(ProgressEvent{Type: "done", Total: len(points), Resumed: resumed,
+		Completed: int(completed.Load())})
+	return results, resumed, nil
+}
+
+// sweepJournaled picks the checkpointed or plain sweep path and emits
+// the feed's "start" event once the resume count is known (seeding the
+// completed counter, so "point" events count from resumed upward).
+func (s *Server) sweepJournaled(ctx context.Context, base cpu.Config, g *sfg.Graph, points []SweepPoint, red, simSeed uint64, feed *progressFeed, completed *atomic.Int64, progress func(int, SweepResult)) ([]SweepResult, int, error) {
+	start := func(resumed int) {
+		completed.Store(int64(resumed))
+		feed.publish(ProgressEvent{Type: "start", Total: len(points), Resumed: resumed, Completed: resumed})
+	}
 	if s.store == nil {
-		return SweepWithJournal(ctx, s.pool, base, g, points, red, simSeed, nil, s.faults)
+		start(0)
+		return SweepWithJournal(ctx, s.pool, base, g, points, red, simSeed, nil, s.faults, progress)
 	}
 	id := SweepFingerprint(g, base, points, red, simSeed)
 	mu, _ := s.sweepLocks.LoadOrStore(id, &sync.Mutex{})
@@ -597,12 +872,51 @@ func (s *Server) runSweep(ctx context.Context, base cpu.Config, g *sfg.Graph, po
 	defer mu.(*sync.Mutex).Unlock()
 	j, err := OpenSweepJournal(s.store.JournalPath(id), id, len(points), s.faults)
 	if err != nil {
-		return SweepWithJournal(ctx, s.pool, base, g, points, red, simSeed, nil, s.faults)
+		start(0)
+		return SweepWithJournal(ctx, s.pool, base, g, points, red, simSeed, nil, s.faults, progress)
 	}
 	defer j.Close()
-	results, resumed, err := SweepWithJournal(ctx, s.pool, base, g, points, red, simSeed, j, s.faults)
+	s.log.Debug("sweep checkpoint journal opened", "trace_id", obs.TraceIDFromContext(ctx),
+		"fingerprint", id, "points", len(points), "resumed", j.Resumed(), "dropped", j.Dropped())
+	start(j.Resumed())
+	results, resumed, err := SweepWithJournal(ctx, s.pool, base, g, points, red, simSeed, j, s.faults, progress)
 	s.sweepResumed.Add(uint64(resumed))
+	if resumed > 0 {
+		if ri := requestInfo(ctx); ri != nil {
+			ri.resumed.Store(int64(resumed))
+		}
+	}
 	return results, resumed, err
+}
+
+// writeManifest persists a per-request run manifest when ManifestDir is
+// configured: <endpoint>-<trace-id>.json, carrying the same trace ID as
+// the response header, the log lines and the flight recorder, so one
+// identifier connects the durable artifact to every other telemetry
+// surface. Failures are logged, never surfaced — a full disk must not
+// fail a simulation that already succeeded.
+func (s *Server) writeManifest(ctx context.Context, endpoint string, fill func(m *obs.Manifest)) {
+	if s.opts.ManifestDir == "" {
+		return
+	}
+	traceID := obs.TraceIDFromContext(ctx)
+	m := obs.NewManifest("statsimd " + endpoint)
+	m.TraceID = traceID
+	m.NumWorkers = s.pool.Stats().Workers
+	m.FillStages(requestRecorder(ctx))
+	fill(&m)
+	name := strings.ReplaceAll(strings.TrimPrefix(endpoint, "/"), "/", "-") + "-" + traceID + ".json"
+	path := filepath.Join(s.opts.ManifestDir, name)
+	f, err := os.Create(path)
+	if err == nil {
+		err = m.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		s.log.Warn("writing run manifest", "trace_id", traceID, "path", path, "err", err.Error())
+	}
 }
 
 // WorkloadInfo describes one available benchmark.
@@ -631,25 +945,34 @@ func (s *Server) handleWorkloads(http.ResponseWriter, *http.Request) (any, error
 // process is up" from Ready, "the process will accept work right now":
 // a draining or load-shedding daemon is live but not ready, and the
 // endpoint returns 503 so load balancers rotate it out without killing
-// the in-flight work it is still finishing.
+// the in-flight work it is still finishing. Build carries the binary's
+// provenance so an operator can tell at a glance which revision is
+// answering.
 type HealthResponse struct {
-	Status     string `json:"status"` // ok | shedding | draining
-	Live       bool   `json:"live"`
-	Ready      bool   `json:"ready"`
-	Workers    int    `json:"workers"`
-	QueueDepth int    `json:"queue_depth"`
-	CachedSFGs int    `json:"cached_sfgs"`
+	Status        string    `json:"status"` // ok | shedding | draining
+	Live          bool      `json:"live"`
+	Ready         bool      `json:"ready"`
+	Build         BuildInfo `json:"build"`
+	Workers       int       `json:"workers"`
+	QueueDepth    int       `json:"queue_depth"`
+	CachedSFGs    int       `json:"cached_sfgs"`
+	CacheCapacity int       `json:"cache_capacity"`
+	ProfileShards int       `json:"profile_shards,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.pool.Stats()
+	cst := s.cache.Stats()
 	h := HealthResponse{
-		Status:     "ok",
-		Live:       true,
-		Ready:      true,
-		Workers:    st.Workers,
-		QueueDepth: st.QueueDepth,
-		CachedSFGs: s.cache.Stats().Size,
+		Status:        "ok",
+		Live:          true,
+		Ready:         true,
+		Build:         s.build,
+		Workers:       st.Workers,
+		QueueDepth:    st.QueueDepth,
+		CachedSFGs:    cst.Size,
+		CacheCapacity: cst.Capacity,
+		ProfileShards: s.opts.ProfileShards,
 	}
 	switch {
 	case s.draining.Load():
@@ -665,16 +988,130 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.metrics.Snapshot(s.cache, s.pool)
-	snap.Robustness = RobustnessStats{
+	robustness := RobustnessStats{
 		Shed:               s.shed.Load(),
 		Retries:            s.retries.Load(),
 		SweepPointsResumed: s.sweepResumed.Load(),
 	}
+	var store *StoreStats
 	if s.store != nil {
 		st := s.store.Stats()
-		snap.Store = &st
+		store = &st
 	}
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, s.metrics, promSnapshot{
+			uptimeSeconds: time.Since(s.metrics.start).Seconds(),
+			build:         s.build,
+			cache:         s.cache.Stats(),
+			pool:          s.pool.Stats(),
+			robustness:    robustness,
+			store:         store,
+			flightEvents:  s.flight.Total(),
+		})
+		return
+	}
+	snap := s.metrics.Snapshot(s.cache, s.pool)
+	snap.Robustness = robustness
+	snap.Store = store
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(snap)
+}
+
+// DebugRequestsResponse is the GET /v1/debug/requests body: the flight
+// recorder's retained events, newest first.
+type DebugRequestsResponse struct {
+	Capacity int                `json:"capacity"`
+	Total    uint64             `json:"total"`
+	Events   []obs.RequestEvent `json:"events"`
+}
+
+// handleDebugRequests serves the flight recorder. ?n= bounds how many
+// events come back (default: everything retained).
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(httpError{Error: "n must be a positive integer"})
+			return
+		}
+		n = v
+	}
+	resp := DebugRequestsResponse{
+		Capacity: s.flight.Size(),
+		Total:    s.flight.Total(),
+		Events:   s.flight.Recent(n),
+	}
+	if resp.Events == nil {
+		resp.Events = []obs.RequestEvent{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleSweepProgress streams a sweep's live progress as server-sent
+// events. The id query parameter is the sweep request's trace ID: a
+// client sets X-Request-Id on its POST /v1/sweep and subscribes here
+// with the same value — before, during or shortly after the sweep,
+// since feeds replay their full history to late subscribers. Each SSE
+// event carries a JSON ProgressEvent; a terminal "done" or "error"
+// event ends the stream.
+func (s *Server) handleSweepProgress(w http.ResponseWriter, r *http.Request) {
+	id := obs.SanitizeTraceID(r.URL.Query().Get("id"))
+	if id == "" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(httpError{Error: "id query parameter (the sweep's trace ID) is required"})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Request-Id", id)
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	feed := s.progress.feed(id)
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	next := 0
+	for {
+		evs, done, wake := feed.next(next)
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+				return
+			}
+		}
+		if len(evs) > 0 {
+			next += len(evs)
+			fl.Flush()
+			continue
+		}
+		if done {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-wake:
+		case <-heartbeat.C:
+			// An SSE comment keeps idle connections alive through proxies
+			// while the subscriber waits for the sweep to start.
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
 }

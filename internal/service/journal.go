@@ -279,8 +279,12 @@ func (j *SweepJournal) Close() error {
 // come back in grid order — byte-identical to an uninterrupted run,
 // because every point is a deterministic function of the sweep
 // identity. The second return value is the number of resumed points.
-// Both j and faults may be nil (plain sweep).
-func SweepWithJournal(ctx context.Context, pool *Pool, base cpu.Config, g *sfg.Graph, points []SweepPoint, r, seed uint64, j *SweepJournal, faults *fault.Injector) ([]SweepResult, int, error) {
+// j, faults and progress may all be nil (plain sweep); a non-nil
+// progress is called once per freshly simulated point, in completion
+// order from the worker that finished it, feeding live observability
+// (the daemon's SSE stream, the CLI's -progress ticker) without
+// touching the deterministic grid-order results.
+func SweepWithJournal(ctx context.Context, pool *Pool, base cpu.Config, g *sfg.Graph, points []SweepPoint, r, seed uint64, j *SweepJournal, faults *fault.Injector, progress func(index int, res SweepResult)) ([]SweepResult, int, error) {
 	if pool == nil {
 		pool = NewPool(0)
 		defer pool.Drain(context.Background())
@@ -323,6 +327,9 @@ func SweepWithJournal(ctx context.Context, pool *Pool, base cpu.Config, g *sfg.G
 			// Best-effort: a failed append only means this point is
 			// recomputed if the sweep is interrupted later.
 			_ = j.Append(i, m)
+		}
+		if progress != nil {
+			progress(i, results[i])
 		}
 		return struct{}{}, nil
 	})

@@ -68,7 +68,7 @@ func TestSweepJournalResumeByteIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := SweepWithJournal(context.Background(), nil, base, g, points, r, seed, j1, in); err == nil {
+	if _, _, err := SweepWithJournal(context.Background(), nil, base, g, points, r, seed, j1, in, nil); err == nil {
 		t.Fatal("interrupted sweep reported success")
 	}
 	j1.Close()
@@ -87,7 +87,7 @@ func TestSweepJournalResumeByteIdentical(t *testing.T) {
 	if j2.Resumed() != survivors {
 		t.Errorf("resumed %d, want %d", j2.Resumed(), survivors)
 	}
-	results, resumed, err := SweepWithJournal(context.Background(), nil, base, g, points, r, seed, j2, nil)
+	results, resumed, err := SweepWithJournal(context.Background(), nil, base, g, points, r, seed, j2, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestSweepJournalResumeByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer j3.Close()
-	again, resumed, err := SweepWithJournal(context.Background(), nil, base, g, points, r, seed, j3, nil)
+	again, resumed, err := SweepWithJournal(context.Background(), nil, base, g, points, r, seed, j3, nil, nil)
 	if err != nil || resumed != len(points) {
 		t.Fatalf("full resume: resumed=%d err=%v", resumed, err)
 	}
@@ -135,7 +135,7 @@ func TestSweepJournalTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := SweepWithJournal(context.Background(), nil, base, g, points, r, seed, j, nil); err != nil {
+	if _, _, err := SweepWithJournal(context.Background(), nil, base, g, points, r, seed, j, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()
@@ -159,7 +159,7 @@ func TestSweepJournalTornTail(t *testing.T) {
 	if j2.Resumed() != len(points)-1 {
 		t.Errorf("resumed %d, want %d", j2.Resumed(), len(points)-1)
 	}
-	results, _, err := SweepWithJournal(context.Background(), nil, base, g, points, r, seed, j2, nil)
+	results, _, err := SweepWithJournal(context.Background(), nil, base, g, points, r, seed, j2, nil, nil)
 	if err != nil || len(results) != len(points) {
 		t.Fatalf("recovery sweep: %d results, err=%v", len(results), err)
 	}
@@ -208,7 +208,7 @@ func TestSweepJournalAppendFailureTolerated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, _, err := SweepWithJournal(context.Background(), nil, base, g, points, r, seed, j, nil)
+	results, _, err := SweepWithJournal(context.Background(), nil, base, g, points, r, seed, j, nil, nil)
 	if err != nil {
 		t.Fatalf("append failures failed the sweep: %v", err)
 	}
@@ -236,7 +236,7 @@ func TestSweepJournalDuplicateConflictDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := SweepWithJournal(context.Background(), nil, base, g, points, r, seed, j, nil); err != nil {
+	if _, _, err := SweepWithJournal(context.Background(), nil, base, g, points, r, seed, j, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()

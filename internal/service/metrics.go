@@ -62,6 +62,28 @@ func (l *LatencyHist) Observe(d time.Duration, failed bool) {
 	l.mu.Unlock()
 }
 
+// latencyExport is the raw content of a LatencyHist: per-bucket counts
+// (indexed by log2-microsecond bucket, 1..latencyBuckets), the total
+// observation count, summed latency and error tally — the material the
+// Prometheus text exposition renders cumulative _bucket series from.
+type latencyExport struct {
+	counts [latencyBuckets + 1]uint64
+	total  uint64
+	sumUS  uint64
+	errs   uint64
+}
+
+// export snapshots the histogram's raw buckets.
+func (l *LatencyHist) export() latencyExport {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := latencyExport{total: l.h.Total(), sumUS: l.sumUS, errs: l.errs}
+	for b := 1; b <= latencyBuckets; b++ {
+		e.counts[b] = l.h.Count(b)
+	}
+	return e
+}
+
 // LatencySnapshot summarises one endpoint's request latencies in
 // milliseconds.
 type LatencySnapshot struct {
@@ -91,30 +113,65 @@ func (l *LatencyHist) Snapshot() LatencySnapshot {
 	return s
 }
 
+// knownEndpoints and knownStages are the families every daemon life
+// observes; pre-registering them at construction keeps the hot
+// observation path off the registry mutex (see Metrics).
+var (
+	knownEndpoints = []string{"/v1/profile", "/v1/simulate", "/v1/sweep", "/v1/workloads"}
+	knownStages    = []string{obs.StageProfile, obs.StageReduce, obs.StageGenerate,
+		obs.StageSimulate, obs.StageReference}
+)
+
 // Metrics aggregates the daemon's operational counters: per-endpoint
 // latency histograms, per-pipeline-stage timing histograms (profile /
 // reduce / generate / simulate, fed by the obs recorders the handlers
 // thread through the core pipeline), plus cache and pool statistics,
-// served as JSON by GET /metrics.
+// served as JSON by GET /metrics and as Prometheus text exposition by
+// GET /metrics?format=prometheus.
+//
+// The known endpoint and stage families are pre-registered into
+// immutable maps at construction, so the per-observation lookup on the
+// request path is a lock-free map read; the registry mutex is taken
+// only for names the daemon has never seen (custom span names from
+// future pipeline stages) and for snapshots.
 type Metrics struct {
 	start time.Time
 
+	// known is built once in NewMetrics and never mutated afterwards —
+	// concurrent lock-free reads are safe.
+	knownEndpoints map[string]*LatencyHist
+	knownStages    map[string]*LatencyHist
+
 	mu        sync.Mutex
-	endpoints map[string]*LatencyHist
-	stages    map[string]*LatencyHist
+	endpoints map[string]*LatencyHist // unknown names only
+	stages    map[string]*LatencyHist // unknown names only
 }
 
-// NewMetrics returns an empty metrics registry.
+// NewMetrics returns a metrics registry with the known endpoint and
+// stage families pre-registered.
 func NewMetrics() *Metrics {
-	return &Metrics{
-		start:     time.Now(),
-		endpoints: make(map[string]*LatencyHist),
-		stages:    make(map[string]*LatencyHist),
+	m := &Metrics{
+		start:          time.Now(),
+		knownEndpoints: make(map[string]*LatencyHist, len(knownEndpoints)),
+		knownStages:    make(map[string]*LatencyHist, len(knownStages)),
+		endpoints:      make(map[string]*LatencyHist),
+		stages:         make(map[string]*LatencyHist),
 	}
+	for _, name := range knownEndpoints {
+		m.knownEndpoints[name] = NewLatencyHist()
+	}
+	for _, name := range knownStages {
+		m.knownStages[name] = NewLatencyHist()
+	}
+	return m
 }
 
 // Endpoint returns (creating if needed) the histogram for an endpoint.
+// Known endpoints resolve without the registry lock.
 func (m *Metrics) Endpoint(name string) *LatencyHist {
+	if l, ok := m.knownEndpoints[name]; ok {
+		return l
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	l, ok := m.endpoints[name]
@@ -127,8 +184,13 @@ func (m *Metrics) Endpoint(name string) *LatencyHist {
 
 // StageObserve records one pipeline stage execution. Stage timings use
 // the same log2-microsecond buckets as endpoint latencies, so both
-// families read identically off /metrics.
+// families read identically off /metrics. Known stages resolve without
+// the registry lock.
 func (m *Metrics) StageObserve(name string, d time.Duration) {
+	if l, ok := m.knownStages[name]; ok {
+		l.Observe(d, false)
+		return
+	}
 	m.mu.Lock()
 	l, ok := m.stages[name]
 	if !ok {
@@ -185,13 +247,44 @@ func (m *Metrics) Snapshot(cache *GraphCache, pool *Pool) MetricsSnapshot {
 	if pool != nil {
 		s.Pool = pool.Stats()
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for name, l := range m.endpoints {
+	for name, l := range m.eachEndpoint() {
 		s.Endpoints[name] = l.Snapshot()
 	}
-	for name, l := range m.stages {
-		s.Stages[name] = l.Snapshot()
+	// Stage families appear once observed (pre-registration is an
+	// implementation detail, not a wire-format change).
+	for name, l := range m.eachStage() {
+		if snap := l.Snapshot(); snap.Count > 0 {
+			s.Stages[name] = snap
+		}
 	}
 	return s
+}
+
+// eachEndpoint returns every registered endpoint family, known and
+// dynamic.
+func (m *Metrics) eachEndpoint() map[string]*LatencyHist {
+	out := make(map[string]*LatencyHist, len(m.knownEndpoints))
+	for name, l := range m.knownEndpoints {
+		out[name] = l
+	}
+	m.mu.Lock()
+	for name, l := range m.endpoints {
+		out[name] = l
+	}
+	m.mu.Unlock()
+	return out
+}
+
+// eachStage returns every registered stage family, known and dynamic.
+func (m *Metrics) eachStage() map[string]*LatencyHist {
+	out := make(map[string]*LatencyHist, len(m.knownStages))
+	for name, l := range m.knownStages {
+		out[name] = l
+	}
+	m.mu.Lock()
+	for name, l := range m.stages {
+		out[name] = l
+	}
+	m.mu.Unlock()
+	return out
 }

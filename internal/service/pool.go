@@ -26,6 +26,11 @@ import (
 // ErrPoolClosed is returned by Do after Drain has begun.
 var ErrPoolClosed = errors.New("service: pool draining or closed")
 
+// ErrJobPanic wraps every panic a job raised and the pool isolated, so
+// callers (the flight-recorder dump, the panic counter) can distinguish
+// a crashed job from an ordinary failure with errors.Is.
+var ErrJobPanic = errors.New("service: job panic")
+
 // job is one unit of pool work; done receives exactly one value.
 type job struct {
 	ctx  context.Context
@@ -52,6 +57,7 @@ type Pool struct {
 	inFlight  atomic.Int64
 	completed atomic.Uint64
 	failed    atomic.Uint64
+	panicked  atomic.Uint64
 }
 
 // NewPool starts a pool of the given number of workers (<= 0 means
@@ -100,6 +106,9 @@ func (p *Pool) worker() {
 		p.completed.Add(1)
 		if err != nil {
 			p.failed.Add(1)
+			if errors.Is(err, ErrJobPanic) {
+				p.panicked.Add(1)
+			}
 		}
 		j.done <- err
 		p.active.Done()
@@ -111,7 +120,7 @@ func (p *Pool) worker() {
 func runJob(ctx context.Context, fn func(context.Context) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("service: job panic: %v", r)
+			err = fmt.Errorf("%w: %v", ErrJobPanic, r)
 		}
 	}()
 	return fn(ctx)
@@ -189,6 +198,7 @@ type PoolStats struct {
 	InFlight   int    `json:"in_flight"`
 	Completed  uint64 `json:"completed"`
 	Failed     uint64 `json:"failed"`
+	Panics     uint64 `json:"panics"`
 }
 
 // Stats reports current pool load.
@@ -199,6 +209,7 @@ func (p *Pool) Stats() PoolStats {
 		InFlight:   int(p.inFlight.Load()),
 		Completed:  p.completed.Load(),
 		Failed:     p.failed.Load(),
+		Panics:     p.panicked.Load(),
 	}
 }
 

@@ -1,0 +1,149 @@
+package service
+
+import "sync"
+
+// Live sweep progress: the sweep engine publishes one event per
+// completed design point into a per-request feed keyed by the request's
+// trace ID, and GET /v1/sweep/progress?id=<trace-id> streams the feed
+// as server-sent events. A client that wants to watch a long sweep sets
+// X-Request-Id on its POST /v1/sweep and subscribes with the same ID —
+// before, during or shortly after the sweep (feeds buffer their full
+// event history, so a late subscriber replays from the start).
+
+// ProgressEvent is one server-sent event of a sweep's lifetime.
+type ProgressEvent struct {
+	// Type is "start" (sweep admitted: total and resumed counts),
+	// "point" (one design point finished), "done" (all points merged) or
+	// "error" (the sweep failed).
+	Type    string `json:"type"`
+	TraceID string `json:"trace_id"`
+	// Total and Resumed describe the sweep ("start", "done"): grid size
+	// and points served from a checkpoint journal.
+	Total   int `json:"total,omitempty"`
+	Resumed int `json:"resumed,omitempty"`
+	// Completed counts points finished so far, including resumed ones.
+	Completed int `json:"completed,omitempty"`
+	// Index, Point and Metrics describe one finished point ("point").
+	Index   int         `json:"index"`
+	Point   *SweepPoint `json:"point,omitempty"`
+	Metrics *SimMetrics `json:"metrics,omitempty"`
+	Error   string      `json:"error,omitempty"`
+}
+
+// terminal reports whether the event ends its feed.
+func (ev ProgressEvent) terminal() bool { return ev.Type == "done" || ev.Type == "error" }
+
+// progressFeed is one sweep's ordered event history plus a broadcast
+// channel that wakes subscribers on publish. Events are never dropped:
+// subscribers read the shared buffer by index, so a slow consumer lags
+// without losing data (the buffer is bounded by the sweep's point
+// count, itself capped by MaxSweepPoints).
+type progressFeed struct {
+	id string
+
+	mu     sync.Mutex
+	wake   chan struct{} // closed and replaced on every publish
+	events []ProgressEvent
+	done   bool
+}
+
+func newProgressFeed(id string) *progressFeed {
+	return &progressFeed{id: id, wake: make(chan struct{})}
+}
+
+// publish appends one event and wakes every waiting subscriber. Events
+// after a terminal one are dropped — the feed's story has ended.
+func (f *progressFeed) publish(ev ProgressEvent) {
+	ev.TraceID = f.id
+	f.mu.Lock()
+	if f.done {
+		f.mu.Unlock()
+		return
+	}
+	f.events = append(f.events, ev)
+	if ev.terminal() {
+		f.done = true
+	}
+	close(f.wake)
+	f.wake = make(chan struct{})
+	f.mu.Unlock()
+}
+
+// next returns the events from index from onward, whether the feed has
+// ended, and a channel that closes on the next publish (for use when no
+// new events were available).
+func (f *progressFeed) next(from int) (evs []ProgressEvent, done bool, wake <-chan struct{}) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if from < len(f.events) {
+		evs = f.events[from:len(f.events):len(f.events)]
+	}
+	return evs, f.done, f.wake
+}
+
+// progressHub indexes feeds by trace ID. Finished feeds are retained
+// (so a subscriber attaching just after completion still replays the
+// run) until capacity forces eviction, oldest-finished first.
+type progressHub struct {
+	capacity int
+
+	mu    sync.Mutex
+	feeds map[string]*progressFeed
+	order []string // insertion order, for eviction
+}
+
+func newProgressHub(capacity int) *progressHub {
+	if capacity < 1 {
+		capacity = 64
+	}
+	return &progressHub{capacity: capacity, feeds: make(map[string]*progressFeed)}
+}
+
+// feed returns (creating if needed) the feed for a trace ID. Both the
+// sweep handler and subscribers use it, so subscribing before the sweep
+// starts works: the subscriber parks on the empty feed and replays once
+// the sweep attaches.
+func (h *progressHub) feed(id string) *progressFeed {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if f, ok := h.feeds[id]; ok {
+		return f
+	}
+	f := newProgressFeed(id)
+	h.feeds[id] = f
+	h.order = append(h.order, id)
+	h.evictLocked()
+	return f
+}
+
+// evictLocked drops the oldest finished feeds past capacity; if none
+// have finished, the oldest feed goes regardless so a flood of
+// never-started subscriptions cannot grow the hub without bound.
+func (h *progressHub) evictLocked() {
+	for len(h.order) > h.capacity {
+		victim := -1
+		for i, id := range h.order {
+			if f := h.feeds[id]; f != nil {
+				f.mu.Lock()
+				done := f.done
+				f.mu.Unlock()
+				if done {
+					victim = i
+					break
+				}
+			}
+		}
+		if victim < 0 {
+			victim = 0
+		}
+		delete(h.feeds, h.order[victim])
+		h.order = append(h.order[:victim], h.order[victim+1:]...)
+	}
+}
+
+// size reports the resident feed count.
+func (h *progressHub) size() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.feeds)
+}

@@ -1,0 +1,216 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) of the metrics registry,
+// served by GET /metrics?format=prometheus so standard scrape tooling
+// can consume the daemon without a sidecar. The JSON view remains the
+// default; this renderer derives the same numbers from the same
+// histograms, with the log2-microsecond latency buckets rendered as
+// cumulative `_bucket` series in seconds.
+
+// promEscapeLabel escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func promEscapeLabel(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// promEscapeHelp escapes a HELP string: backslash and newline only.
+func promEscapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// promWriter accumulates exposition lines and remembers which families
+// already emitted their # HELP/# TYPE preamble.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *promWriter) family(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, promEscapeHelp(help), name, typ)
+}
+
+// sample emits one series line; labels alternate key, value and values
+// are escaped here.
+func (p *promWriter) sample(name string, value string, labels ...string) {
+	if len(labels) == 0 {
+		p.printf("%s %s\n", name, value)
+		return
+	}
+	var b strings.Builder
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, labels[i], promEscapeLabel(labels[i+1]))
+	}
+	p.printf("%s{%s} %s\n", name, b.String(), value)
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+func promUint(v uint64) string   { return strconv.FormatUint(v, 10) }
+
+// promHistogram renders one LatencyHist as a cumulative histogram in
+// seconds under the given family name with one fixed label. Buckets are
+// emitted up to the highest non-empty one (the +Inf bucket always
+// carries the total), keeping the output compact while staying a valid
+// cumulative series.
+func (p *promWriter) promHistogram(name, labelKey, labelVal string, e latencyExport) {
+	var cum uint64
+	top := 0
+	for b := 1; b <= latencyBuckets; b++ {
+		if e.counts[b] > 0 {
+			top = b
+		}
+	}
+	for b := 1; b <= top; b++ {
+		cum += e.counts[b]
+		le := promFloat(float64(bucketUpperUS(b)) / 1e6)
+		p.sample(name+"_bucket", promUint(cum), labelKey, labelVal, "le", le)
+	}
+	p.sample(name+"_bucket", promUint(e.total), labelKey, labelVal, "le", "+Inf")
+	p.sample(name+"_sum", promFloat(float64(e.sumUS)/1e6), labelKey, labelVal)
+	p.sample(name+"_count", promUint(e.total), labelKey, labelVal)
+}
+
+// sortedFamilies returns the families' names in stable order so scrapes
+// are diffable.
+func sortedFamilies(m map[string]*LatencyHist) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// promSnapshot bundles the non-histogram state the exposition renders
+// alongside the registry.
+type promSnapshot struct {
+	uptimeSeconds float64
+	build         BuildInfo
+	cache         CacheStats
+	pool          PoolStats
+	robustness    RobustnessStats
+	store         *StoreStats
+	flightEvents  uint64
+}
+
+// writePrometheus renders the complete exposition. Every family carries
+// # HELP and # TYPE lines; series within a family are sorted.
+func writePrometheus(w io.Writer, m *Metrics, st promSnapshot) error {
+	p := &promWriter{w: w}
+
+	p.family("statsimd_uptime_seconds", "Seconds since the daemon's metrics registry was created.", "gauge")
+	p.sample("statsimd_uptime_seconds", promFloat(st.uptimeSeconds))
+
+	p.family("statsimd_build_info", "Build provenance; the value is always 1.", "gauge")
+	p.sample("statsimd_build_info", "1",
+		"go_version", st.build.GoVersion,
+		"revision", st.build.Revision,
+		"dirty", strconv.FormatBool(st.build.Dirty))
+
+	endpoints := m.eachEndpoint()
+	names := sortedFamilies(endpoints)
+	exports := make(map[string]latencyExport, len(names))
+	for _, name := range names {
+		exports[name] = endpoints[name].export()
+	}
+	p.family("statsimd_requests_total", "Requests served, by endpoint.", "counter")
+	for _, name := range names {
+		p.sample("statsimd_requests_total", promUint(exports[name].total), "endpoint", name)
+	}
+	p.family("statsimd_request_errors_total", "Requests that returned an error, by endpoint.", "counter")
+	for _, name := range names {
+		p.sample("statsimd_request_errors_total", promUint(exports[name].errs), "endpoint", name)
+	}
+	p.family("statsimd_request_duration_seconds",
+		"Request latency, log2-microsecond buckets rendered in seconds.", "histogram")
+	for _, name := range names {
+		p.promHistogram("statsimd_request_duration_seconds", "endpoint", name, exports[name])
+	}
+
+	stages := m.eachStage()
+	stageNames := sortedFamilies(stages)
+	p.family("statsimd_stage_duration_seconds",
+		"Pipeline stage time (profile/reduce/generate/simulate), log2-microsecond buckets in seconds.", "histogram")
+	for _, name := range stageNames {
+		p.promHistogram("statsimd_stage_duration_seconds", "stage", name, stages[name].export())
+	}
+
+	p.family("statsimd_cache_lookups_total", "SFG cache lookups by outcome (hit, miss, coalesced).", "counter")
+	p.sample("statsimd_cache_lookups_total", promUint(st.cache.Hits), "outcome", "hit")
+	p.sample("statsimd_cache_lookups_total", promUint(st.cache.Misses), "outcome", "miss")
+	p.sample("statsimd_cache_lookups_total", promUint(st.cache.Coalesced), "outcome", "coalesced")
+	p.family("statsimd_cache_evictions_total", "SFG cache LRU evictions.", "counter")
+	p.sample("statsimd_cache_evictions_total", promUint(st.cache.Evictions))
+	p.family("statsimd_cache_resident", "Statistical profiles currently resident.", "gauge")
+	p.sample("statsimd_cache_resident", strconv.Itoa(st.cache.Size))
+	p.family("statsimd_cache_capacity", "Configured SFG cache capacity.", "gauge")
+	p.sample("statsimd_cache_capacity", strconv.Itoa(st.cache.Capacity))
+
+	p.family("statsimd_pool_workers", "Worker goroutines.", "gauge")
+	p.sample("statsimd_pool_workers", strconv.Itoa(st.pool.Workers))
+	p.family("statsimd_pool_queue_depth", "Jobs queued but not yet running.", "gauge")
+	p.sample("statsimd_pool_queue_depth", strconv.Itoa(st.pool.QueueDepth))
+	p.family("statsimd_pool_in_flight", "Jobs currently executing.", "gauge")
+	p.sample("statsimd_pool_in_flight", strconv.Itoa(st.pool.InFlight))
+	p.family("statsimd_pool_jobs_completed_total", "Jobs run to completion.", "counter")
+	p.sample("statsimd_pool_jobs_completed_total", promUint(st.pool.Completed))
+	p.family("statsimd_pool_jobs_failed_total", "Jobs that returned an error (including isolated panics).", "counter")
+	p.sample("statsimd_pool_jobs_failed_total", promUint(st.pool.Failed))
+	p.family("statsimd_pool_job_panics_total", "Jobs that panicked and were isolated.", "counter")
+	p.sample("statsimd_pool_job_panics_total", promUint(st.pool.Panics))
+
+	p.family("statsimd_shed_requests_total", "Requests shed by admission control (HTTP 429).", "counter")
+	p.sample("statsimd_shed_requests_total", promUint(st.robustness.Shed))
+	p.family("statsimd_job_retries_total", "Transient job failures retried.", "counter")
+	p.sample("statsimd_job_retries_total", promUint(st.robustness.Retries))
+	p.family("statsimd_sweep_points_resumed_total", "Sweep points served from checkpoint journals.", "counter")
+	p.sample("statsimd_sweep_points_resumed_total", promUint(st.robustness.SweepPointsResumed))
+
+	p.family("statsimd_flight_events_total", "Request events recorded by the flight recorder.", "counter")
+	p.sample("statsimd_flight_events_total", promUint(st.flightEvents))
+
+	if st.store != nil {
+		p.family("statsimd_store_loads_total", "Durable profile loads served from disk.", "counter")
+		p.sample("statsimd_store_loads_total", promUint(st.store.Loads))
+		p.family("statsimd_store_misses_total", "Durable profile lookups with no file on disk.", "counter")
+		p.sample("statsimd_store_misses_total", promUint(st.store.Misses))
+		p.family("statsimd_store_saves_total", "Durable profile writes.", "counter")
+		p.sample("statsimd_store_saves_total", promUint(st.store.Saves))
+		p.family("statsimd_store_save_failures_total", "Durable profile writes that failed.", "counter")
+		p.sample("statsimd_store_save_failures_total", promUint(st.store.SaveFailures))
+		p.family("statsimd_store_quarantined_total", "Corrupt profile files quarantined.", "counter")
+		p.sample("statsimd_store_quarantined_total", promUint(st.store.Quarantined))
+	}
+	return p.err
+}

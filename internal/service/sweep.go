@@ -95,6 +95,6 @@ type SweepResult struct {
 // serial loop it replaces: each point's simulation is an independent
 // deterministic function of (point, g, r, seed).
 func Sweep(ctx context.Context, pool *Pool, base cpu.Config, g *sfg.Graph, points []SweepPoint, r, seed uint64) ([]SweepResult, error) {
-	out, _, err := SweepWithJournal(ctx, pool, base, g, points, r, seed, nil, nil)
+	out, _, err := SweepWithJournal(ctx, pool, base, g, points, r, seed, nil, nil, nil)
 	return out, err
 }
