@@ -11,6 +11,8 @@
 //	statsim simulate -profile gzip.sfg -target 100000 [config flags]
 //	statsim compare  -benchmark gzip -n 1000000 -target 100000 [config flags]
 //	statsim sweep    -benchmark gzip -n 1000000 -grid quick -target 100000
+//	statsim fidelity -benchmark gzip -n 1000000 -target-ci 0.02 [config flags]
+//	statsim phases   -benchmark gzip -n 1000000 -interval 50000
 package main
 
 import (
@@ -49,6 +51,10 @@ func main() {
 		err = cmdCompare(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
+	case "fidelity":
+		err = cmdFidelity(os.Args[2:])
+	case "phases":
+		err = cmdPhases(os.Args[2:])
 	case "personality":
 		err = cmdPersonality(os.Args[2:])
 	case "inspect":
@@ -77,6 +83,8 @@ commands:
   simulate     run statistical simulation from a saved profile or trace file
   compare      run both and report prediction errors
   sweep        parallel design-space sweep from one profile
+  fidelity     adaptive-fidelity estimate with a confidence interval
+  phases       print a workload's phase clustering (simulation points)
   inspect      summarise a saved statistical profile
   personality  dump a benchmark's workload definition as editable JSON
 

@@ -250,3 +250,55 @@ func TestStatsManifestOutput(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCmdPhases(t *testing.T) {
+	if err := cmdPhases([]string{"-benchmark", "vpr", "-n", "60000", "-interval", "10000"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPhases([]string{"-benchmark", "vpr", "-n", "60000", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPhases([]string{"-benchmark", "nope"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	// A stream shorter than one interval must error cleanly.
+	if err := cmdPhases([]string{"-benchmark", "vpr", "-n", "100", "-interval", "10000"}); err == nil {
+		t.Error("sub-interval stream accepted")
+	}
+}
+
+func TestCmdFidelity(t *testing.T) {
+	dir := t.TempDir()
+	stats := filepath.Join(dir, "manifest.json")
+	err := cmdFidelity([]string{"-benchmark", "vpr", "-n", "120000", "-interval", "10000",
+		"-workers", "2", "-stats", stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man obs.Manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v\n%s", err, raw)
+	}
+	if man.Tool != "statsim fidelity" || man.Workload != "vpr" {
+		t.Errorf("manifest header wrong: %+v", man)
+	}
+	if man.Fidelity == nil {
+		t.Fatal("manifest missing fidelity block")
+	}
+	if man.Fidelity.IPCLo <= 0 || man.Fidelity.IPCHi <= man.Fidelity.IPCLo {
+		t.Errorf("manifest fidelity interval malformed: %+v", man.Fidelity)
+	}
+	if err := cmdFidelity([]string{"-benchmark", "vpr", "-n", "60000", "-interval", "10000", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdFidelity([]string{"-benchmark", "nope"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := cmdFidelity([]string{"-benchmark", "vpr", "-n", "60000", "-confidence", "0.5"}); err == nil {
+		t.Error("unsupported confidence accepted")
+	}
+}

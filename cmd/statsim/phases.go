@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/simpoint"
+)
+
+// cmdPhases prints a workload's phase structure: the stream is split
+// into fixed-length intervals, clustered by basic-block vector, and one
+// representative simulation point per phase is reported with its weight
+// — the stratification the adaptive fidelity engine samples from.
+func cmdPhases(args []string) error {
+	fs := flag.NewFlagSet("phases", flag.ExitOnError)
+	load := workloadFlags(fs)
+	n := fs.Uint64("n", 1_000_000, "committed-stream instructions to analyse")
+	seed := fs.Uint64("seed", 1, "execution seed")
+	interval := fs.Uint64("interval", 0, "interval length (0 = n/20)")
+	maxK := fs.Int("max-k", 10, "maximum clusters to consider")
+	asJSON := fs.Bool("json", false, "print the clustering as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := load()
+	if err != nil {
+		return err
+	}
+	iv := *interval
+	if iv == 0 {
+		iv = *n / 20
+		if iv < 1000 {
+			iv = 1000
+		}
+	}
+	c, err := simpoint.Clusters(w.Stream(*seed, 0, *n), simpoint.Options{
+		IntervalLen: iv,
+		MaxK:        *maxK,
+		Seed:        *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Workload  string           `json:"workload"`
+			Interval  uint64           `json:"interval"`
+			Intervals int              `json:"intervals"`
+			Points    []simpoint.Point `json:"points"`
+			Members   [][]int          `json:"members"`
+		}{w.Name, iv, c.Intervals, c.Points, c.Members})
+	}
+	fmt.Printf("%s: %d intervals of %d instructions -> %d phases\n",
+		w.Name, c.Intervals, iv, len(c.Points))
+	fmt.Printf("%-6s %10s %8s %8s  %s\n", "phase", "simpoint", "weight", "members", "at-inst")
+	for i, p := range c.Points {
+		fmt.Printf("%-6d %10d %8.4f %8d  %d\n",
+			i, p.Interval, p.Weight, len(c.Members[i]), uint64(p.Interval)*iv)
+	}
+	return nil
+}

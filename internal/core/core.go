@@ -39,6 +39,22 @@ func (m Metrics) IPC() float64 { return m.Result.IPC() }
 // EPC returns energy per cycle (average power) in Watts.
 func (m Metrics) EPC() float64 { return m.Power.EPC() }
 
+// CPI returns cycles per instruction (0 when nothing committed). CPI is
+// the additive form of the timing result: equal-length samples combine
+// by plain averaging, which is what stratified estimators (the adaptive
+// fidelity engine, the Fig. 8 SimPoint scenario) need — IPC does not
+// average linearly.
+func (m Metrics) CPI() float64 {
+	if m.Instructions == 0 {
+		return 0
+	}
+	return float64(m.Cycles) / float64(m.Instructions)
+}
+
+// EPI returns energy per instruction (EPC x CPI) in Watt-cycles per
+// instruction — like CPI, additive across equal-length samples.
+func (m Metrics) EPI() float64 { return m.EPC() * m.CPI() }
+
 // EDP returns the energy-delay product EPC/IPC² (§4.2.3).
 func (m Metrics) EDP() float64 { return power.EDP(m.EPC(), m.IPC()) }
 
@@ -46,6 +62,16 @@ func (m Metrics) EDP() float64 { return power.EDP(m.EPC(), m.IPC()) }
 // baseline) of src on cfg and estimates power from the activity.
 func Reference(cfg cpu.Config, src trace.Source) Metrics {
 	res := cpu.NewExecutionDriven(cfg, src).Run()
+	return Metrics{Result: res, Power: power.Estimate(cfg, res)}
+}
+
+// ReferenceWarmed runs execution-driven simulation starting from
+// functionally pre-warmed locality state (cpu.WarmState) — the sampled-
+// simulation path, where caches and predictors carry the whole stream's
+// history but only the sample window pays detailed-simulation cost. ws
+// is consumed: the pipeline mutates it.
+func ReferenceWarmed(cfg cpu.Config, ws *cpu.WarmState, src trace.Source) Metrics {
+	res := cpu.NewExecutionDrivenWarmed(cfg, src, ws).Run()
 	return Metrics{Result: res, Power: power.Estimate(cfg, res)}
 }
 

@@ -1,0 +1,111 @@
+package fidelity
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// Result is one adaptive-fidelity evaluation: interval estimates for
+// IPC and EPC, the convergence verdict, and a full account of how the
+// detailed budget was spent. The JSON form is served as-is on the
+// daemon's wire.
+type Result struct {
+	Workload string `json:"workload"`
+
+	// IPC estimate with its confidence interval (the CPI interval's
+	// monotone inverse).
+	IPC   float64 `json:"ipc"`
+	IPCLo float64 `json:"ipc_lo"`
+	IPCHi float64 `json:"ipc_hi"`
+	// EPC estimate (average power, Watts) with a conservative interval.
+	EPC   float64 `json:"epc,omitempty"`
+	EPCLo float64 `json:"epc_lo,omitempty"`
+	EPCHi float64 `json:"epc_hi,omitempty"`
+
+	// CPI is the underlying stratified estimate the engine converges on.
+	CPI stats.CI `json:"cpi"`
+	// RelHalfWidth is the CPI interval's half-width divided by its mean;
+	// convergence means RelHalfWidth <= TargetCI.
+	RelHalfWidth float64 `json:"rel_half_width"`
+	Confidence   float64 `json:"confidence"`
+	TargetCI     float64 `json:"target_ci"`
+	Converged    bool    `json:"converged"`
+
+	// Budget accounting. DetailedInstructions counts every instruction
+	// run through the execution-driven model, warm-up included.
+	CoveredInstructions     uint64  `json:"covered_instructions"`
+	DetailedInstructions    uint64  `json:"detailed_instructions"`
+	MaxDetailedInstructions uint64  `json:"max_detailed_instructions"`
+	DetailedFrac            float64 `json:"detailed_frac"`
+
+	Strata      []StratumReport `json:"strata"`
+	Escalations []Escalation    `json:"escalations,omitempty"`
+}
+
+// StratumReport is one stratum's final state.
+type StratumReport struct {
+	Members  int     `json:"members"` // intervals in the stratum
+	Sampled  []int   `json:"sampled"` // sampled interval indices
+	Weight   float64 `json:"weight"`
+	Detailed bool    `json:"detailed"` // escalated to execution-driven
+	MeanCPI  float64 `json:"mean_cpi"`
+	SigmaCPI float64 `json:"sigma_cpi"`
+	MeanIPC  float64 `json:"mean_ipc"`
+}
+
+// Escalation records one promotion of a stratum to detailed simulation,
+// in the order the loop performed them.
+type Escalation struct {
+	Stratum         int     `json:"stratum"`
+	Intervals       []int   `json:"intervals"` // re-simulated interval indices
+	DetailedInsts   uint64  `json:"detailed_insts"`
+	HalfWidthBefore float64 `json:"half_width_before"` // relative, pre-escalation
+	HalfWidthAfter  float64 `json:"half_width_after"`  // relative, post-escalation
+}
+
+// Manifest converts the result into the run-manifest fidelity block.
+func (r *Result) Manifest() *obs.ManifestFidelity {
+	return &obs.ManifestFidelity{
+		Confidence:    r.Confidence,
+		TargetCI:      r.TargetCI,
+		RelHalfWidth:  r.RelHalfWidth,
+		Converged:     r.Converged,
+		Strata:        len(r.Strata),
+		Escalations:   len(r.Escalations),
+		DetailedInsts: r.DetailedInstructions,
+		DetailedFrac:  r.DetailedFrac,
+		IPCLo:         r.IPCLo,
+		IPCHi:         r.IPCHi,
+	}
+}
+
+// Print writes a human-readable report, the CLI's default output.
+func (r *Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "workload %s: IPC %.4f  %.0f%% CI [%.4f, %.4f]  (rel half-width %.2f%%, target %.2f%%)\n",
+		r.Workload, r.IPC, 100*r.Confidence, r.IPCLo, r.IPCHi, 100*r.RelHalfWidth, 100*r.TargetCI)
+	if r.EPC > 0 {
+		fmt.Fprintf(w, "  EPC %.3f W  CI [%.3f, %.3f]\n", r.EPC, r.EPCLo, r.EPCHi)
+	}
+	state := "converged"
+	if !r.Converged {
+		state = "budget exhausted before target"
+	}
+	fmt.Fprintf(w, "  %s after %d escalation(s); detailed %d / %d insts (%.1f%%, cap %d)\n",
+		state, len(r.Escalations), r.DetailedInstructions, r.CoveredInstructions,
+		100*r.DetailedFrac, r.MaxDetailedInstructions)
+	for i, s := range r.Strata {
+		model := "cheap"
+		if s.Detailed {
+			model = "detailed"
+		}
+		fmt.Fprintf(w, "  stratum %d: weight %.3f  members %d  sampled %v  %s  CPI %.4f ± %.4f\n",
+			i, s.Weight, s.Members, s.Sampled, model, s.MeanCPI, s.SigmaCPI)
+	}
+	for _, e := range r.Escalations {
+		fmt.Fprintf(w, "  escalated stratum %d (%d insts over intervals %v): rel half-width %.2f%% -> %.2f%%\n",
+			e.Stratum, e.DetailedInsts, e.Intervals, 100*e.HalfWidthBefore, 100*e.HalfWidthAfter)
+	}
+}

@@ -29,6 +29,12 @@ type RequestEvent struct {
 	Resumed  int    `json:"resumed,omitempty"`
 	Panicked bool   `json:"panicked,omitempty"`
 	Error    string `json:"error,omitempty"`
+
+	// Adaptive-fidelity outcomes (zero unless the request ran the
+	// fidelity engine).
+	Escalations   int     `json:"escalations,omitempty"`
+	DetailedInsts uint64  `json:"detailed_insts,omitempty"`
+	CIWidth       float64 `json:"ci_width,omitempty"`
 }
 
 // FlightRecorder keeps the last N request events in a fixed-size ring.

@@ -36,6 +36,25 @@ type ManifestMetrics struct {
 	L2IMissRate      float64 `json:"l2i_miss_rate"`
 }
 
+// ManifestFidelity is the adaptive-fidelity block of a run manifest:
+// how the engine spent its budget and how tight the interval it
+// delivered is. Present only on runs that used the fidelity engine.
+type ManifestFidelity struct {
+	Confidence   float64 `json:"confidence"`
+	TargetCI     float64 `json:"target_ci"`
+	RelHalfWidth float64 `json:"rel_half_width"`
+	Converged    bool    `json:"converged"`
+	Strata       int     `json:"strata"`
+	Escalations  int     `json:"escalations"`
+	// DetailedInsts counts instructions run through the execution-driven
+	// model (warm-up included); DetailedFrac is its share of the covered
+	// stream.
+	DetailedInsts uint64  `json:"detailed_insts"`
+	DetailedFrac  float64 `json:"detailed_frac"`
+	IPCLo         float64 `json:"ipc_lo"`
+	IPCHi         float64 `json:"ipc_hi"`
+}
+
 // Manifest is the JSON run manifest a front end emits (statsim -stats,
 // experiment artifacts): everything needed to reproduce the run plus
 // where its time went.
@@ -66,6 +85,8 @@ type Manifest struct {
 
 	// What came out.
 	Metrics *ManifestMetrics `json:"metrics,omitempty"`
+	// How adaptively it was computed, when the fidelity engine ran.
+	Fidelity *ManifestFidelity `json:"fidelity,omitempty"`
 }
 
 // NewManifest starts a manifest for the named tool, stamped now.

@@ -1,0 +1,220 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func manifestFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+func readManifest(t *testing.T, path string) obs.Manifest {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("decoding %s: %v", path, err)
+	}
+	return m
+}
+
+func fidelitySimBody(workload string) map[string]any {
+	return map[string]any{
+		"profile": map[string]any{"workload": workload, "n": 120_000, "k": 1},
+		"fidelity": map[string]any{
+			"target_ci": 0.02,
+			"interval":  10_000,
+		},
+	}
+}
+
+func TestFidelitySimulate(t *testing.T) {
+	svc, ts := newTestServer(t)
+	var resp SimulateResponse
+	code, raw := postJSON(t, ts.URL+"/v1/simulate", fidelitySimBody("gzip"), &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	res := resp.Fidelity
+	if res == nil {
+		t.Fatalf("no fidelity block in response: %s", raw)
+	}
+	if res.IPCLo <= 0 || res.IPCHi <= res.IPCLo || resp.Metrics.IPC != res.IPC {
+		t.Errorf("malformed interval: %+v", res)
+	}
+	if res.DetailedFrac > 0.25 {
+		t.Errorf("detailed fraction %v over budget", res.DetailedFrac)
+	}
+	if resp.Reduction != 0 {
+		t.Errorf("fidelity run reported reduction %d", resp.Reduction)
+	}
+
+	// The run must land in the daemon-wide counters ...
+	var snap MetricsSnapshot
+	if code := getJSON(t, ts.URL+"/metrics", &snap); code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	if snap.Fidelity.Runs != 1 || snap.Fidelity.CIWidthCount != 1 {
+		t.Errorf("fidelity stats not counted: %+v", snap.Fidelity)
+	}
+	if snap.Fidelity.DetailedInsts != res.DetailedInstructions {
+		t.Errorf("detailed insts %d, want %d", snap.Fidelity.DetailedInsts, res.DetailedInstructions)
+	}
+
+	// ... in the flight recorder ...
+	evs := svc.flight.Recent(1)
+	if len(evs) != 1 || evs[0].Escalations != len(res.Escalations) ||
+		evs[0].DetailedInsts != res.DetailedInstructions || evs[0].CIWidth != res.RelHalfWidth {
+		t.Errorf("flight event missing fidelity outcomes: %+v", evs)
+	}
+
+	// ... and in the Prometheus exposition.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics?format=prometheus", nil)
+	hresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := hresp.Body.Read(buf)
+	text := string(buf[:n])
+	for _, want := range []string{
+		"statsimd_fidelity_runs_total 1",
+		"statsimd_fidelity_escalations_total",
+		"statsimd_fidelity_detailed_insts_total",
+		"statsimd_fidelity_ci_width_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestFidelitySimulateDeterministicAcrossRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	run := func() string {
+		code, raw := postJSON(t, ts.URL+"/v1/simulate", fidelitySimBody("vpr"), nil)
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, raw)
+		}
+		// elapsed_ms is the only wall-clock-dependent field.
+		i := strings.Index(raw, `"elapsed_ms"`)
+		return raw[:i]
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("fidelity responses differ across identical requests:\n%s\n%s", a, b)
+	}
+}
+
+func TestFidelitySimulateValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	bad := []map[string]any{
+		{"profile": map[string]any{"workload": "gzip"},
+			"fidelity": map[string]any{"target_ci": 1.5}},
+		{"profile": map[string]any{"workload": "gzip"},
+			"fidelity": map[string]any{"target_ci": 0.02, "max_detailed_frac": 2.0}},
+		{"profile": map[string]any{"workload": "gzip"},
+			"fidelity": map[string]any{"target_ci": 0.02, "confidence": 0.5}},
+		{"profile": map[string]any{"workload": "nosuch"},
+			"fidelity": map[string]any{"target_ci": 0.02}},
+		{"profile": map[string]any{},
+			"fidelity": map[string]any{"target_ci": 0.02}},
+	}
+	for i, body := range bad {
+		code, raw := postJSON(t, ts.URL+"/v1/simulate", body, nil)
+		if code == http.StatusOK {
+			t.Errorf("case %d accepted: %s", i, raw)
+		}
+	}
+}
+
+func TestFidelitySweep(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := map[string]any{
+		"profile": map[string]any{"workload": "gzip", "n": 100_000},
+		"points": []map[string]any{
+			{"ruu": 16, "lsq": 8, "decode": 4, "issue": 4, "commit": 4},
+			{"ruu": 64, "lsq": 32, "decode": 4, "issue": 4, "commit": 4},
+		},
+		"fidelity": map[string]any{"target_ci": 0.02, "interval": 10_000},
+	}
+	var resp SweepResponse
+	code, raw := postJSON(t, ts.URL+"/v1/sweep", body, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("got %d results", len(resp.Results))
+	}
+	for i, row := range resp.Results {
+		if row.Fidelity == nil {
+			t.Fatalf("row %d missing fidelity block", i)
+		}
+		if row.Fidelity.IPCLo <= 0 || row.Fidelity.IPCHi <= row.Fidelity.IPCLo {
+			t.Errorf("row %d malformed interval: %+v", i, row.Fidelity)
+		}
+	}
+	// The bigger window must not be slower: interval centres should
+	// order sensibly even under estimation noise.
+	if resp.Results[1].Metrics.IPC < resp.Results[0].Metrics.IPC*0.8 {
+		t.Errorf("128-RUU point much slower than 16-RUU point: %v vs %v",
+			resp.Results[1].Metrics.IPC, resp.Results[0].Metrics.IPC)
+	}
+}
+
+func TestFidelitySweepPointCap(t *testing.T) {
+	_, ts := newTestServer(t)
+	points := make([]map[string]any, maxFidelitySweepPoints+1)
+	for i := range points {
+		points[i] = map[string]any{"ruu": 16 + i, "lsq": 8, "decode": 4, "issue": 4, "commit": 4}
+	}
+	body := map[string]any{
+		"profile":  map[string]any{"workload": "gzip", "n": 50_000},
+		"points":   points,
+		"fidelity": map[string]any{"target_ci": 0.02},
+	}
+	code, raw := postJSON(t, ts.URL+"/v1/sweep", body, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", code, raw)
+	}
+	if !strings.Contains(raw, "fidelity sweep limit") {
+		t.Errorf("unexpected error body: %s", raw)
+	}
+}
+
+func TestFidelityManifest(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServerOpts(t, Options{Workers: 4, CacheSize: 4,
+		JobTimeout: time.Minute, ManifestDir: dir})
+	code, raw := postJSON(t, ts.URL+"/v1/simulate", fidelitySimBody("gzip"), nil)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	files := manifestFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("got %d manifests, want 1", len(files))
+	}
+	m := readManifest(t, files[0])
+	if m.Fidelity == nil {
+		t.Fatal("manifest missing fidelity block")
+	}
+	if m.Fidelity.IPCLo <= 0 || m.Fidelity.IPCHi <= m.Fidelity.IPCLo || m.Fidelity.Strata == 0 {
+		t.Errorf("manifest fidelity block: %+v", m.Fidelity)
+	}
+}

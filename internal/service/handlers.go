@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/fault"
+	"repro/internal/fidelity"
 	"repro/internal/obs"
 	"repro/internal/sfg"
 )
@@ -123,6 +125,7 @@ type Server struct {
 	retries      atomic.Uint64
 	sweepResumed atomic.Uint64
 	sweepLocks   sync.Map // sweep fingerprint -> *sync.Mutex
+	fidelity     fidelityCounters
 
 	// Shed-storm detection: a burst of 429s inside stormWindow triggers
 	// one flight-recorder dump per stormCooldown, so the black box lands
@@ -253,6 +256,11 @@ type reqInfo struct {
 	cacheHit atomic.Bool
 	retries  atomic.Uint64
 	resumed  atomic.Int64
+
+	// Fidelity-engine outcomes (set only when the request ran it).
+	escalations   atomic.Int64
+	detailedInsts atomic.Uint64
+	ciWidth       atomic.Uint64 // math.Float64bits of the final relative half-width
 }
 
 type reqInfoKey struct{}
@@ -359,6 +367,10 @@ func (s *Server) finishRequest(name, traceID string, ri *reqInfo, code int, elap
 		Shed:       code == http.StatusTooManyRequests,
 		Retries:    int(ri.retries.Load()),
 		Resumed:    int(ri.resumed.Load()),
+
+		Escalations:   int(ri.escalations.Load()),
+		DetailedInsts: ri.detailedInsts.Load(),
+		CIWidth:       math.Float64frombits(ri.ciWidth.Load()),
 	}
 	if totals := ri.rec.StageTotals(); len(totals) > 0 {
 		ev.StageMS = make(map[string]float64, len(totals))
@@ -379,6 +391,9 @@ func (s *Server) finishRequest(name, traceID string, ri *reqInfo, code int, elap
 	}
 	if ev.Resumed > 0 {
 		args = append(args, "resumed", ev.Resumed)
+	}
+	if ev.Escalations > 0 || ev.DetailedInsts > 0 {
+		args = append(args, "escalations", ev.Escalations, "detailed_insts", ev.DetailedInsts)
 	}
 	if err != nil {
 		args = append(args, "err", err.Error())
@@ -634,6 +649,10 @@ type SimulateRequest struct {
 	Target uint64 `json:"target"`
 	// SimSeed seeds synthetic trace generation (default 1).
 	SimSeed uint64 `json:"sim_seed"`
+	// Fidelity switches the request to the adaptive fidelity engine:
+	// the response carries confidence intervals and an escalation
+	// account instead of a single statistical estimate.
+	Fidelity *FidelitySpec `json:"fidelity,omitempty"`
 }
 
 // SimMetrics is the wire form of one simulation's outcome.
@@ -657,13 +676,17 @@ func wireMetrics(m core.Metrics) SimMetrics {
 	}
 }
 
-// SimulateResponse is the POST /v1/simulate reply.
+// SimulateResponse is the POST /v1/simulate reply. On fidelity runs,
+// Metrics carries the interval's centre estimates (Reduction is 0 — no
+// single synthetic trace was used) and Fidelity carries the full
+// confidence-interval and escalation report.
 type SimulateResponse struct {
-	Key           ProfileKey `json:"key"`
-	ProfileCached bool       `json:"profile_cached"`
-	Reduction     uint64     `json:"reduction"`
-	Metrics       SimMetrics `json:"metrics"`
-	ElapsedMS     float64    `json:"elapsed_ms"`
+	Key           ProfileKey       `json:"key"`
+	ProfileCached bool             `json:"profile_cached"`
+	Reduction     uint64           `json:"reduction"`
+	Metrics       SimMetrics       `json:"metrics"`
+	Fidelity      *fidelity.Result `json:"fidelity,omitempty"`
+	ElapsedMS     float64          `json:"elapsed_ms"`
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) (any, error) {
@@ -673,6 +696,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) (any, er
 	}
 	if err := s.admit(); err != nil {
 		return nil, err
+	}
+	if req.Fidelity != nil {
+		return s.runFidelitySimulate(r, req)
 	}
 	if req.Target == 0 {
 		req.Target = 100_000
@@ -732,12 +758,18 @@ type SweepRequest struct {
 	Points  []SweepPoint `json:"points,omitempty"`
 	Target  uint64       `json:"target"`
 	SimSeed uint64       `json:"sim_seed"`
+	// Fidelity switches every point to the adaptive fidelity engine
+	// (shared stratification, per-point confidence intervals); fidelity
+	// sweeps are capped at maxFidelitySweepPoints points.
+	Fidelity *FidelitySpec `json:"fidelity,omitempty"`
 }
 
-// SweepRow is one design point's outcome.
+// SweepRow is one design point's outcome; Fidelity is present on
+// fidelity-mode sweeps.
 type SweepRow struct {
-	Point   SweepPoint `json:"point"`
-	Metrics SimMetrics `json:"metrics"`
+	Point    SweepPoint       `json:"point"`
+	Metrics  SimMetrics       `json:"metrics"`
+	Fidelity *fidelity.Result `json:"fidelity,omitempty"`
 }
 
 // SweepResponse is the POST /v1/sweep reply; Results are in grid order
@@ -778,6 +810,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (any, error
 	}
 	if len(points) > s.opts.MaxSweepPoints {
 		return nil, badRequest("%d points exceed limit %d", len(points), s.opts.MaxSweepPoints)
+	}
+	if req.Fidelity != nil {
+		return s.runFidelitySweep(r, req, points)
 	}
 	if req.Target == 0 {
 		req.Target = 100_000
@@ -998,6 +1033,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		st := s.store.Stats()
 		store = &st
 	}
+	fid := s.fidelity.stats()
 	if r.URL.Query().Get("format") == "prometheus" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		writePrometheus(w, s.metrics, promSnapshot{
@@ -1008,12 +1044,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			robustness:    robustness,
 			store:         store,
 			flightEvents:  s.flight.Total(),
+			fidelity:      fid,
 		})
 		return
 	}
 	snap := s.metrics.Snapshot(s.cache, s.pool)
 	snap.Robustness = robustness
 	snap.Store = store
+	snap.Fidelity = fid
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(snap)
 }

@@ -228,6 +228,7 @@ type MetricsSnapshot struct {
 	Cache         CacheStats                 `json:"cache"`
 	Pool          PoolStats                  `json:"pool"`
 	Robustness    RobustnessStats            `json:"robustness"`
+	Fidelity      FidelityStats              `json:"fidelity"`
 	Store         *StoreStats                `json:"store,omitempty"`
 	Endpoints     map[string]LatencySnapshot `json:"endpoints"`
 	Stages        map[string]LatencySnapshot `json:"stages"`

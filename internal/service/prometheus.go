@@ -122,6 +122,7 @@ type promSnapshot struct {
 	robustness    RobustnessStats
 	store         *StoreStats
 	flightEvents  uint64
+	fidelity      FidelityStats
 }
 
 // writePrometheus renders the complete exposition. Every family carries
@@ -199,6 +200,18 @@ func writePrometheus(w io.Writer, m *Metrics, st promSnapshot) error {
 
 	p.family("statsimd_flight_events_total", "Request events recorded by the flight recorder.", "counter")
 	p.sample("statsimd_flight_events_total", promUint(st.flightEvents))
+
+	p.family("statsimd_fidelity_runs_total", "Adaptive-fidelity engine evaluations.", "counter")
+	p.sample("statsimd_fidelity_runs_total", promUint(st.fidelity.Runs))
+	p.family("statsimd_fidelity_converged_total", "Fidelity evaluations that met their CI target.", "counter")
+	p.sample("statsimd_fidelity_converged_total", promUint(st.fidelity.Converged))
+	p.family("statsimd_fidelity_escalations_total", "Phase strata escalated to execution-driven simulation.", "counter")
+	p.sample("statsimd_fidelity_escalations_total", promUint(st.fidelity.Escalations))
+	p.family("statsimd_fidelity_detailed_insts_total", "Instructions run through the execution-driven model by fidelity escalations (warm-up included).", "counter")
+	p.sample("statsimd_fidelity_detailed_insts_total", promUint(st.fidelity.DetailedInsts))
+	p.family("statsimd_fidelity_ci_width", "Final relative CI half-width per fidelity evaluation (sum/count expose the mean).", "summary")
+	p.sample("statsimd_fidelity_ci_width_sum", promFloat(st.fidelity.CIWidthSum))
+	p.sample("statsimd_fidelity_ci_width_count", promUint(st.fidelity.CIWidthCount))
 
 	if st.store != nil {
 		p.family("statsimd_store_loads_total", "Durable profile loads served from disk.", "counter")

@@ -124,7 +124,7 @@ func parsePrometheus(t *testing.T, body string) []promSample {
 		}
 		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
 			f := strings.Fields(rest)
-			if len(f) != 2 || (f[1] != "counter" && f[1] != "gauge" && f[1] != "histogram") {
+			if len(f) != 2 || (f[1] != "counter" && f[1] != "gauge" && f[1] != "histogram" && f[1] != "summary") {
 				t.Fatalf("bad TYPE line: %q", line)
 			}
 			typed[f[0]] = f[1]

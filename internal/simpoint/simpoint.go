@@ -111,15 +111,38 @@ func projection(block int32, dim int, seed uint64) float64 {
 
 // Choose selects simulation points from the stream.
 func Choose(src trace.Source, opts Options) ([]Point, error) {
+	c, err := Clusters(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.Points, nil
+}
+
+// Clustering is the full phase structure Choose summarises: every
+// interval's cluster assignment alongside the representative points.
+// The adaptive fidelity engine consumes it as a stratification — each
+// cluster is one stratum whose members are sampling units.
+type Clustering struct {
+	Intervals int     // intervals in the stream
+	Points    []Point // one representative per non-empty cluster
+	// Members[i] lists the interval indices belonging to Points[i]'s
+	// cluster, ascending; Points[i].Interval is always among them and
+	// len(Members[i]) / Intervals == Points[i].Weight.
+	Members [][]int
+}
+
+// Clusters selects simulation points and returns the full clustering
+// behind them.
+func Clusters(src trace.Source, opts Options) (*Clustering, error) {
 	opts = opts.withDefaults()
 	vecs, err := BBVs(src, opts)
 	if err != nil {
 		return nil, err
 	}
-	return chooseFromBBVs(vecs, opts), nil
+	return clusterBBVs(vecs, opts), nil
 }
 
-func chooseFromBBVs(vecs [][]float64, opts Options) []Point {
+func clusterBBVs(vecs [][]float64, opts Options) *Clustering {
 	n := len(vecs)
 	maxK := opts.MaxK
 	if maxK > n {
@@ -173,14 +196,21 @@ func chooseFromBBVs(vecs [][]float64, opts Options) []Point {
 			repIdx[a] = i
 		}
 	}
-	var pts []Point
+	out := &Clustering{Intervals: n}
 	for c := 0; c < bestK; c++ {
 		if size[c] == 0 {
 			continue
 		}
-		pts = append(pts, Point{Interval: repIdx[c], Weight: float64(size[c]) / float64(n)})
+		members := make([]int, 0, size[c])
+		for i, a := range bestAssign {
+			if a == c {
+				members = append(members, i)
+			}
+		}
+		out.Points = append(out.Points, Point{Interval: repIdx[c], Weight: float64(size[c]) / float64(n)})
+		out.Members = append(out.Members, members)
 	}
-	return pts
+	return out
 }
 
 func dist2(a, b []float64) float64 {

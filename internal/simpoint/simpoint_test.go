@@ -96,6 +96,113 @@ func TestChooseUniformStreamFewPoints(t *testing.T) {
 	}
 }
 
+func TestChooseEmptyStream(t *testing.T) {
+	if _, err := Choose(trace.NewSliceSource(nil), Options{IntervalLen: 100, Seed: 1}); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := Clusters(trace.NewSliceSource(nil), Options{IntervalLen: 100, Seed: 1}); err == nil {
+		t.Error("Clusters accepted an empty stream")
+	}
+}
+
+func TestChooseStreamShorterThanOneInterval(t *testing.T) {
+	// 400 instructions against a 1000-instruction interval: below the
+	// half-full threshold, so no interval forms at all.
+	s := twoPhaseStream(1, 400)
+	if _, err := Choose(trace.NewSliceSource(s), Options{IntervalLen: 1000, Seed: 1}); err == nil {
+		t.Error("sub-interval stream accepted")
+	}
+	// At half an interval the trailing partial is kept (SimPoint rule)
+	// and selection degenerates to a single full-weight point.
+	s = twoPhaseStream(1, 500)
+	pts, err := Choose(trace.NewSliceSource(s), Options{IntervalLen: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].Interval != 0 || pts[0].Weight != 1 {
+		t.Errorf("half-interval stream: %+v", pts)
+	}
+}
+
+func TestChooseKForcedToOne(t *testing.T) {
+	// MaxK=1 must collapse even an obviously two-phase stream into a
+	// single full-weight representative.
+	s := twoPhaseStream(16, 1000)
+	pts, err := Choose(trace.NewSliceSource(s), Options{IntervalLen: 1000, Seed: 1, MaxK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("MaxK=1 returned %d points", len(pts))
+	}
+	if math.Abs(pts[0].Weight-1) > 1e-12 {
+		t.Errorf("single point weight = %v, want 1", pts[0].Weight)
+	}
+}
+
+func TestChooseWeightNormalisation(t *testing.T) {
+	// Weights are exact size/n ratios and must sum to 1 within 1e-12
+	// for any clustering the selector produces.
+	for seed := uint64(1); seed <= 5; seed++ {
+		prog := program.MustGenerate(program.Personality{Name: "w", Seed: seed, TargetBlocks: 80, Phases: 4, PhaseLen: 10_000})
+		src := &trace.LimitSource{Src: program.NewExecutor(prog, 1), N: 120_000}
+		pts, err := Choose(src, Options{IntervalLen: 10_000, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, p := range pts {
+			sum += p.Weight
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("seed %d: weights sum to %.15f (|Δ|=%g > 1e-12)", seed, sum, math.Abs(sum-1))
+		}
+	}
+}
+
+func TestClustersConsistentWithChoose(t *testing.T) {
+	s := twoPhaseStream(16, 1000)
+	c, err := Clusters(trace.NewSliceSource(s), Options{IntervalLen: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Intervals != 16 {
+		t.Fatalf("Intervals = %d, want 16", c.Intervals)
+	}
+	if len(c.Points) != len(c.Members) {
+		t.Fatalf("points/members mismatch: %d vs %d", len(c.Points), len(c.Members))
+	}
+	seen := map[int]bool{}
+	for i, p := range c.Points {
+		members := c.Members[i]
+		if len(members) == 0 {
+			t.Fatalf("cluster %d empty", i)
+		}
+		found := false
+		for j, m := range members {
+			if seen[m] {
+				t.Fatalf("interval %d in two clusters", m)
+			}
+			seen[m] = true
+			if j > 0 && members[j-1] >= m {
+				t.Fatalf("cluster %d members not ascending: %v", i, members)
+			}
+			if m == p.Interval {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("representative %d not among its members %v", p.Interval, members)
+		}
+		if want := float64(len(members)) / float64(c.Intervals); math.Abs(p.Weight-want) > 1e-12 {
+			t.Errorf("cluster %d weight %v, want %v", i, p.Weight, want)
+		}
+	}
+	if len(seen) != c.Intervals {
+		t.Errorf("clusters cover %d of %d intervals", len(seen), c.Intervals)
+	}
+}
+
 func TestChooseDeterministic(t *testing.T) {
 	prog := program.MustGenerate(program.Personality{Name: "t", Seed: 6, TargetBlocks: 100, Phases: 3, PhaseLen: 30_000})
 	run := func() []Point {
