@@ -32,11 +32,14 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -48,6 +51,18 @@ type daemonConfig struct {
 	pprof        bool
 	logLevel     string
 	logFormat    string
+
+	// Cluster membership: peers lists the other nodes' base URLs and
+	// advertise is this node's own base URL on the ring (defaulted from
+	// the bound listen address when empty).
+	peers              peerList
+	advertise          string
+	clusterReplication int
+	clusterChunk       int
+	clusterProbe       time.Duration
+	clusterRPCTime     time.Duration
+	clusterSweepTime   time.Duration
+	clusterHedge       time.Duration
 
 	// ready, when non-nil, receives the bound listen address once the
 	// daemon is serving — how the smoke test finds a :0 listener.
@@ -83,6 +98,20 @@ func parseFlags(args []string) (daemonConfig, error) {
 		"request events retained by the flight recorder (GET /v1/debug/requests)")
 	fs.StringVar(&c.opts.ManifestDir, "manifest-dir", "",
 		"write one JSON run manifest per successful profile/simulate/sweep request here (empty = off)")
+	fs.Var(&c.peers, "peers",
+		"comma-separated base URLs of the other cluster nodes (repeatable; empty = single-node)")
+	fs.StringVar(&c.advertise, "cluster-advertise", "",
+		"this node's own base URL as peers reach it (default http://<bound addr>)")
+	fs.IntVar(&c.clusterReplication, "cluster-replication", 2,
+		"profile replicas across the ring (clamped to the cluster size)")
+	fs.IntVar(&c.clusterChunk, "cluster-chunk", 16, "design points per clustered sub-sweep RPC")
+	fs.DurationVar(&c.clusterProbe, "cluster-probe", 2*time.Second, "peer health probe interval")
+	fs.DurationVar(&c.clusterRPCTime, "cluster-rpc-timeout", 5*time.Second,
+		"deadline for peer fetch/offer/probe RPCs")
+	fs.DurationVar(&c.clusterSweepTime, "cluster-sweep-timeout", 10*time.Minute,
+		"deadline for one clustered sub-sweep RPC")
+	fs.DurationVar(&c.clusterHedge, "cluster-hedge", 75*time.Millisecond,
+		"delay before hedging a replicated graph fetch to the next replica")
 	if err := fs.Parse(args); err != nil {
 		return c, err
 	}
@@ -93,6 +122,26 @@ func parseFlags(args []string) (daemonConfig, error) {
 		return c, err
 	}
 	return c, nil
+}
+
+// peerList is a repeatable, comma-separated URL list flag.
+type peerList []string
+
+func (p *peerList) String() string { return strings.Join(*p, ",") }
+
+func (p *peerList) Set(v string) error {
+	for _, s := range strings.Split(v, ",") {
+		s = strings.TrimSpace(strings.TrimSuffix(s, "/"))
+		if s == "" {
+			continue
+		}
+		u, err := url.Parse(s)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return fmt.Errorf("peer %q is not a base URL (want http://host:port)", s)
+		}
+		*p = append(*p, s)
+	}
+	return nil
 }
 
 // logger builds the structured logger the -log-level and -log-format
@@ -169,6 +218,38 @@ func run(ctx context.Context, c daemonConfig, logger *slog.Logger) error {
 	if err != nil {
 		svc.Close(context.Background())
 		return err
+	}
+	var coord *cluster.Coordinator
+	if len(c.peers) > 0 {
+		self := c.advertise
+		if self == "" {
+			self = "http://" + ln.Addr().String()
+		}
+		self = strings.TrimSuffix(self, "/")
+		coord, err = cluster.New(cluster.Config{
+			Self:          self,
+			Peers:         c.peers,
+			Replication:   c.clusterReplication,
+			ChunkSize:     c.clusterChunk,
+			ProbeInterval: c.clusterProbe,
+			RPCTimeout:    c.clusterRPCTime,
+			SweepTimeout:  c.clusterSweepTime,
+			HedgeDelay:    c.clusterHedge,
+			Retry:         c.opts.Retry,
+			Flight:        svc.Flight(),
+			Logger:        logger,
+		})
+		if err != nil {
+			ln.Close()
+			svc.Close(context.Background())
+			return err
+		}
+		// Attach before the listener starts serving: the field is not
+		// synchronised.
+		svc.SetCluster(coord)
+		coord.Start()
+		defer coord.Close()
+		logger.Info("clustered", "self", self, "peers", strings.Join(c.peers, ","))
 	}
 	durable := "memory only"
 	if st := svc.Store(); st != nil {

@@ -77,6 +77,40 @@ func TestParseFlagsRobustnessOptions(t *testing.T) {
 	}
 }
 
+func TestParseFlagsClusterOptions(t *testing.T) {
+	c, err := parseFlags([]string{
+		"-peers", "http://node-b:8417,http://node-c:8417/",
+		"-peers", "http://node-d:8417",
+		"-cluster-advertise", "http://node-a:8417",
+		"-cluster-replication", "3", "-cluster-chunk", "8",
+		"-cluster-probe", "1s", "-cluster-hedge", "20ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeatable + comma-separated, trailing slash trimmed.
+	want := []string{"http://node-b:8417", "http://node-c:8417", "http://node-d:8417"}
+	if len(c.peers) != len(want) {
+		t.Fatalf("peers: %v", c.peers)
+	}
+	for i := range want {
+		if c.peers[i] != want[i] {
+			t.Errorf("peer %d: %q, want %q", i, c.peers[i], want[i])
+		}
+	}
+	if c.advertise != "http://node-a:8417" || c.clusterReplication != 3 ||
+		c.clusterChunk != 8 || c.clusterProbe != time.Second || c.clusterHedge != 20*time.Millisecond {
+		t.Errorf("cluster flags not applied: %+v", c)
+	}
+	// A peer without a scheme or host is configuration error, not a
+	// runtime surprise.
+	if _, err := parseFlags([]string{"-peers", "node-b:8417"}); err == nil {
+		t.Error("scheme-less peer URL accepted")
+	}
+	if _, err := parseFlags([]string{"-peers", "http://"}); err == nil {
+		t.Error("host-less peer URL accepted")
+	}
+}
+
 func TestRunRejectsUnusableCacheDir(t *testing.T) {
 	// A cache-dir that exists as a *file* cannot host the store.
 	f, err := os.CreateTemp(t.TempDir(), "not-a-dir-*")

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+// peer is one remote node's health as this coordinator sees it. State
+// transitions are driven from two sides — the background probe loop and
+// RPC outcomes on the data path — through the same markFailure /
+// markSuccess pair, so a sweep RPC failing is evidence exactly like a
+// probe failing.
+type peer struct {
+	name string // base URL, also the peer's ring name
+
+	mu          sync.Mutex
+	healthy     bool
+	consecFails int
+	consecOKs   int
+	lastProbe   time.Time
+	lastErr     string
+	ejections   uint64
+}
+
+// peerSet holds the coordinator's remote peers (never self).
+type peerSet struct {
+	peers []*peer // sorted by name (ring order)
+}
+
+func newPeerSet(names []string) *peerSet {
+	ps := &peerSet{}
+	for _, n := range names {
+		ps.peers = append(ps.peers, &peer{name: n, healthy: true})
+	}
+	return ps
+}
+
+func (ps *peerSet) byName(name string) *peer {
+	for _, p := range ps.peers {
+		if p.name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// healthyNames returns the names of peers currently admitted, sorted
+// (the peers slice is built from the sorted ring membership).
+func (ps *peerSet) healthyNames() []string {
+	var out []string
+	for _, p := range ps.peers {
+		p.mu.Lock()
+		if p.healthy {
+			out = append(out, p.name)
+		}
+		p.mu.Unlock()
+	}
+	return out
+}
+
+func (ps *peerSet) statuses() []service.PeerStatus {
+	out := make([]service.PeerStatus, 0, len(ps.peers))
+	for _, p := range ps.peers {
+		p.mu.Lock()
+		out = append(out, service.PeerStatus{
+			Name:                p.name,
+			Healthy:             p.healthy,
+			ConsecutiveFailures: p.consecFails,
+			LastProbe:           p.lastProbe,
+			LastError:           p.lastErr,
+			Ejections:           p.ejections,
+		})
+		p.mu.Unlock()
+	}
+	return out
+}
+
+// markFailure records one failed probe or RPC against p. It returns
+// true when this failure crossed the ejection threshold (the caller
+// records the ejection event exactly once).
+func (p *peer) markFailure(err error, threshold int, probed bool) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.consecOKs = 0
+	p.consecFails++
+	if err != nil {
+		p.lastErr = err.Error()
+	}
+	if probed {
+		p.lastProbe = time.Now()
+	}
+	if p.healthy && p.consecFails >= threshold {
+		p.healthy = false
+		p.ejections++
+		return true
+	}
+	return false
+}
+
+// markSuccess records one successful probe or RPC. It returns true when
+// the success crossed the re-admission threshold for an ejected peer.
+func (p *peer) markSuccess(threshold int, probed bool) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.consecFails = 0
+	p.consecOKs++
+	if probed {
+		p.lastProbe = time.Now()
+		p.lastErr = ""
+	}
+	if !p.healthy && p.consecOKs >= threshold {
+		p.healthy = true
+		return true
+	}
+	return false
+}
+
+func (p *peer) isHealthy() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.healthy
+}

@@ -1,0 +1,102 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+)
+
+// Network-shaped injection sites, honoured by Transport. They model the
+// three ways a remote peer hurts in practice: it is unreachable, it is
+// slow, or it dies mid-response. Unit tests and the chaos suite share
+// these through the same Injector rules as the disk and job sites.
+const (
+	// SiteNetRefused fails the request before any bytes are sent, with
+	// an error shaped like a TCP connection refusal — a dead or
+	// partitioned peer.
+	SiteNetRefused = "net.refused"
+	// SiteNetSlow is evaluated before the request is forwarded; a
+	// delay-only rule here models a slow peer or congested link (the
+	// caller's per-RPC deadline and hedging must cope).
+	SiteNetSlow = "net.slow"
+	// SiteNetTruncate cuts the response body partway through — a peer
+	// that crashed mid-send. The bytes that do arrive are genuine, so
+	// only end-to-end validation (the envelope CRC) can catch it.
+	SiteNetTruncate = "net.truncate"
+)
+
+// Transport is an http.RoundTripper that injects network-shaped faults
+// around a base transport. A nil Injector (or no rules) forwards every
+// request untouched, so production wiring can install it
+// unconditionally. Like every injector hook, decisions are driven by
+// the Injector's seeded source — a serial request sequence sees a
+// deterministic fault schedule.
+type Transport struct {
+	// Base performs real requests; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// Inject supplies the fault schedule; nil injects nothing.
+	Inject *Injector
+}
+
+// RoundTrip evaluates the network sites in wire order: refusal before
+// any bytes move, slowness before the request is forwarded, truncation
+// on the way back.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if err := t.Inject.Fire(SiteNetRefused); err != nil {
+		// Shape the failure like the OS would: callers matching on
+		// net.OpError or syscall-ish text treat it as a dead peer.
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Addr: fakeAddr(req.URL.Host),
+			Err: fmt.Errorf("connect: connection refused: %w", err)}
+	}
+	// A delay-only rule sleeps inside Fire; any Err it carries also
+	// kills the request (a peer so slow the link gave up).
+	if err := t.Inject.Fire(SiteNetSlow); err != nil {
+		return nil, &net.OpError{Op: "read", Net: "tcp", Addr: fakeAddr(req.URL.Host),
+			Err: fmt.Errorf("i/o timeout: %w", err)}
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if ferr := t.Inject.Fire(SiteNetTruncate); ferr != nil {
+		limit := resp.ContentLength / 2
+		if limit <= 0 {
+			limit = 64
+		}
+		resp.Body = &truncatedBody{rc: resp.Body, remain: limit}
+	}
+	return resp, nil
+}
+
+// fakeAddr satisfies net.Addr for synthesized OpErrors.
+type fakeAddr string
+
+func (a fakeAddr) Network() string { return "tcp" }
+func (a fakeAddr) String() string  { return string(a) }
+
+// truncatedBody delivers the first remain bytes of the real body, then
+// reports an unexpected EOF — the reader's view of a connection that
+// died mid-transfer.
+type truncatedBody struct {
+	rc     io.ReadCloser
+	remain int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.rc.Read(p)
+	b.remain -= int64(n)
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }

@@ -1,0 +1,105 @@
+package fault_test
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+func netTestServer(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestNetTransportPassthrough(t *testing.T) {
+	ts := netTestServer(t, "hello")
+	for _, in := range []*fault.Injector{nil, fault.New(1)} {
+		client := &http.Client{Transport: &fault.Transport{Inject: in}}
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			t.Fatalf("passthrough failed: %v", err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || string(data) != "hello" {
+			t.Fatalf("passthrough body %q err %v", data, err)
+		}
+	}
+}
+
+func TestNetTransportRefused(t *testing.T) {
+	ts := netTestServer(t, "hello")
+	in := fault.New(1)
+	in.Set(fault.SiteNetRefused, fault.Rule{Prob: 1, Times: 1, Err: fault.ErrInjected})
+	client := &http.Client{Transport: &fault.Transport{Inject: in}}
+
+	_, err := client.Get(ts.URL)
+	if err == nil {
+		t.Fatal("injected refusal did not fail the request")
+	}
+	var oe *net.OpError
+	if !errors.As(err, &oe) || !strings.Contains(err.Error(), "connection refused") {
+		t.Errorf("refusal not shaped like a dial error: %v", err)
+	}
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Errorf("injected cause not preserved: %v", err)
+	}
+	// The Times budget is spent: the next request goes through.
+	if resp, err := client.Get(ts.URL); err != nil {
+		t.Fatalf("second request after budget spent: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+func TestNetTransportSlow(t *testing.T) {
+	ts := netTestServer(t, "hello")
+	in := fault.New(1)
+	in.Set(fault.SiteNetSlow, fault.Rule{Prob: 1, Times: 1, Delay: 30 * time.Millisecond})
+	client := &http.Client{Transport: &fault.Transport{Inject: in}}
+
+	start := time.Now()
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("delay-only rule failed the request: %v", err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("request completed in %v, want >= 30ms injected delay", d)
+	}
+}
+
+func TestNetTransportTruncatedBody(t *testing.T) {
+	const body = "0123456789abcdef0123456789abcdef" // 32 bytes, truncated to 16
+	ts := netTestServer(t, body)
+	in := fault.New(1)
+	in.Set(fault.SiteNetTruncate, fault.Rule{Prob: 1, Times: 1, Err: fault.ErrInjected})
+	client := &http.Client{Transport: &fault.Transport{Inject: in}}
+
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("truncation must fail the read, not the round trip: %v", err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want io.ErrUnexpectedEOF reading truncated body, got %v", err)
+	}
+	if len(data) >= len(body) {
+		t.Errorf("body not truncated: got %d bytes of %d", len(data), len(body))
+	}
+	if string(data) != body[:len(data)] {
+		t.Errorf("delivered prefix corrupted: %q", data)
+	}
+}

@@ -30,6 +30,15 @@ type RequestEvent struct {
 	Panicked bool   `json:"panicked,omitempty"`
 	Error    string `json:"error,omitempty"`
 
+	// Cluster provenance. Peer names the remote node involved: the peer
+	// a profile was fetched from on request events, or the subject peer
+	// on the coordinator's own "cluster.eject"/"cluster.readmit"/
+	// "cluster.failover" events — the trail that lets /v1/debug/requests
+	// explain why a request was rerouted. Failovers counts peers lost
+	// (and re-partitioned around) while the request's sweep ran.
+	Peer      string `json:"peer,omitempty"`
+	Failovers int    `json:"failovers,omitempty"`
+
 	// Adaptive-fidelity outcomes (zero unless the request ran the
 	// fidelity engine).
 	Escalations   int     `json:"escalations,omitempty"`

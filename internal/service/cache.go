@@ -133,6 +133,48 @@ func (c *GraphCache) GetOrProfile(key ProfileKey, profile func() (*sfg.Graph, er
 	return g, false, err
 }
 
+// Peek returns the resident graph for key without profiling on a miss,
+// bumping recency on a hit. It is the read side of the cluster tier: a
+// peer answering GET-style graph fetches serves only what it already
+// holds, so a fetch can never trigger recursive profiling on the remote
+// node. Peek does not touch the hit/miss counters — a peer's fetch is
+// not a local workload's cache outcome.
+func (c *GraphCache) Peek(key ProfileKey) (*sfg.Graph, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).g, true
+}
+
+// Put inserts an externally obtained graph (a peer fetch, an offered
+// replica) under key, freezing it before publication exactly like a
+// locally profiled graph. An existing entry is kept (first writer wins —
+// both copies are bit-identical by the determinism argument) and merely
+// bumped. Nil graphs are ignored.
+func (c *GraphCache) Put(key ProfileKey, g *sfg.Graph) {
+	if g == nil {
+		return
+	}
+	g.Freeze()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, g: g})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
 // Keys returns the resident keys, most recently used first.
 func (c *GraphCache) Keys() []ProfileKey {
 	c.mu.Lock()

@@ -119,6 +119,12 @@ type Server struct {
 	flight   *obs.FlightRecorder
 	progress *progressHub
 	build    BuildInfo
+	// cluster connects this node to its peers (nil = single-node); set
+	// by SetCluster before serving starts. clusterServed counts the
+	// answering side of peer RPCs regardless of cluster being set (a
+	// pure replica node serves fetches without coordinating anything).
+	cluster       Cluster
+	clusterServed clusterServedStats
 
 	draining     atomic.Bool
 	shed         atomic.Uint64
@@ -183,6 +189,9 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/workloads", s.instrument("/v1/workloads", s.handleWorkloads))
 	s.mux.HandleFunc("GET /v1/debug/requests", s.handleDebugRequests)
 	s.mux.HandleFunc("GET /v1/sweep/progress", s.handleSweepProgress)
+	s.mux.HandleFunc("POST /v1/cluster/fetch", s.handleClusterFetch)
+	s.mux.HandleFunc("POST /v1/cluster/offer", s.handleClusterOffer)
+	s.mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
@@ -256,6 +265,12 @@ type reqInfo struct {
 	cacheHit atomic.Bool
 	retries  atomic.Uint64
 	resumed  atomic.Int64
+
+	// Cluster outcomes: the peer a profile was fetched from, and how
+	// many peers were lost (and routed around) during this request's
+	// sweep.
+	remotePeer atomic.Value // string
+	failovers  atomic.Int64
 
 	// Fidelity-engine outcomes (set only when the request ran it).
 	escalations   atomic.Int64
@@ -367,10 +382,14 @@ func (s *Server) finishRequest(name, traceID string, ri *reqInfo, code int, elap
 		Shed:       code == http.StatusTooManyRequests,
 		Retries:    int(ri.retries.Load()),
 		Resumed:    int(ri.resumed.Load()),
+		Failovers:  int(ri.failovers.Load()),
 
 		Escalations:   int(ri.escalations.Load()),
 		DetailedInsts: ri.detailedInsts.Load(),
 		CIWidth:       math.Float64frombits(ri.ciWidth.Load()),
+	}
+	if peer, ok := ri.remotePeer.Load().(string); ok {
+		ev.Peer = peer
 	}
 	if totals := ri.rec.StageTotals(); len(totals) > 0 {
 		ev.StageMS = make(map[string]float64, len(totals))
@@ -391,6 +410,12 @@ func (s *Server) finishRequest(name, traceID string, ri *reqInfo, code int, elap
 	}
 	if ev.Resumed > 0 {
 		args = append(args, "resumed", ev.Resumed)
+	}
+	if ev.Peer != "" {
+		args = append(args, "peer", ev.Peer)
+	}
+	if ev.Failovers > 0 {
+		args = append(args, "failovers", ev.Failovers)
 	}
 	if ev.Escalations > 0 || ev.DetailedInsts > 0 {
 		args = append(args, "escalations", ev.Escalations, "detailed_insts", ev.DetailedInsts)
@@ -523,6 +548,24 @@ func (s *Server) resolveProfile(ctx context.Context, spec ProfileSpec) (*sfg.Gra
 			// Missing or quarantined-corrupt: fall through and
 			// re-profile; a fresh Save below overwrites.
 		}
+		if s.cluster != nil {
+			// Remote tier: the key's replica peers may have paid for
+			// this profile already — a graph profiled once anywhere is
+			// bit-identical to what we would compute, so adopting it is
+			// as sound as a local cache hit.
+			if g, peer, err := s.cluster.FetchGraph(ctx, key); err == nil {
+				lg.Debug("profile fetched from peer", "peer", peer)
+				if ri := requestInfo(ctx); ri != nil {
+					ri.remotePeer.Store(peer)
+				}
+				if s.store != nil {
+					_ = s.store.Save(key, g)
+				}
+				return g, nil
+			} else if !errors.Is(err, ErrNoRemoteGraph) {
+				lg.Debug("peer fetch failed, profiling locally", "err", err.Error())
+			}
+		}
 		lg.Debug("profile cache miss, profiling")
 		var g *sfg.Graph
 		err := s.retryRun(ctx, func() error {
@@ -546,6 +589,15 @@ func (s *Server) resolveProfile(ctx context.Context, spec ProfileSpec) (*sfg.Gra
 			// Failures are counted in store stats; the in-memory cache
 			// still serves this life.
 			_ = s.store.Save(key, g)
+		}
+		if s.cluster != nil {
+			// Freshly paid-for profile: replicate to the key's owners so
+			// no node in the cluster ever profiles it again. Freeze
+			// first (idempotent — the cache would do it next anyway) so
+			// the coordinator's asynchronous send reads an immutable
+			// graph.
+			g.Freeze()
+			s.cluster.OfferGraph(ctx, key, g)
 		}
 		return g, nil
 	})
@@ -762,13 +814,20 @@ type SweepRequest struct {
 	// (shared stratification, per-point confidence intervals); fidelity
 	// sweeps are capped at maxFidelitySweepPoints points.
 	Fidelity *FidelitySpec `json:"fidelity,omitempty"`
+	// RawMetrics additionally returns each point's full core.Metrics in
+	// SweepRow.Raw. The cluster's coordinator sets it on sub-requests:
+	// raw metrics JSON-round-trip exactly, which is what makes a point
+	// computed on a peer byte-identical in the merged result and the
+	// journal.
+	RawMetrics bool `json:"raw_metrics,omitempty"`
 }
 
 // SweepRow is one design point's outcome; Fidelity is present on
-// fidelity-mode sweeps.
+// fidelity-mode sweeps, Raw when the request asked for raw metrics.
 type SweepRow struct {
 	Point    SweepPoint       `json:"point"`
 	Metrics  SimMetrics       `json:"metrics"`
+	Raw      *core.Metrics    `json:"raw,omitempty"`
 	Fidelity *fidelity.Result `json:"fidelity,omitempty"`
 }
 
@@ -827,7 +886,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (any, error
 	}
 	base := req.Config.apply(cpu.DefaultConfig())
 	red := core.ReductionFor(g, req.Target)
-	results, resumed, err := s.runSweep(r.Context(), base, g, points, red, req.SimSeed)
+	params := sweepParams{
+		spec:    req.Profile,
+		cfg:     req.Config,
+		base:    base,
+		g:       g,
+		points:  points,
+		red:     red,
+		simSeed: req.SimSeed,
+		fanout:  r.Header.Get(ClusterFanoutHeader) != "",
+	}
+	results, resumed, err := s.runSweep(r.Context(), params)
 	if err != nil {
 		return nil, err
 	}
@@ -850,11 +919,30 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (any, error
 	}
 	for i, res := range results {
 		resp.Results[i] = SweepRow{Point: res.Point, Metrics: wireMetrics(res.Metrics)}
+		if req.RawMetrics {
+			m := res.Metrics
+			resp.Results[i].Raw = &m
+		}
 		if resp.Results[i].Metrics.EDP < resp.Results[resp.Best].Metrics.EDP {
 			resp.Best = i
 		}
 	}
 	return resp, nil
+}
+
+// sweepParams bundles one sweep's full identity: the profile and
+// config specs travel alongside the resolved graph/base so the
+// clustered engine can re-issue sub-requests shaped exactly like the
+// original, and fanout marks a sub-request that must not fan out again.
+type sweepParams struct {
+	spec    ProfileSpec
+	cfg     ConfigSpec
+	base    cpu.Config
+	g       *sfg.Graph
+	points  []SweepPoint
+	red     uint64
+	simSeed uint64
+	fanout  bool
 }
 
 // runSweep runs the design-space sweep, checkpointing through the
@@ -869,22 +957,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (any, error
 // ID: a "start" event once the resume count is known, one "point" event
 // per freshly simulated point in completion order, and a terminal
 // "done" or "error" — the stream GET /v1/sweep/progress serves.
-func (s *Server) runSweep(ctx context.Context, base cpu.Config, g *sfg.Graph, points []SweepPoint, red, simSeed uint64) ([]SweepResult, int, error) {
+func (s *Server) runSweep(ctx context.Context, p sweepParams) ([]SweepResult, int, error) {
 	feed := s.progress.feed(obs.TraceIDFromContext(ctx))
 	var completed atomic.Int64
 	progress := func(index int, res SweepResult) {
 		m := wireMetrics(res.Metrics)
-		p := res.Point
+		pt := res.Point
 		feed.publish(ProgressEvent{Type: "point", Completed: int(completed.Add(1)),
-			Index: index, Point: &p, Metrics: &m})
+			Index: index, Point: &pt, Metrics: &m})
 	}
-	results, resumed, err := s.sweepJournaled(ctx, base, g, points, red, simSeed, feed, &completed, progress)
+	results, resumed, err := s.sweepJournaled(ctx, p, feed, &completed, progress)
 	if err != nil {
-		feed.publish(ProgressEvent{Type: "error", Total: len(points), Resumed: resumed,
+		feed.publish(ProgressEvent{Type: "error", Total: len(p.points), Resumed: resumed,
 			Completed: int(completed.Load()), Error: err.Error()})
 		return nil, resumed, err
 	}
-	feed.publish(ProgressEvent{Type: "done", Total: len(points), Resumed: resumed,
+	feed.publish(ProgressEvent{Type: "done", Total: len(p.points), Resumed: resumed,
 		Completed: int(completed.Load())})
 	return results, resumed, nil
 }
@@ -892,29 +980,29 @@ func (s *Server) runSweep(ctx context.Context, base cpu.Config, g *sfg.Graph, po
 // sweepJournaled picks the checkpointed or plain sweep path and emits
 // the feed's "start" event once the resume count is known (seeding the
 // completed counter, so "point" events count from resumed upward).
-func (s *Server) sweepJournaled(ctx context.Context, base cpu.Config, g *sfg.Graph, points []SweepPoint, red, simSeed uint64, feed *progressFeed, completed *atomic.Int64, progress func(int, SweepResult)) ([]SweepResult, int, error) {
+func (s *Server) sweepJournaled(ctx context.Context, p sweepParams, feed *progressFeed, completed *atomic.Int64, progress func(int, SweepResult)) ([]SweepResult, int, error) {
 	start := func(resumed int) {
 		completed.Store(int64(resumed))
-		feed.publish(ProgressEvent{Type: "start", Total: len(points), Resumed: resumed, Completed: resumed})
+		feed.publish(ProgressEvent{Type: "start", Total: len(p.points), Resumed: resumed, Completed: resumed})
 	}
 	if s.store == nil {
 		start(0)
-		return SweepWithJournal(ctx, s.pool, base, g, points, red, simSeed, nil, s.faults, progress)
+		return s.sweepExecute(ctx, p, nil, progress)
 	}
-	id := SweepFingerprint(g, base, points, red, simSeed)
+	id := SweepFingerprint(p.g, p.base, p.points, p.red, p.simSeed)
 	mu, _ := s.sweepLocks.LoadOrStore(id, &sync.Mutex{})
 	mu.(*sync.Mutex).Lock()
 	defer mu.(*sync.Mutex).Unlock()
-	j, err := OpenSweepJournal(s.store.JournalPath(id), id, len(points), s.faults)
+	j, err := OpenSweepJournal(s.store.JournalPath(id), id, len(p.points), s.faults)
 	if err != nil {
 		start(0)
-		return SweepWithJournal(ctx, s.pool, base, g, points, red, simSeed, nil, s.faults, progress)
+		return s.sweepExecute(ctx, p, nil, progress)
 	}
 	defer j.Close()
 	s.log.Debug("sweep checkpoint journal opened", "trace_id", obs.TraceIDFromContext(ctx),
-		"fingerprint", id, "points", len(points), "resumed", j.Resumed(), "dropped", j.Dropped())
+		"fingerprint", id, "points", len(p.points), "resumed", j.Resumed(), "dropped", j.Dropped())
 	start(j.Resumed())
-	results, resumed, err := SweepWithJournal(ctx, s.pool, base, g, points, red, simSeed, j, s.faults, progress)
+	results, resumed, err := s.sweepExecute(ctx, p, j, progress)
 	s.sweepResumed.Add(uint64(resumed))
 	if resumed > 0 {
 		if ri := requestInfo(ctx); ri != nil {
@@ -922,6 +1010,58 @@ func (s *Server) sweepJournaled(ctx context.Context, base cpu.Config, g *sfg.Gra
 		}
 	}
 	return results, resumed, err
+}
+
+// sweepExecute picks the single-node or clustered sweep engine. Both
+// journal and publish progress identically per freshly computed point,
+// and both fill results in grid order, so the response bytes cannot
+// depend on which engine (or which peer) computed a point. Sub-sweeps
+// dispatched by another coordinator (fanout) always run locally.
+func (s *Server) sweepExecute(ctx context.Context, p sweepParams, j *SweepJournal, progress func(int, SweepResult)) ([]SweepResult, int, error) {
+	if s.cluster == nil || p.fanout {
+		return SweepWithJournal(ctx, s.pool, p.base, p.g, p.points, p.red, p.simSeed, j, s.faults, progress)
+	}
+	// Concurrent simulations — local and the offer/fetch paths — sample
+	// the shared graph; freezing makes those reads immutable.
+	p.g.Freeze()
+	results := make([]SweepResult, len(p.points))
+	var pending []int
+	resumed := 0
+	if j != nil {
+		done := j.Done()
+		for i := range p.points {
+			if m, ok := done[i]; ok {
+				results[i] = SweepResult{Point: p.points[i], Metrics: m}
+				resumed++
+			} else {
+				pending = append(pending, i)
+			}
+		}
+	} else {
+		pending = make([]int, len(p.points))
+		for i := range pending {
+			pending[i] = i
+		}
+	}
+	if len(pending) == 0 {
+		return results, resumed, nil
+	}
+	// Indices are disjoint across concurrent Report calls, so the
+	// results writes need no lock; Append and progress are already
+	// concurrency-safe on the local path.
+	report := func(i int, m core.Metrics) {
+		results[i] = SweepResult{Point: p.points[i], Metrics: m}
+		if j != nil {
+			_ = j.Append(i, m)
+		}
+		if progress != nil {
+			progress(i, results[i])
+		}
+	}
+	if err := s.sweepClustered(ctx, p.spec, p.cfg, p.base, p.g, p.points, pending, p.red, p.simSeed, report); err != nil {
+		return nil, resumed, err
+	}
+	return results, resumed, nil
 }
 
 // writeManifest persists a per-request run manifest when ManifestDir is
@@ -1034,6 +1174,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		store = &st
 	}
 	fid := s.fidelity.stats()
+	var cluster *ClusterMetrics
+	if s.cluster != nil {
+		cluster = &ClusterMetrics{ClusterStats: s.cluster.Stats(), Served: s.clusterServed.snapshot()}
+	}
 	if r.URL.Query().Get("format") == "prometheus" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		writePrometheus(w, s.metrics, promSnapshot{
@@ -1045,6 +1189,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			store:         store,
 			flightEvents:  s.flight.Total(),
 			fidelity:      fid,
+			cluster:       cluster,
 		})
 		return
 	}
@@ -1052,6 +1197,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.Robustness = robustness
 	snap.Store = store
 	snap.Fidelity = fid
+	snap.Cluster = cluster
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(snap)
 }

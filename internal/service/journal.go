@@ -315,6 +315,12 @@ func SweepWithJournal(ctx context.Context, pool *Pool, base cpu.Config, g *sfg.G
 
 	_, err := Map(ctx, pool, len(pending), func(ctx context.Context, pi int) (struct{}, error) {
 		i := pending[pi]
+		// A design point takes long enough that queued jobs draining
+		// after cancellation are real waste: bail before simulating so a
+		// disconnected client stops the sweep at the next point boundary.
+		if err := ctx.Err(); err != nil {
+			return struct{}{}, err
+		}
 		if err := faults.Fire(SiteSweepJob); err != nil {
 			return struct{}{}, fmt.Errorf("point %s: %w", points[i], err)
 		}

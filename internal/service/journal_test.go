@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -162,6 +163,71 @@ func TestSweepJournalTornTail(t *testing.T) {
 	results, _, err := SweepWithJournal(context.Background(), nil, base, g, points, r, seed, j2, nil, nil)
 	if err != nil || len(results) != len(points) {
 		t.Fatalf("recovery sweep: %d results, err=%v", len(results), err)
+	}
+}
+
+// TestSweepJournalTruncatedFinalRecordExhaustive hardens the torn-tail
+// contract: a crash mid-append can cut the final record at ANY byte
+// offset — including right after the previous newline (record entirely
+// gone) and right before its own newline (record complete but
+// unterminated). Every cut must reopen cleanly, resume all intact
+// records, and complete to results byte-identical to the uninterrupted
+// run.
+func TestSweepJournalTruncatedFinalRecordExhaustive(t *testing.T) {
+	g := testGraph(t)
+	base, points, r, seed := quickSweepInputs(t)
+	dir := t.TempDir()
+	id := SweepFingerprint(g, base, points, r, seed)
+
+	ref := filepath.Join(dir, "ref.journal")
+	j, err := OpenSweepJournal(ref, id, len(points), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, _, err := SweepWithJournal(context.Background(), nil, base, g, points, r, seed, j, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	goldenJSON, err := json.Marshal(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Fatalf("journal does not end in a newline")
+	}
+	lastStart := bytes.LastIndexByte(data[:len(data)-1], '\n') + 1
+
+	for cut := lastStart; cut < len(data); cut++ {
+		path := filepath.Join(dir, fmt.Sprintf("cut-%d.journal", cut))
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, err := OpenSweepJournal(path, id, len(points), nil)
+		if err != nil {
+			t.Fatalf("cut at byte %d rejected the whole journal: %v", cut, err)
+		}
+		resumed := j2.Resumed()
+		// Cutting exactly before the final newline leaves a complete,
+		// CRC-valid record; the reader may legitimately keep it.
+		if resumed != len(points)-1 && !(cut == len(data)-1 && resumed == len(points)) {
+			j2.Close()
+			t.Fatalf("cut at byte %d: resumed %d of %d", cut, resumed, len(points))
+		}
+		results, _, err := SweepWithJournal(context.Background(), nil, base, g, points, r, seed, j2, nil, nil)
+		j2.Close()
+		if err != nil {
+			t.Fatalf("cut at byte %d: recovery sweep failed: %v", cut, err)
+		}
+		gotJSON, _ := json.Marshal(results)
+		if !bytes.Equal(gotJSON, goldenJSON) {
+			t.Fatalf("cut at byte %d: recovered results differ from uninterrupted run", cut)
+		}
 	}
 }
 

@@ -230,6 +230,7 @@ type MetricsSnapshot struct {
 	Robustness    RobustnessStats            `json:"robustness"`
 	Fidelity      FidelityStats              `json:"fidelity"`
 	Store         *StoreStats                `json:"store,omitempty"`
+	Cluster       *ClusterMetrics            `json:"cluster,omitempty"`
 	Endpoints     map[string]LatencySnapshot `json:"endpoints"`
 	Stages        map[string]LatencySnapshot `json:"stages"`
 }

@@ -123,6 +123,7 @@ type promSnapshot struct {
 	store         *StoreStats
 	flightEvents  uint64
 	fidelity      FidelityStats
+	cluster       *ClusterMetrics
 }
 
 // writePrometheus renders the complete exposition. Every family carries
@@ -224,6 +225,44 @@ func writePrometheus(w io.Writer, m *Metrics, st promSnapshot) error {
 		p.sample("statsimd_store_save_failures_total", promUint(st.store.SaveFailures))
 		p.family("statsimd_store_quarantined_total", "Corrupt profile files quarantined.", "counter")
 		p.sample("statsimd_store_quarantined_total", promUint(st.store.Quarantined))
+	}
+
+	if c := st.cluster; c != nil {
+		p.family("statsimd_cluster_peers", "Configured peers by health state.", "gauge")
+		p.sample("statsimd_cluster_peers", strconv.Itoa(c.PeersHealthy), "state", "healthy")
+		p.sample("statsimd_cluster_peers", strconv.Itoa(c.PeersTotal-c.PeersHealthy), "state", "ejected")
+		p.family("statsimd_cluster_probes_total", "Peer health probes performed.", "counter")
+		p.sample("statsimd_cluster_probes_total", promUint(c.Probes))
+		p.family("statsimd_cluster_ejections_total", "Peers ejected after consecutive probe or RPC failures.", "counter")
+		p.sample("statsimd_cluster_ejections_total", promUint(c.Ejections))
+		p.family("statsimd_cluster_readmissions_total", "Ejected peers re-admitted after consecutive probe successes.", "counter")
+		p.sample("statsimd_cluster_readmissions_total", promUint(c.Readmissions))
+		p.family("statsimd_cluster_graph_fetches_total", "Peer graph fetches by outcome (hit, miss, error).", "counter")
+		p.sample("statsimd_cluster_graph_fetches_total", promUint(c.GraphFetchHits), "outcome", "hit")
+		p.sample("statsimd_cluster_graph_fetches_total", promUint(c.GraphFetchMisses), "outcome", "miss")
+		p.sample("statsimd_cluster_graph_fetches_total", promUint(c.GraphFetchErrors), "outcome", "error")
+		p.family("statsimd_cluster_hedged_fetches_total", "Graph fetches where a hedge request was launched.", "counter")
+		p.sample("statsimd_cluster_hedged_fetches_total", promUint(c.HedgedFetches))
+		p.family("statsimd_cluster_hedge_wins_total", "Hedged fetches won by the hedge replica.", "counter")
+		p.sample("statsimd_cluster_hedge_wins_total", promUint(c.HedgeWins))
+		p.family("statsimd_cluster_offers_total", "Graph replicas offered to owner peers by outcome (sent, failed).", "counter")
+		p.sample("statsimd_cluster_offers_total", promUint(c.OffersSent), "outcome", "sent")
+		p.sample("statsimd_cluster_offers_total", promUint(c.OfferFailures), "outcome", "failed")
+		p.family("statsimd_cluster_sweep_points_total", "Clustered sweep points by executor (remote peer, this node).", "counter")
+		p.sample("statsimd_cluster_sweep_points_total", promUint(c.RemotePoints), "executor", "remote")
+		p.sample("statsimd_cluster_sweep_points_total", promUint(c.LocalPoints), "executor", "local")
+		p.family("statsimd_cluster_failovers_total", "Peers lost mid-sweep whose points were re-partitioned.", "counter")
+		p.sample("statsimd_cluster_failovers_total", promUint(c.Failovers))
+		p.family("statsimd_cluster_repartitioned_points_total", "Sweep points re-partitioned after losing a peer.", "counter")
+		p.sample("statsimd_cluster_repartitioned_points_total", promUint(c.RepartitionedPoints))
+		p.family("statsimd_cluster_rpc_retries_total", "Cluster RPC attempts retried after transient failures.", "counter")
+		p.sample("statsimd_cluster_rpc_retries_total", promUint(c.RPCRetries))
+		p.family("statsimd_cluster_graphs_served_total", "Peer fetch RPCs answered by outcome (served, missing).", "counter")
+		p.sample("statsimd_cluster_graphs_served_total", promUint(c.Served.GraphsServed), "outcome", "served")
+		p.sample("statsimd_cluster_graphs_served_total", promUint(c.Served.GraphsMissing), "outcome", "missing")
+		p.family("statsimd_cluster_offers_received_total", "Peer offer RPCs by outcome (stored, rejected).", "counter")
+		p.sample("statsimd_cluster_offers_received_total", promUint(c.Served.OffersStored), "outcome", "stored")
+		p.sample("statsimd_cluster_offers_received_total", promUint(c.Served.OffersRejected), "outcome", "rejected")
 	}
 	return p.err
 }

@@ -25,6 +25,24 @@ type RetryPolicy struct {
 	MaxDelay time.Duration
 }
 
+// permanentError marks an error the retry machinery must not re-run:
+// the failure is a property of the request, not of the moment (a peer
+// that does not hold a profile, a validation rejection from a remote
+// node). Wrapping preserves the cause for errors.Is/As.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so RetryPolicy treats it as non-transient and
+// returns it after the first attempt. A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
 // transientError reports whether err is worth retrying.
 func transientError(err error) bool {
 	if err == nil {
@@ -32,6 +50,10 @@ func transientError(err error) bool {
 	}
 	var ae *apiError
 	if errors.As(err, &ae) {
+		return false
+	}
+	var pe *permanentError
+	if errors.As(err, &pe) {
 		return false
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -56,6 +78,15 @@ func (p RetryPolicy) backoff(retry int) time.Duration {
 	}
 	half := d / 2
 	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// Run executes fn under the policy: up to Attempts tries with jittered
+// exponential backoff between them, counting each retry into retries
+// when non-nil. Exported for the cluster tier, whose per-RPC retries
+// must follow the same semantics as the local job retries (context
+// cancellation and Permanent errors are never re-run).
+func (p RetryPolicy) Run(ctx context.Context, retries *atomic.Uint64, fn func() error) error {
+	return p.run(ctx, retries, fn)
 }
 
 // run executes fn up to p.Attempts times, sleeping a jittered backoff

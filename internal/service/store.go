@@ -119,6 +119,58 @@ func (st *Store) Path(key ProfileKey) string {
 	return filepath.Join(st.dir, name)
 }
 
+// envelopeParts encodes a profile into the envelope's two variable
+// sections: the marshalled key and the gob payload.
+func envelopeParts(key ProfileKey, g *sfg.Graph) (keyJSON, body []byte, err error) {
+	var payload bytes.Buffer
+	if err := g.Save(&payload); err != nil {
+		return nil, nil, fmt.Errorf("service: encoding profile: %w", err)
+	}
+	keyJSON, err = json.Marshal(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	return keyJSON, payload.Bytes(), nil
+}
+
+// assembleEnvelope lays out the checksummed envelope: magic, version,
+// key, payload length, CRC-32C, payload.
+func assembleEnvelope(keyJSON, body []byte, sum uint32) []byte {
+	var env bytes.Buffer
+	env.Grow(len(keyJSON) + len(body) + 24)
+	env.Write(storeMagic[:])
+	binary.Write(&env, binary.LittleEndian, uint32(storeVersion))
+	binary.Write(&env, binary.LittleEndian, uint32(len(keyJSON)))
+	env.Write(keyJSON)
+	binary.Write(&env, binary.LittleEndian, uint64(len(body)))
+	binary.Write(&env, binary.LittleEndian, sum)
+	env.Write(body)
+	return env.Bytes()
+}
+
+// EncodeProfileEnvelope renders a profile in the durable store's
+// checksummed envelope format. The same bytes serve as the on-disk file
+// and as the peer-to-peer wire format of the cluster tier: any receiver
+// validates magic, version, embedded key and CRC before parsing the
+// payload, so a truncated or bit-flipped transfer is detected exactly
+// like a torn disk write.
+func EncodeProfileEnvelope(key ProfileKey, g *sfg.Graph) ([]byte, error) {
+	keyJSON, body, err := envelopeParts(key, g)
+	if err != nil {
+		return nil, err
+	}
+	return assembleEnvelope(keyJSON, body, crc32.Checksum(body, castagnoli)), nil
+}
+
+// DecodeProfileEnvelope validates and parses an envelope. A non-nil
+// want additionally requires the embedded key to match (how Load rejects
+// renamed or impersonating files); with a nil want the embedded key is
+// returned for the caller to judge (how a cluster peer accepts an
+// offered replica).
+func DecodeProfileEnvelope(data []byte, want *ProfileKey) (ProfileKey, *sfg.Graph, error) {
+	return decodeProfileEnvelope(data, want)
+}
+
 // Save durably persists a profile: the envelope is assembled in memory,
 // written to a temp file in the same directory, fsynced, and renamed
 // over the final path, so a crash at any instant leaves either the old
@@ -132,15 +184,10 @@ func (st *Store) Save(key ProfileKey, g *sfg.Graph) (err error) {
 		}
 	}()
 
-	var payload bytes.Buffer
-	if err := g.Save(&payload); err != nil {
-		return fmt.Errorf("service: encoding profile: %w", err)
-	}
-	keyJSON, err := json.Marshal(key)
+	keyJSON, body, err := envelopeParts(key, g)
 	if err != nil {
 		return err
 	}
-	body := payload.Bytes()
 	sum := crc32.Checksum(body, castagnoli)
 	if st.faults.Fire(SiteStoreCorrupt) != nil && len(body) > 0 {
 		// Checksum already taken: the flipped byte lands on disk and
@@ -151,15 +198,7 @@ func (st *Store) Save(key ProfileKey, g *sfg.Graph) (err error) {
 	if ferr := st.faults.Fire(SiteStoreWrite); ferr != nil {
 		return fmt.Errorf("service: store write: %w", ferr)
 	}
-
-	var env bytes.Buffer
-	env.Write(storeMagic[:])
-	binary.Write(&env, binary.LittleEndian, uint32(storeVersion))
-	binary.Write(&env, binary.LittleEndian, uint32(len(keyJSON)))
-	env.Write(keyJSON)
-	binary.Write(&env, binary.LittleEndian, uint64(len(body)))
-	binary.Write(&env, binary.LittleEndian, sum)
-	env.Write(body)
+	env := bytes.NewBuffer(assembleEnvelope(keyJSON, body, sum))
 
 	f, err := os.CreateTemp(st.dir, ".tmp-profile-*")
 	if err != nil {
@@ -202,7 +241,7 @@ func (st *Store) Load(key ProfileKey) (*sfg.Graph, error) {
 		}
 		return nil, err
 	}
-	g, err := decodeProfileEnvelope(data, key)
+	_, g, err := decodeProfileEnvelope(data, &key)
 	if err != nil {
 		st.quarantine(path)
 		return nil, fmt.Errorf("%w: %s: %v", ErrCorruptProfile, filepath.Base(path), err)
@@ -211,43 +250,50 @@ func (st *Store) Load(key ProfileKey) (*sfg.Graph, error) {
 	return g, nil
 }
 
-func decodeProfileEnvelope(data []byte, key ProfileKey) (*sfg.Graph, error) {
+func decodeProfileEnvelope(data []byte, want *ProfileKey) (ProfileKey, *sfg.Graph, error) {
+	var key ProfileKey
 	r := bytes.NewReader(data)
 	var magic [4]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil || magic != storeMagic {
-		return nil, errors.New("bad magic")
+		return key, nil, errors.New("bad magic")
 	}
 	var version, keyLen uint32
 	if err := binary.Read(r, binary.LittleEndian, &version); err != nil || version != storeVersion {
-		return nil, fmt.Errorf("unsupported version %d", version)
+		return key, nil, fmt.Errorf("unsupported version %d", version)
 	}
 	if err := binary.Read(r, binary.LittleEndian, &keyLen); err != nil || keyLen > maxStoreKeyLen {
-		return nil, errors.New("bad key length")
+		return key, nil, errors.New("bad key length")
 	}
 	keyJSON := make([]byte, keyLen)
 	if _, err := io.ReadFull(r, keyJSON); err != nil {
-		return nil, errors.New("truncated key")
+		return key, nil, errors.New("truncated key")
 	}
-	wantKey, _ := json.Marshal(key)
-	if !bytes.Equal(keyJSON, wantKey) {
-		return nil, fmt.Errorf("key mismatch: file holds %s", keyJSON)
+	if want != nil {
+		wantKey, _ := json.Marshal(*want)
+		if !bytes.Equal(keyJSON, wantKey) {
+			return key, nil, fmt.Errorf("key mismatch: envelope holds %s", keyJSON)
+		}
+	}
+	if err := json.Unmarshal(keyJSON, &key); err != nil {
+		return key, nil, fmt.Errorf("unparseable embedded key: %v", err)
 	}
 	var bodyLen uint64
 	var sum uint32
 	if err := binary.Read(r, binary.LittleEndian, &bodyLen); err != nil {
-		return nil, errors.New("truncated header")
+		return key, nil, errors.New("truncated header")
 	}
 	if err := binary.Read(r, binary.LittleEndian, &sum); err != nil {
-		return nil, errors.New("truncated header")
+		return key, nil, errors.New("truncated header")
 	}
 	if bodyLen != uint64(r.Len()) {
-		return nil, fmt.Errorf("payload length %d, envelope says %d", r.Len(), bodyLen)
+		return key, nil, fmt.Errorf("payload length %d, envelope says %d", r.Len(), bodyLen)
 	}
 	body := data[len(data)-r.Len():]
 	if got := crc32.Checksum(body, castagnoli); got != sum {
-		return nil, fmt.Errorf("checksum %08x, envelope says %08x", got, sum)
+		return key, nil, fmt.Errorf("checksum %08x, envelope says %08x", got, sum)
 	}
-	return sfg.Load(bytes.NewReader(body))
+	g, err := sfg.Load(bytes.NewReader(body))
+	return key, g, err
 }
 
 // quarantine moves a damaged file aside so it is preserved for
