@@ -179,6 +179,80 @@ func BenchmarkFunctionalExecution(b *testing.B) {
 	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "inst/s")
 }
 
+// sweepBenchGrid is a 16-point single-cohort grid: every point shares
+// (workload, k, R, seed) — the full trace identity — and varies only
+// timing knobs, so the lockstep planner packs it into one group of
+// exactly DefaultMaxGroup instances.
+func sweepBenchGrid() []Config {
+	ruus := []int{32, 64, 96, 128}
+	widths := []int{2, 4, 6, 8}
+	cfgs := make([]Config, 0, 16)
+	for _, ruu := range ruus {
+		for _, w := range widths {
+			c := DefaultConfig()
+			c.RUUSize, c.LSQSize = ruu, ruu/2
+			c.DecodeWidth, c.IssueWidth, c.CommitWidth = w, w, w
+			cfgs = append(cfgs, c)
+		}
+	}
+	return cfgs
+}
+
+func sweepBenchGraph(b *testing.B) (*Graph, uint64) {
+	b.Helper()
+	w, err := LoadWorkload("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := Profile(DefaultConfig(), w.Stream(1, 0, 100_000), ProfileOptions{K: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, core.ReductionFor(g, 50_000)
+}
+
+// BenchmarkSweepPerPoint16 is the pre-lockstep sweep cost model: each
+// of the 16 design points pays its own trace generation (StatSim per
+// point). The inst/s metric counts simulated instructions only, so the
+// generation overhead shows up as a lower rate.
+func BenchmarkSweepPerPoint16(b *testing.B) {
+	cfgs := sweepBenchGrid()
+	g, r := sweepBenchGraph(b)
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range cfgs {
+			m, err := core.StatSim(cfg, g, r, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			insts += m.Instructions
+		}
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "inst/s")
+}
+
+// BenchmarkSweepLockstep16 is the same 16-point grid through the batch
+// entry point: one reduction + generation pass drives all 16 pipelines
+// in lockstep. The inst/s ratio against BenchmarkSweepPerPoint16 is the
+// sweep amortisation win.
+func BenchmarkSweepLockstep16(b *testing.B) {
+	cfgs := sweepBenchGrid()
+	g, r := sweepBenchGraph(b)
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		ms, err := core.SimulateBatch(cfgs, g, r, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range ms {
+			insts += m.Instructions
+		}
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "inst/s")
+}
+
 // BenchmarkObsDisabledSimulate measures the simulate path through the
 // observability entry point with a nil recorder — the disabled fast
 // path whose overhead the guard test in overhead_test.go bounds at 5%.

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/lockstep"
+	"repro/internal/power"
+	"repro/internal/sfg"
+	"repro/internal/synth"
+)
+
+// SimulateBatch is the multi-configuration form of StatSim: it reduces
+// the profile and generates the synthetic trace ONCE, then drives one
+// trace-driven pipeline per configuration over that single stream in
+// lockstep (internal/lockstep). Results come back in cfgs order and are
+// byte-identical to calling StatSim(cfg, g, r, seed) per configuration
+// — the trace is a pure function of (g, r, seed) and each pipeline's
+// timing is a pure function of its configuration and the stream bytes —
+// while the reduction + generation cost is paid once per batch instead
+// of once per point. A batch of one degrades to exactly the StatSim
+// path.
+//
+// Like StatSim fan-outs, concurrent batches over one shared graph
+// require the graph to be frozen (sfg.Graph.Freeze) first; the service
+// layer does this before dispatch.
+func SimulateBatch(cfgs []cpu.Config, g *sfg.Graph, r, seed uint64) ([]Metrics, error) {
+	if len(cfgs) == 0 {
+		return nil, nil
+	}
+	red, err := synth.Reduce(g, synth.Options{R: r, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	results := lockstep.Simulate(cfgs, red.NewTrace(seed))
+	out := make([]Metrics, len(cfgs))
+	for i, res := range results {
+		out[i] = Metrics{Result: res, Power: power.Estimate(cfgs[i], res)}
+	}
+	return out, nil
+}

@@ -101,7 +101,13 @@ type Pipeline struct {
 	fetchResume uint64
 	wrongPath   bool // fetch is currently delivering wrong-path instructions
 	streamEnd   bool
+	halted      bool   // stream exhausted and pipeline drained
 	warmLeft    uint64 // instructions still to commit before stats reset
+
+	// Forward-progress guard state (persisted across partial runs so a
+	// lockstep-driven pipeline behaves exactly like a monolithic Run).
+	lastCommitCycle uint64
+	lastCommitted   uint64
 
 	res       Result
 	occRUUSum uint64
@@ -174,32 +180,70 @@ func (p *Pipeline) scheduleCompletion(slot int32, en *ruuEntry) {
 // Run simulates until the source is exhausted and the pipeline drains,
 // returning the accumulated statistics.
 func (p *Pipeline) Run() Result {
-	lastCommit := uint64(0)
-	lastCommitted := uint64(0)
-	for {
-		p.commit()
-		p.writeback()
-		p.issue()
-		p.dispatch()
-		p.fetch()
+	p.RunToFetch(^uint64(0))
+	return p.Finalize()
+}
 
-		p.occRUUSum += uint64(p.ruuLen)
-		p.occLSQSum += uint64(p.lsqLen)
-		p.occIFQSum += uint64(p.ifqLen)
-		p.cycle++
+// step advances the pipeline by exactly one cycle and reports whether
+// the run has drained (stream exhausted, windows empty). It is the one
+// cycle kernel shared by Run and the lockstep batch driver, so a
+// pipeline advanced in segments executes the identical cycle sequence
+// as a monolithic run.
+func (p *Pipeline) step() bool {
+	p.commit()
+	p.writeback()
+	p.issue()
+	p.dispatch()
+	p.fetch()
 
-		if p.streamEnd && p.ruuLen == 0 && p.ifqLen == 0 {
-			break
+	p.occRUUSum += uint64(p.ruuLen)
+	p.occLSQSum += uint64(p.lsqLen)
+	p.occIFQSum += uint64(p.ifqLen)
+	p.cycle++
+
+	if p.streamEnd && p.ruuLen == 0 && p.ifqLen == 0 {
+		return true
+	}
+	// Deadlock guard: the pipeline must make forward progress.
+	if p.res.Instructions != p.lastCommitted {
+		p.lastCommitted = p.res.Instructions
+		p.lastCommitCycle = p.cycle
+	} else if p.cycle-p.lastCommitCycle > 1_000_000 {
+		panic(fmt.Sprintf("cpu: no commit for 1M cycles at cycle %d (ruu=%d ifq=%d)",
+			p.cycle, p.ruuLen, p.ifqLen))
+	}
+	return false
+}
+
+// RunToFetch advances the pipeline cycle by cycle until its fetch
+// frontier reaches stream position limit or the run drains; it reports
+// whether the run has drained. This is the batch-driver hook behind
+// lockstep multi-config simulation: the driver moves each instance one
+// stream chunk at a time, and because step is the same kernel Run uses,
+// any segmentation of the run — including the degenerate
+// RunToFetch(MaxUint64) that Run itself performs — produces
+// byte-identical statistics.
+//
+// A mispredict recovery may rewind the fetch frontier below an
+// already-reached limit; the next call simply advances until the
+// frontier passes it again, re-reading from the pipeline's own stream
+// buffer (never from the source, whose cursor is monotone).
+func (p *Pipeline) RunToFetch(limit uint64) bool {
+	for !p.halted {
+		if p.fetchPos >= limit {
+			return false
 		}
-		// Deadlock guard: the pipeline must make forward progress.
-		if p.res.Instructions != lastCommitted {
-			lastCommitted = p.res.Instructions
-			lastCommit = p.cycle
-		} else if p.cycle-lastCommit > 1_000_000 {
-			panic(fmt.Sprintf("cpu: no commit for 1M cycles at cycle %d (ruu=%d ifq=%d)",
-				p.cycle, p.ruuLen, p.ifqLen))
+		if p.step() {
+			p.halted = true
 		}
 	}
+	return true
+}
+
+// Finalize computes the end-of-run aggregate statistics and returns the
+// Result. Call once the run has drained (Run does it internally; batch
+// drivers call it after RunToFetch reports the drain).
+func (p *Pipeline) Finalize() Result {
 	cycles := p.cycle - p.cycleBase
 	p.res.Cycles = cycles
 	if cycles > 0 {

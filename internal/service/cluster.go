@@ -169,8 +169,11 @@ func (s *Server) Cluster() Cluster { return s.cluster }
 // land in — /v1/debug/requests then explains rerouted requests.
 func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
 
-// simulatePoint is the one deterministic kernel both the local sweep
-// engine and the cluster's local-executor path run per design point.
+// simulatePoint is the one deterministic kernel every sweep execution
+// path ends in for a singleton group: the local engine and the
+// cluster's local executor both reach it through runPendingBatched
+// (larger groups take core.SimulateBatch, which is byte-identical per
+// point by the lockstep equivalence argument).
 func simulatePoint(base cpu.Config, g *sfg.Graph, points []SweepPoint, i int, r, seed uint64) (core.Metrics, error) {
 	return core.StatSim(points[i].Apply(base), g, r, seed)
 }
@@ -178,10 +181,10 @@ func simulatePoint(base cpu.Config, g *sfg.Graph, points []SweepPoint, i int, r,
 // sweepClustered fans the pending indices of a sweep out across the
 // cluster, journaling and publishing progress through report exactly
 // like the local path. The local executor handed to the coordinator
-// runs indices through this node's own pool with the same fault site
-// and ctx discipline as SweepWithJournal, so a sweep that degrades all
-// the way back to local-only is indistinguishable from an unclustered
-// one.
+// runs indices through this node's own pool with the same lockstep
+// batching, fault site and ctx discipline as SweepWithJournal, so a
+// sweep that degrades all the way back to local-only is
+// indistinguishable from an unclustered one.
 func (s *Server) sweepClustered(ctx context.Context, spec ProfileSpec, cfgSpec ConfigSpec, base cpu.Config, g *sfg.Graph, points []SweepPoint, pending []int, red, simSeed uint64, report func(int, core.Metrics)) error {
 	job := ClusterSweepJob{
 		Profile: spec,
@@ -192,22 +195,7 @@ func (s *Server) sweepClustered(ctx context.Context, spec ProfileSpec, cfgSpec C
 		SimSeed: simSeed,
 		Report:  report,
 		Local: func(ctx context.Context, indices []int) error {
-			_, err := Map(ctx, s.pool, len(indices), func(ctx context.Context, k int) (struct{}, error) {
-				i := indices[k]
-				if err := ctx.Err(); err != nil {
-					return struct{}{}, err
-				}
-				if err := s.faults.Fire(SiteSweepJob); err != nil {
-					return struct{}{}, err
-				}
-				m, err := simulatePoint(base, g, points, i, red, simSeed)
-				if err != nil {
-					return struct{}{}, err
-				}
-				report(i, m)
-				return struct{}{}, nil
-			})
-			return err
+			return runPendingBatched(ctx, s.pool, s.faults, base, g, points, indices, red, simSeed, report)
 		},
 		Failover: func(peer string, n int) {
 			s.log.Warn("sweep failover", "trace_id", obs.TraceIDFromContext(ctx),

@@ -284,6 +284,10 @@ func (j *SweepJournal) Close() error {
 // order from the worker that finished it, feeding live observability
 // (the daemon's SSE stream, the CLI's -progress ticker) without
 // touching the deterministic grid-order results.
+//
+// Pending points execute through the lockstep batch engine (see
+// lockstep.go in this package): compatible points share one trace
+// generation pass per group, which changes cost, not bytes.
 func SweepWithJournal(ctx context.Context, pool *Pool, base cpu.Config, g *sfg.Graph, points []SweepPoint, r, seed uint64, j *SweepJournal, faults *fault.Injector, progress func(index int, res SweepResult)) ([]SweepResult, int, error) {
 	if pool == nil {
 		pool = NewPool(0)
@@ -313,21 +317,7 @@ func SweepWithJournal(ctx context.Context, pool *Pool, base cpu.Config, g *sfg.G
 		}
 	}
 
-	_, err := Map(ctx, pool, len(pending), func(ctx context.Context, pi int) (struct{}, error) {
-		i := pending[pi]
-		// A design point takes long enough that queued jobs draining
-		// after cancellation are real waste: bail before simulating so a
-		// disconnected client stops the sweep at the next point boundary.
-		if err := ctx.Err(); err != nil {
-			return struct{}{}, err
-		}
-		if err := faults.Fire(SiteSweepJob); err != nil {
-			return struct{}{}, fmt.Errorf("point %s: %w", points[i], err)
-		}
-		m, err := core.StatSim(points[i].Apply(base), g, r, seed)
-		if err != nil {
-			return struct{}{}, fmt.Errorf("point %s: %w", points[i], err)
-		}
+	err := runPendingBatched(ctx, pool, faults, base, g, points, pending, r, seed, func(i int, m core.Metrics) {
 		results[i] = SweepResult{Point: points[i], Metrics: m}
 		if j != nil {
 			// Best-effort: a failed append only means this point is
@@ -337,7 +327,6 @@ func SweepWithJournal(ctx context.Context, pool *Pool, base cpu.Config, g *sfg.G
 		if progress != nil {
 			progress(i, results[i])
 		}
-		return struct{}{}, nil
 	})
 	if err != nil {
 		return nil, resumed, err

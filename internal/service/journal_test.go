@@ -123,6 +123,74 @@ func TestSweepJournalResumeByteIdentical(t *testing.T) {
 	}
 }
 
+// TestSweepJournalResumeMidCohort pins the journal contract against
+// the lockstep engine specifically: with a single worker the whole grid
+// plans into ONE lockstep group, so injected failures strike in the
+// middle of a shared-trace cohort. Later points of the same cohort must
+// still complete and journal, and the resumed sweep — whose pending
+// points re-plan into a smaller cohort with different lockstep batching
+// — must serialise byte-for-byte like an uninterrupted run.
+func TestSweepJournalResumeMidCohort(t *testing.T) {
+	g := testGraph(t)
+	base, points, r, seed := quickSweepInputs(t)
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	id := SweepFingerprint(g, base, points, r, seed)
+
+	serial := NewPool(1)
+	defer serial.Drain(context.Background())
+	golden, err := Sweep(context.Background(), serial, base, g, points, r, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenJSON, err := json.Marshal(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One worker => Plan(parallel=1) => one group holding the whole
+	// cohort; the first 3 points die inside it.
+	in := fault.New(11)
+	in.Set(SiteSweepJob, fault.Rule{Prob: 1, Times: 3, Err: fault.ErrInjected})
+	one := NewPool(1)
+	defer one.Drain(context.Background())
+	j1, err := OpenSweepJournal(path, id, len(points), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SweepWithJournal(context.Background(), one, base, g, points, r, seed, j1, in, nil); err == nil {
+		t.Fatal("mid-cohort failures reported success")
+	}
+	j1.Close()
+	if got := in.Fired(SiteSweepJob); got != 3 {
+		t.Fatalf("fault site injected %d failures, want exactly 3 (one per doomed point)", got)
+	}
+	// The cohort's surviving members — including points AFTER the failed
+	// ones in the same lockstep group — must all have journaled.
+	if got := len(j1.Done()); got != len(points)-3 {
+		t.Fatalf("journal holds %d points after mid-cohort crash, want %d", got, len(points)-3)
+	}
+
+	j2, err := OpenSweepJournal(path, id, len(points), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	results, resumed, err := SweepWithJournal(context.Background(), one, base, g, points, r, seed, j2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != len(points)-3 {
+		t.Errorf("resumed %d, want %d", resumed, len(points)-3)
+	}
+	gotJSON, err := json.Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON, goldenJSON) {
+		t.Error("mid-cohort resumed sweep differs from uninterrupted run")
+	}
+}
+
 // TestSweepJournalTornTail simulates a crash mid-append: a truncated
 // final line must be dropped (and its point recomputed), not poison the
 // journal.

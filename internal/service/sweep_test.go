@@ -28,7 +28,11 @@ func TestSweepMatchesSerialExactly(t *testing.T) {
 		serial[i] = m
 	}
 
-	for _, workers := range []int{1, 4} {
+	// Each worker count yields a different lockstep plan shape — one
+	// group of 9, near-even splits, and (at 8) mostly singleton groups
+	// that degrade to the serial path — all of which must be invisible
+	// in the results.
+	for _, workers := range []int{1, 2, 4, 8} {
 		pool := NewPool(workers)
 		swept, err := Sweep(context.Background(), pool, base, g, points, r, 1)
 		pool.Drain(context.Background())

@@ -1,0 +1,154 @@
+package trace
+
+// Spool materialises one BatchSource stream exactly once and serves it
+// to N independent Cursor consumers — the sharing primitive behind
+// lockstep multi-config simulation, where a single synthetic-trace
+// generation pass drives many pipeline instances.
+//
+// The spool keeps a sliding window of the stream: the frontmost cursor
+// pulls fresh chunks from the source, laggards re-read the retained
+// window, and Trim drops everything below the slowest open cursor. A
+// scheduler that advances the laggard first (internal/lockstep) keeps
+// the window a few chunks wide regardless of consumer count, so every
+// consumer reads the same cache-resident bytes.
+//
+// Concurrency: a Spool and its Cursors belong to one goroutine — the
+// lockstep driver advances instances sequentially. Create every cursor
+// before the first read; cursors created after consumption has begun
+// would miss the already-trimmed prefix (NewCursor panics then).
+type Spool struct {
+	src     BatchSource
+	base    uint64 // stream position of window[0]
+	window  []DynInst
+	eof     bool
+	cursors []*Cursor
+}
+
+// NewSpool wraps src (adapted to the batch interface if needed) for
+// multi-cursor consumption. The source must not be read by anyone else.
+func NewSpool(src Source) *Spool {
+	return &Spool{src: Batched(src)}
+}
+
+// NewCursor registers a new consumer positioned at the start of the
+// stream. All cursors must be created before any of them reads.
+func (s *Spool) NewCursor() *Cursor {
+	if s.base != 0 || len(s.window) != 0 || s.eof {
+		panic("trace: Spool.NewCursor after consumption began")
+	}
+	c := &Cursor{sp: s}
+	s.cursors = append(s.cursors, c)
+	return c
+}
+
+// fill extends the window by up to one chunk from the source.
+func (s *Spool) fill() {
+	n := len(s.window)
+	if cap(s.window)-n < DefaultBatchSize {
+		grown := make([]DynInst, n, 2*cap(s.window)+DefaultBatchSize)
+		copy(grown, s.window)
+		s.window = grown
+	}
+	k := s.src.NextBatch(s.window[n : n+DefaultBatchSize])
+	if k == 0 {
+		s.eof = true
+		return
+	}
+	s.window = s.window[:n+k]
+}
+
+// Trim discards window entries below the slowest open cursor,
+// compacting only when a sizeable prefix is dead (amortising the copy,
+// like the pipeline's stream buffer). With every cursor closed the
+// whole window is released.
+func (s *Spool) Trim() {
+	min, open := ^uint64(0), false
+	for _, c := range s.cursors {
+		if !c.closed {
+			open = true
+			if c.pos < min {
+				min = c.pos
+			}
+		}
+	}
+	if !open {
+		s.window = s.window[:0]
+		return
+	}
+	if min <= s.base {
+		return
+	}
+	drop := min - s.base
+	if drop > uint64(len(s.window)) {
+		drop = uint64(len(s.window))
+		min = s.base + drop
+	}
+	if drop >= 4096 || drop == uint64(len(s.window)) {
+		s.window = append(s.window[:0], s.window[drop:]...)
+		s.base = min
+	}
+}
+
+// WindowLen reports the retained window size in instructions
+// (observability and tests; the lockstep scheduler keeps it small).
+func (s *Spool) WindowLen() int { return len(s.window) }
+
+// Cursor is one consumer's monotone position into a Spool. It
+// implements both trace.Source and trace.BatchSource, so it plugs
+// directly into the pipeline's stream buffer (whose Batched adapter
+// collapses to the cursor itself).
+type Cursor struct {
+	sp     *Spool
+	pos    uint64
+	closed bool
+}
+
+// NextBatch implements BatchSource: it copies from the shared window,
+// pulling fresh chunks from the source only when this cursor is at the
+// frontier. EOF (return 0) is sticky, per the BatchSource contract.
+func (c *Cursor) NextBatch(dst []DynInst) int {
+	s := c.sp
+	for c.pos >= s.base+uint64(len(s.window)) {
+		if s.eof {
+			return 0
+		}
+		s.fill()
+	}
+	if c.pos < s.base {
+		panic("trace: Cursor read below the trimmed window")
+	}
+	n := copy(dst, s.window[c.pos-s.base:])
+	c.pos += uint64(n)
+	return n
+}
+
+// Next implements Source for per-instruction consumers.
+func (c *Cursor) Next(out *DynInst) bool {
+	s := c.sp
+	for c.pos >= s.base+uint64(len(s.window)) {
+		if s.eof {
+			return false
+		}
+		s.fill()
+	}
+	if c.pos < s.base {
+		panic("trace: Cursor read below the trimmed window")
+	}
+	*out = s.window[c.pos-s.base]
+	c.pos++
+	return true
+}
+
+// Pos reports the cursor's stream position (instructions consumed).
+func (c *Cursor) Pos() uint64 { return c.pos }
+
+// Close marks the cursor done so it no longer pins the window.
+func (c *Cursor) Close() {
+	c.closed = true
+	c.sp.Trim()
+}
+
+var (
+	_ Source      = (*Cursor)(nil)
+	_ BatchSource = (*Cursor)(nil)
+)

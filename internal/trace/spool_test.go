@@ -1,0 +1,138 @@
+package trace
+
+import "testing"
+
+// drainCursor reads a cursor to EOF in batches, verifying the canonical
+// sequence and the sticky-EOF contract.
+func drainCursor(t *testing.T, c *Cursor, want int) {
+	t.Helper()
+	got := Collect(Unbatched(c), 0)
+	checkStream(t, got, want)
+	var buf [4]DynInst
+	if n := c.NextBatch(buf[:]); n != 0 {
+		t.Fatalf("NextBatch after EOF returned %d, want sticky 0", n)
+	}
+}
+
+func TestSpoolSingleCursor(t *testing.T) {
+	for _, n := range []int{0, 1, DefaultBatchSize, 3*DefaultBatchSize + 7} {
+		sp := NewSpool(NewSliceSource(seqInsts(n)))
+		drainCursor(t, sp.NewCursor(), n)
+	}
+}
+
+// TestSpoolCursorsSeeIdenticalStreams: every cursor observes the full
+// canonical sequence regardless of how reads interleave.
+func TestSpoolCursorsSeeIdenticalStreams(t *testing.T) {
+	const n = 5*DefaultBatchSize + 13
+	sp := NewSpool(NewSliceSource(seqInsts(n)))
+	a, b, c := sp.NewCursor(), sp.NewCursor(), sp.NewCursor()
+
+	// a sprints ahead, b follows in odd-sized batches, c reads one
+	// instruction at a time.
+	var got [3][]DynInst
+	buf := make([]DynInst, DefaultBatchSize)
+	small := make([]DynInst, 97)
+	var one DynInst
+	for {
+		moved := false
+		if k := a.NextBatch(buf); k > 0 {
+			got[0] = append(got[0], buf[:k]...)
+			moved = true
+		}
+		if k := b.NextBatch(small); k > 0 {
+			got[1] = append(got[1], small[:k]...)
+			moved = true
+		}
+		for i := 0; i < 50 && c.Next(&one); i++ {
+			got[2] = append(got[2], one)
+			moved = true
+		}
+		sp.Trim()
+		if !moved {
+			break
+		}
+	}
+	for i := range got {
+		checkStream(t, got[i], n)
+	}
+}
+
+// TestSpoolTrimBoundsWindow: with laggard-first scheduling the window
+// must stay within a couple of chunks plus the trim hysteresis, no
+// matter how long the stream is.
+func TestSpoolTrimBoundsWindow(t *testing.T) {
+	const n = 40 * DefaultBatchSize
+	sp := NewSpool(NewSliceSource(seqInsts(n)))
+	curs := []*Cursor{sp.NewCursor(), sp.NewCursor(), sp.NewCursor()}
+	buf := make([]DynInst, DefaultBatchSize)
+	maxWindow := 0
+	for {
+		// Advance the laggard, as the lockstep driver does.
+		lag := curs[0]
+		for _, c := range curs[1:] {
+			if c.Pos() < lag.Pos() {
+				lag = c
+			}
+		}
+		if lag.NextBatch(buf) == 0 {
+			break
+		}
+		sp.Trim()
+		if w := sp.WindowLen(); w > maxWindow {
+			maxWindow = w
+		}
+	}
+	// Trim compacts once the dead prefix reaches 4096; the live spread
+	// under laggard-first scheduling is at most one chunk.
+	if limit := 4096 + 2*DefaultBatchSize; maxWindow > limit {
+		t.Fatalf("window grew to %d instructions, want <= %d", maxWindow, limit)
+	}
+}
+
+// TestSpoolCloseReleasesWindow: closing every cursor drops the whole
+// retained window even when the stream was not fully consumed.
+func TestSpoolCloseReleasesWindow(t *testing.T) {
+	sp := NewSpool(NewSliceSource(seqInsts(4 * DefaultBatchSize)))
+	a, b := sp.NewCursor(), sp.NewCursor()
+	buf := make([]DynInst, DefaultBatchSize)
+	a.NextBatch(buf)
+	b.NextBatch(buf[:7]) // b stays mid-window, pinning the rest of the chunk
+	a.Close()
+	if sp.WindowLen() == 0 {
+		t.Fatal("window released while an open cursor still has unread data")
+	}
+	b.Close()
+	if w := sp.WindowLen(); w != 0 {
+		t.Fatalf("window holds %d instructions after all cursors closed, want 0", w)
+	}
+}
+
+// TestSpoolLateCursorPanics: registering a consumer after consumption
+// began would silently miss trimmed data, so it must panic instead.
+func TestSpoolLateCursorPanics(t *testing.T) {
+	sp := NewSpool(NewSliceSource(seqInsts(DefaultBatchSize)))
+	c := sp.NewCursor()
+	var buf [8]DynInst
+	c.NextBatch(buf[:])
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCursor after consumption began did not panic")
+		}
+	}()
+	sp.NewCursor()
+}
+
+// TestSpoolEmptySource: EOF before any data, for every read style.
+func TestSpoolEmptySource(t *testing.T) {
+	sp := NewSpool(NewSliceSource(nil))
+	c := sp.NewCursor()
+	var one DynInst
+	if c.Next(&one) {
+		t.Fatal("Next on empty source returned true")
+	}
+	var buf [8]DynInst
+	if n := c.NextBatch(buf[:]); n != 0 {
+		t.Fatalf("NextBatch on empty source returned %d", n)
+	}
+}
