@@ -5,6 +5,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/resultstore"
+	"repro/internal/surrogate"
 	"repro/internal/trace"
 )
 
@@ -273,4 +276,76 @@ func BenchmarkObsDisabledSimulate(b *testing.B) {
 		core.SimulateTraceTraced(nil, cfg, trace.NewSliceSource(insts))
 	}
 	b.ReportMetric(float64(len(insts))*float64(b.N)/b.Elapsed().Seconds(), "inst/s")
+}
+
+// oracleBenchStore builds a result store holding the 16-point sweep
+// grid's real simulation results — the state a daemon reaches after one
+// sweep — plus the matching keys in grid order.
+func oracleBenchStore(b *testing.B) (*resultstore.Store, []resultstore.Key) {
+	b.Helper()
+	g, r := sweepBenchGraph(b)
+	st, err := resultstore.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
+	cfgs := sweepBenchGrid()
+	keys := make([]resultstore.Key, len(cfgs))
+	for i, cfg := range cfgs {
+		m, err := core.StatSim(cfg, g, r, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		keys[i] = resultstore.Key{
+			ConfigFP: obs.Fingerprint(cfg),
+			Workload: "gzip", K: 1, N: 100_000, Seed: 1, Red: r, SimSeed: 1,
+			Dims: resultstore.Dims{RUU: cfg.RUUSize, LSQ: cfg.LSQSize,
+				Decode: cfg.DecodeWidth, Issue: cfg.IssueWidth, Commit: cfg.CommitWidth, IFQ: cfg.IFQSize},
+		}
+		if err := st.Put(keys[i], m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return st, keys
+}
+
+// BenchmarkOracleExactHit is the two-tier oracle's tier-one fast path:
+// fingerprinting one applied configuration and serving its stored
+// metrics. One op answers one design point that BenchmarkSimulate (and
+// BenchmarkSweepPerPoint16, per point) pays a full synthetic-trace
+// simulation for — the ns/op ratio between them is the repeat-sweep
+// speedup the result store exists to deliver.
+func BenchmarkOracleExactHit(b *testing.B) {
+	st, keys := oracleBenchStore(b)
+	cfgs := sweepBenchGrid()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The fingerprint is recomputed per lookup, exactly as the serving
+		// path does: an exact hit costs hash + map read, nothing else.
+		key := keys[i%len(keys)]
+		key.ConfigFP = obs.Fingerprint(cfgs[i%len(cfgs)])
+		if _, ok := st.Get(key); !ok {
+			b.Fatal("exact hit missed")
+		}
+	}
+}
+
+// BenchmarkOracleSurrogate is tier two: one gated k-NN prediction over
+// the trained model, uncertainty included.
+func BenchmarkOracleSurrogate(b *testing.B) {
+	st, keys := oracleBenchStore(b)
+	model := surrogate.New(0)
+	st.Range(func(k resultstore.Key, m core.Metrics) bool {
+		model.Add(k.Context(), surrogate.FromDims(k.Dims.RUU, k.Dims.LSQ, k.Dims.Decode, k.Dims.Issue, k.Dims.Commit, k.Dims.IFQ), m.IPC(), m.EPC())
+		return true
+	})
+	ctx := keys[0].Context()
+	f := surrogate.FromDims(48, 24, 4, 4, 4, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est, ok := model.Predict(ctx, f)
+		if !ok || est.IPC <= 0 {
+			b.Fatal("prediction refused")
+		}
+	}
 }

@@ -59,6 +59,8 @@ func main() {
 		err = cmdPersonality(os.Args[2:])
 	case "inspect":
 		err = cmdInspect(os.Args[2:])
+	case "oracle":
+		err = cmdOracle(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -86,6 +88,7 @@ commands:
   fidelity     adaptive-fidelity estimate with a confidence interval
   phases       print a workload's phase clustering (simulation points)
   inspect      summarise a saved statistical profile
+  oracle       inspect a daemon's result store; train and evaluate the surrogate
   personality  dump a benchmark's workload definition as editable JSON
 
 Workload selection: every command taking -benchmark also accepts

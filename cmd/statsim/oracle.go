@@ -1,0 +1,145 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/resultstore"
+	"repro/internal/surrogate"
+)
+
+// cmdOracle inspects a daemon's durable result store (tier one of the
+// two-tier IPC oracle) and, with -train, rebuilds the k-NN surrogate
+// from it and reports leave-one-out accuracy — the offline answer to
+// "how tight can I set -surrogate-max-ci against this corpus?".
+func cmdOracle(args []string) error {
+	fs := flag.NewFlagSet("oracle", flag.ExitOnError)
+	dir := fs.String("dir", "", "result store directory, i.e. <cache-dir>/results (required)")
+	train := fs.Bool("train", false, "rebuild the surrogate from the store and evaluate leave-one-out accuracy")
+	maxCI := fs.Float64("max-ci", 0.05, "uncertainty gate to report accuracy against (with -train)")
+	evalMax := fs.Int("eval-max", 512, "cap on leave-one-out evaluations (with -train)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("oracle: -dir is required")
+	}
+
+	st, err := resultstore.Open(*dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	type rec struct {
+		key resultstore.Key
+		m   core.Metrics
+	}
+	byCtx := make(map[string][]rec)
+	var order []string
+	st.Range(func(k resultstore.Key, m core.Metrics) bool {
+		ctx := k.Context()
+		if _, ok := byCtx[ctx]; !ok {
+			order = append(order, ctx)
+		}
+		byCtx[ctx] = append(byCtx[ctx], rec{k, m})
+		return true
+	})
+	sort.Strings(order)
+
+	stats := st.Stats()
+	fmt.Printf("result store %s\n", stats.Dir)
+	fmt.Printf("  %d records in %d contexts\n", stats.Records, len(order))
+	if stats.Recovered > 0 || stats.TornDropped > 0 || stats.Quarantined > 0 {
+		fmt.Printf("  recovery: %d replayed, %d torn-tail records dropped, %d corrupt sections quarantined\n",
+			stats.Recovered, stats.TornDropped, stats.Quarantined)
+	}
+	for _, ctx := range order {
+		fmt.Printf("  %-48s %6d records\n", ctx, len(byCtx[ctx]))
+	}
+	if !*train {
+		return nil
+	}
+
+	model := surrogate.New(0)
+	for _, ctx := range order {
+		for _, r := range byCtx[ctx] {
+			model.Add(ctx, featuresFor(r.key), r.m.IPC(), r.m.EPC())
+		}
+	}
+	ms := model.Stats()
+	fmt.Printf("\nsurrogate: %d samples in %d contexts (k=%d)\n", ms.Samples, ms.Contexts, ms.K)
+
+	// Leave-one-out: predictions only ever draw on same-context samples,
+	// so each held-out record needs a fresh model of its own context
+	// minus itself. Evaluations are spread evenly across the corpus when
+	// it exceeds the cap.
+	total := 0
+	for _, ctx := range order {
+		total += len(byCtx[ctx])
+	}
+	stride := 1
+	if *evalMax > 0 && total > *evalMax {
+		stride = (total + *evalMax - 1) / *evalMax
+	}
+	var (
+		evaluated, predicted, underGate int
+		sumErr, maxErr                  float64
+		sumGateErr, maxGateErr          float64
+	)
+	seq := 0
+	for _, ctx := range order {
+		recs := byCtx[ctx]
+		for i := range recs {
+			seq++
+			if (seq-1)%stride != 0 {
+				continue
+			}
+			evaluated++
+			loo := surrogate.New(0)
+			for j := range recs {
+				if j != i {
+					loo.Add(ctx, featuresFor(recs[j].key), recs[j].m.IPC(), recs[j].m.EPC())
+				}
+			}
+			est, ok := loo.Predict(ctx, featuresFor(recs[i].key))
+			if !ok {
+				continue
+			}
+			predicted++
+			truth := recs[i].m.IPC()
+			relErr := math.Abs(est.IPC-truth) / truth
+			sumErr += relErr
+			maxErr = math.Max(maxErr, relErr)
+			if est.Uncertainty <= *maxCI {
+				underGate++
+				sumGateErr += relErr
+				maxGateErr = math.Max(maxGateErr, relErr)
+			}
+		}
+	}
+	fmt.Printf("\nleave-one-out accuracy (%d of %d records evaluated):\n", evaluated, total)
+	if predicted == 0 {
+		fmt.Println("  no context has enough samples to predict yet")
+		return nil
+	}
+	fmt.Printf("  predicted:       %d (%.1f%%)\n", predicted, 100*float64(predicted)/float64(evaluated))
+	fmt.Printf("  rel. IPC error:  mean %.4f, max %.4f\n", sumErr/float64(predicted), maxErr)
+	fmt.Printf("  at gate %.3f:    %d served (%.1f%%)", *maxCI, underGate,
+		100*float64(underGate)/float64(predicted))
+	if underGate > 0 {
+		fmt.Printf(", rel. IPC error mean %.4f, max %.4f", sumGateErr/float64(underGate), maxGateErr)
+	}
+	fmt.Println()
+	return nil
+}
+
+// featuresFor recovers the surrogate feature vector from a stored key's
+// in-the-clear dimensions — the same mapping the daemon uses.
+func featuresFor(k resultstore.Key) surrogate.Features {
+	d := k.Dims
+	return surrogate.FromDims(d.RUU, d.LSQ, d.Decode, d.Issue, d.Commit, d.IFQ)
+}

@@ -9,6 +9,7 @@
 //	POST /v1/simulate        statistical simulation of one configuration
 //	POST /v1/sweep           parallel design-space sweep from one profile
 //	GET  /v1/workloads       list the built-in benchmarks
+//	GET  /v1/oracle/status   the two-tier result oracle: store and surrogate state
 //	GET  /v1/debug/requests  the flight recorder: recent request events
 //	GET  /v1/sweep/progress  live sweep progress as server-sent events
 //	GET  /healthz            liveness/readiness, load, build provenance
@@ -98,6 +99,8 @@ func parseFlags(args []string) (daemonConfig, error) {
 		"request events retained by the flight recorder (GET /v1/debug/requests)")
 	fs.StringVar(&c.opts.ManifestDir, "manifest-dir", "",
 		"write one JSON run manifest per successful profile/simulate/sweep request here (empty = off)")
+	fs.Float64Var(&c.opts.SurrogateMaxCI, "surrogate-max-ci", 0,
+		"serve sweep points from the learned surrogate when its relative uncertainty is at or below this gate; such points are flagged estimated (0 = off; exact result-store hits are always served when -cache-dir is set)")
 	fs.Var(&c.peers, "peers",
 		"comma-separated base URLs of the other cluster nodes (repeatable; empty = single-node)")
 	fs.StringVar(&c.advertise, "cluster-advertise", "",

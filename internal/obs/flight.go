@@ -39,6 +39,12 @@ type RequestEvent struct {
 	Peer      string `json:"peer,omitempty"`
 	Failovers int    `json:"failovers,omitempty"`
 
+	// Oracle provenance: design points this request was served from the
+	// durable result store (exact hits, ground truth) and from the
+	// gated surrogate (flagged estimates) instead of simulating.
+	StoreHits     int `json:"store_hits,omitempty"`
+	SurrogateHits int `json:"surrogate_hits,omitempty"`
+
 	// Adaptive-fidelity outcomes (zero unless the request ran the
 	// fidelity engine).
 	Escalations   int     `json:"escalations,omitempty"`

@@ -55,6 +55,18 @@ type ManifestFidelity struct {
 	IPCHi         float64 `json:"ipc_hi"`
 }
 
+// ManifestOracle is the serving-provenance block of a run manifest:
+// how many of the run's design points were answered by each tier of
+// the two-tier result oracle instead of being simulated. Estimated is
+// true iff any point is a surrogate prediction — such a manifest
+// records estimates, never ground truth, and must not seed golden
+// corpora.
+type ManifestOracle struct {
+	StoreHits     int  `json:"store_hits"`
+	SurrogateHits int  `json:"surrogate_hits"`
+	Estimated     bool `json:"estimated"`
+}
+
 // Manifest is the JSON run manifest a front end emits (statsim -stats,
 // experiment artifacts): everything needed to reproduce the run plus
 // where its time went.
@@ -87,6 +99,8 @@ type Manifest struct {
 	Metrics *ManifestMetrics `json:"metrics,omitempty"`
 	// How adaptively it was computed, when the fidelity engine ran.
 	Fidelity *ManifestFidelity `json:"fidelity,omitempty"`
+	// Where the answers came from, when the result oracle served any.
+	Oracle *ManifestOracle `json:"oracle,omitempty"`
 }
 
 // NewManifest starts a manifest for the named tool, stamped now.

@@ -1,0 +1,366 @@
+package resultstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// testKey builds a distinct key for ordinal i.
+func testKey(i int) Key {
+	return Key{
+		ConfigFP: fmt.Sprintf("fp%04d", i),
+		Workload: "gzip",
+		K:        1,
+		N:        60_000,
+		Seed:     1,
+		Red:      6,
+		SimSeed:  1,
+		Dims:     Dims{RUU: 16 + i, LSQ: 8 + i, Decode: 4, Issue: 4, Commit: 4, IFQ: 32},
+	}
+}
+
+// testMetrics builds distinct, non-trivial metrics for ordinal i.
+func testMetrics(i int) core.Metrics {
+	var m core.Metrics
+	m.Instructions = uint64(10_000 + i)
+	m.Cycles = uint64(8_000 + 3*i)
+	m.Power.Watts[0] = 1.5 + float64(i)/16
+	m.AvgRUUOcc = 12.25 + float64(i)
+	return m
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	key, m := testKey(7), testMetrics(7)
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := EncodeRecord(key, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, gotRaw, n, err := DecodeRecord(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(frame) {
+		t.Errorf("decoded length %d, frame is %d bytes", n, len(frame))
+	}
+	if rec.Key != key {
+		t.Errorf("key round-trip: %+v != %+v", rec.Key, key)
+	}
+	if rec.Metrics != m {
+		t.Errorf("metrics round-trip: %+v != %+v", rec.Metrics, m)
+	}
+	// The raw metrics bytes are the exact bytes written — what makes a
+	// store hit byte-identical to re-simulating.
+	if string(gotRaw) != string(raw) {
+		t.Errorf("raw metrics bytes changed: %s != %s", gotRaw, raw)
+	}
+}
+
+func TestStorePutGetAcrossLives(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := st.Put(testKey(i), testMetrics(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Duplicate put is a no-op, not a second record.
+	if err := st.Put(testKey(0), testMetrics(0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats(); got.Records != n || got.Appends != n {
+		t.Errorf("records/appends = %d/%d, want %d/%d", got.Records, got.Appends, n, n)
+	}
+	if _, ok := st.Get(testKey(n)); ok {
+		t.Error("hit for a key never put")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: everything replays.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Stats(); got.Records != n || got.Recovered != n {
+		t.Errorf("second life records/recovered = %d/%d, want %d/%d", got.Records, got.Recovered, n, n)
+	}
+	for i := 0; i < n; i++ {
+		m, ok := st2.Get(testKey(i))
+		if !ok || m != testMetrics(i) {
+			t.Fatalf("record %d: ok=%v m=%+v", i, ok, m)
+		}
+	}
+	// The replayed life keeps appending to the same log.
+	if err := st2.Put(testKey(n), testMetrics(n)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTornFinalRecordTruncated crashes mid-append at every possible cut
+// point of the final record: the verified prefix must survive intact
+// and the torn tail must be dropped, exactly like the sweep journal.
+func TestTornFinalRecordTruncated(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := st.Put(testKey(i), testMetrics(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Put(testKey(3), testMetrics(3)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	path := filepath.Join(dir, logName)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find where the final record starts by decoding the first three.
+	off := headerLen
+	for i := 0; i < 3; i++ {
+		_, _, n, err := DecodeRecord(full[off:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += n
+	}
+	for cut := off + 1; cut < len(full); cut++ {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			dir2 := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir2, logName), full[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			st2, err := Open(dir2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st2.Close()
+			stats := st2.Stats()
+			if stats.Records != 3 || stats.TornDropped != 1 || stats.Quarantined != 0 {
+				t.Fatalf("records/torn/quarantined = %d/%d/%d, want 3/1/0",
+					stats.Records, stats.TornDropped, stats.Quarantined)
+			}
+			for i := 0; i < 3; i++ {
+				if m, ok := st2.Get(testKey(i)); !ok || m != testMetrics(i) {
+					t.Fatalf("prefix record %d lost: ok=%v", i, ok)
+				}
+			}
+			// The truncated log accepts the recomputed record again.
+			if err := st2.Put(testKey(3), testMetrics(3)); err != nil {
+				t.Fatal(err)
+			}
+			if m, ok := st2.Get(testKey(3)); !ok || m != testMetrics(3) {
+				t.Fatal("re-put after torn-tail recovery not served")
+			}
+		})
+	}
+}
+
+// TestChecksumMismatchQuarantines flips a byte mid-file: the verified
+// prefix is compacted into a fresh log, the damaged file is preserved in
+// quarantine/, and nothing past the flip is served.
+func TestChecksumMismatchQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := st.Put(testKey(i), testMetrics(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	path := filepath.Join(dir, logName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate record 2's body and corrupt one byte of it.
+	off := headerLen
+	for i := 0; i < 2; i++ {
+		_, _, n, err := DecodeRecord(data[off:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += n
+	}
+	data[off+frameOverhead+4] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	stats := st2.Stats()
+	if stats.Records != 2 || stats.Quarantined != 1 {
+		t.Fatalf("records/quarantined = %d/%d, want 2/1", stats.Records, stats.Quarantined)
+	}
+	for i := 0; i < 2; i++ {
+		if m, ok := st2.Get(testKey(i)); !ok || m != testMetrics(i) {
+			t.Fatalf("verified prefix record %d lost: ok=%v", i, ok)
+		}
+	}
+	if _, ok := st2.Get(testKey(2)); ok {
+		t.Error("corrupt record served")
+	}
+	// The damaged file is evidence, never deleted.
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, logName)); err != nil {
+		t.Errorf("quarantined log missing: %v", err)
+	}
+	// The rewritten log is clean: a third life replays the survivors.
+	st2.Close()
+	st3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if got := st3.Stats(); got.Records != 2 || got.Quarantined != 0 || got.TornDropped != 0 {
+		t.Errorf("post-rewrite life: %+v", got)
+	}
+}
+
+// TestForeignFileQuarantined ensures a file that is not a result log at
+// all is moved aside whole, not truncated or served.
+func TestForeignFileQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, logName), []byte("not a log"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if got := st.Stats(); got.Records != 0 || got.Quarantined != 1 {
+		t.Errorf("foreign file: %+v", got)
+	}
+}
+
+// TestConcurrentAppendWhileRead hammers Put, Get and Range from many
+// goroutines — the -race run is the assertion; the final state check is
+// a bonus.
+func TestConcurrentAppendWhileRead(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	const writers, perWriter = 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := w*perWriter + i
+				if err := st.Put(testKey(k), testMetrics(k)); err != nil {
+					t.Error(err)
+					return
+				}
+				if m, ok := st.Get(testKey(k)); !ok || m != testMetrics(k) {
+					t.Errorf("just-put record %d not served", k)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				st.Get(testKey(i % (writers * perWriter)))
+				st.Range(func(k Key, m core.Metrics) bool { return true })
+				st.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := st.Stats(); got.Records != writers*perWriter {
+		t.Errorf("final records %d, want %d", got.Records, writers*perWriter)
+	}
+}
+
+func TestDecodeRejectsAbsurdLengths(t *testing.T) {
+	key, m := testKey(0), testMetrics(0)
+	raw, _ := json.Marshal(m)
+	frame, err := EncodeRecord(key, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A zero-length key section is wrong, not short.
+	bad := append([]byte(nil), frame...)
+	bad[0], bad[1], bad[2], bad[3] = 0, 0, 0, 0
+	if _, _, _, err := DecodeRecord(bad); !errors.Is(err, ErrCorruptRecord) {
+		t.Errorf("zero key length: %v, want ErrCorruptRecord", err)
+	}
+	// A section length beyond the cap must be rejected before allocating.
+	bad = append([]byte(nil), frame...)
+	bad[4], bad[5], bad[6], bad[7] = 0xff, 0xff, 0xff, 0x7f
+	if _, _, _, err := DecodeRecord(bad); !errors.Is(err, ErrCorruptRecord) {
+		t.Errorf("huge metrics length: %v, want ErrCorruptRecord", err)
+	}
+}
+
+// FuzzResultRecord throws arbitrary bytes at the decoder: it must never
+// panic, and every accepted frame must re-encode to the same identity.
+func FuzzResultRecord(f *testing.F) {
+	for i := 0; i < 3; i++ {
+		raw, _ := json.Marshal(testMetrics(i))
+		frame, _ := EncodeRecord(testKey(i), raw)
+		f.Add(frame)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, raw, n, err := DecodeRecord(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptRecord) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		if n < frameOverhead || n > len(data) {
+			t.Fatalf("accepted frame length %d out of range (data %d)", n, len(data))
+		}
+		// Accepted frames must survive a re-encode/decode cycle with the
+		// same key identity and metrics value.
+		frame, err := EncodeRecord(rec.Key, raw)
+		if err != nil {
+			t.Fatalf("re-encoding accepted record: %v", err)
+		}
+		rec2, _, _, err := DecodeRecord(frame)
+		if err != nil {
+			t.Fatalf("re-decoding re-encoded record: %v", err)
+		}
+		if rec2.Key != rec.Key || rec2.Metrics != rec.Metrics {
+			t.Fatal("record identity changed across re-encode")
+		}
+	})
+}

@@ -80,6 +80,13 @@ type Options struct {
 	// <endpoint>-<trace-id>.json — per-request provenance as a durable,
 	// queryable artifact.
 	ManifestDir string
+	// SurrogateMaxCI enables the oracle's learned fast path: sweep
+	// points whose surrogate prediction carries relative uncertainty at
+	// or below this gate are served as flagged estimates instead of
+	// being simulated. <= 0 (the default) disables surrogate serving
+	// entirely — only exact result-store hits are ever served, and those
+	// are ground truth. The result store itself rides on CacheDir.
+	SurrogateMaxCI float64
 }
 
 func (o Options) withDefaults() Options {
@@ -111,7 +118,8 @@ type Server struct {
 	opts     Options
 	pool     *Pool
 	cache    *GraphCache
-	store    *Store // nil without CacheDir
+	store    *Store  // nil without CacheDir
+	oracle   *oracle // two-tier result oracle; nil-safe when disabled
 	faults   *fault.Injector
 	metrics  *Metrics
 	mux      *http.ServeMux
@@ -130,6 +138,12 @@ type Server struct {
 	shed         atomic.Uint64
 	retries      atomic.Uint64
 	sweepResumed atomic.Uint64
+	// Per-source sweep point accounting: how many points each serving
+	// tier answered, so the sweep Prometheus families distinguish cached
+	// and predicted points from simulated work.
+	sweepFromStore     atomic.Uint64
+	sweepFromSurrogate atomic.Uint64
+	sweepSimulated     atomic.Uint64
 	sweepLocks   sync.Map // sweep fingerprint -> *sync.Mutex
 	fidelity     fidelityCounters
 
@@ -177,6 +191,21 @@ func New(opts Options) (*Server, error) {
 		}
 		s.store = store
 	}
+	// The oracle's durable tier lives under the cache dir; the surrogate
+	// tier is gated by SurrogateMaxCI. With neither, the oracle stays
+	// nil-disabled and every call short-circuits.
+	oracleDir := ""
+	if opts.CacheDir != "" {
+		oracleDir = filepath.Join(opts.CacheDir, oracleSubdir)
+	}
+	if oracleDir != "" || opts.SurrogateMaxCI > 0 {
+		o, err := newOracle(oracleDir, opts.SurrogateMaxCI)
+		if err != nil {
+			s.pool.Drain(context.Background())
+			return nil, err
+		}
+		s.oracle = o
+	}
 	if opts.ManifestDir != "" {
 		if err := os.MkdirAll(opts.ManifestDir, 0o755); err != nil {
 			s.pool.Drain(context.Background())
@@ -187,6 +216,7 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
 	s.mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	s.mux.HandleFunc("GET /v1/workloads", s.instrument("/v1/workloads", s.handleWorkloads))
+	s.mux.HandleFunc("GET /v1/oracle/status", s.handleOracleStatus)
 	s.mux.HandleFunc("GET /v1/debug/requests", s.handleDebugRequests)
 	s.mux.HandleFunc("GET /v1/sweep/progress", s.handleSweepProgress)
 	s.mux.HandleFunc("POST /v1/cluster/fetch", s.handleClusterFetch)
@@ -208,10 +238,15 @@ func (s *Server) Pool() *Pool { return s.pool }
 func (s *Server) Store() *Store { return s.store }
 
 // Close marks the server draining (new work is refused with 503, and
-// /healthz reports not ready) and gracefully drains the worker pool.
+// /healthz reports not ready), gracefully drains the worker pool, and
+// releases the oracle's result log.
 func (s *Server) Close(ctx context.Context) error {
 	s.draining.Store(true)
-	return s.pool.Drain(ctx)
+	err := s.pool.Drain(ctx)
+	if cerr := s.oracle.close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // admit is the admission-control gate every work-submitting handler
@@ -271,6 +306,11 @@ type reqInfo struct {
 	// sweep.
 	remotePeer atomic.Value // string
 	failovers  atomic.Int64
+
+	// Oracle outcomes: points served from the durable result store and
+	// from the gated surrogate instead of being simulated.
+	storeHits     atomic.Int64
+	surrogateHits atomic.Int64
 
 	// Fidelity-engine outcomes (set only when the request ran it).
 	escalations   atomic.Int64
@@ -384,6 +424,9 @@ func (s *Server) finishRequest(name, traceID string, ri *reqInfo, code int, elap
 		Resumed:    int(ri.resumed.Load()),
 		Failovers:  int(ri.failovers.Load()),
 
+		StoreHits:     int(ri.storeHits.Load()),
+		SurrogateHits: int(ri.surrogateHits.Load()),
+
 		Escalations:   int(ri.escalations.Load()),
 		DetailedInsts: ri.detailedInsts.Load(),
 		CIWidth:       math.Float64frombits(ri.ciWidth.Load()),
@@ -416,6 +459,9 @@ func (s *Server) finishRequest(name, traceID string, ri *reqInfo, code int, elap
 	}
 	if ev.Failovers > 0 {
 		args = append(args, "failovers", ev.Failovers)
+	}
+	if ev.StoreHits > 0 || ev.SurrogateHits > 0 {
+		args = append(args, "store_hits", ev.StoreHits, "surrogate_hits", ev.SurrogateHits)
 	}
 	if ev.Escalations > 0 || ev.DetailedInsts > 0 {
 		args = append(args, "escalations", ev.Escalations, "detailed_insts", ev.DetailedInsts)
@@ -738,7 +784,11 @@ type SimulateResponse struct {
 	Reduction     uint64           `json:"reduction"`
 	Metrics       SimMetrics       `json:"metrics"`
 	Fidelity      *fidelity.Result `json:"fidelity,omitempty"`
-	ElapsedMS     float64          `json:"elapsed_ms"`
+	// Served marks a response the oracle answered without simulating:
+	// "store" is an exact durable-store hit, byte-identical to
+	// re-simulating. Empty on freshly simulated responses.
+	Served    string  `json:"served,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) (any, error) {
@@ -766,19 +816,32 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) (any, er
 	rec := requestRecorder(r.Context())
 	cfg := req.Config.apply(cpu.DefaultConfig())
 	red := core.ReductionFor(g, req.Target)
+	okey := oracleKey(key, cfg, red, req.SimSeed)
+	served := ""
 	var m core.Metrics
-	err = s.retryRun(r.Context(), func() error {
-		return s.pool.Do(r.Context(), func(context.Context) error {
-			if err := s.faults.Fire(SiteSimulateJob); err != nil {
+	if hit, ok := s.oracle.lookup(okey); ok {
+		// Exact fingerprint hit: a previous simulation of this identical
+		// (config, profile, reduction, seed) tuple already computed these
+		// metrics; re-serving them is byte-identical to re-simulating.
+		m, served = hit, ServedFromStore
+		if ri := requestInfo(r.Context()); ri != nil {
+			ri.storeHits.Add(1)
+		}
+	} else {
+		err = s.retryRun(r.Context(), func() error {
+			return s.pool.Do(r.Context(), func(context.Context) error {
+				if err := s.faults.Fire(SiteSimulateJob); err != nil {
+					return err
+				}
+				var err error
+				m, err = core.StatSimTraced(rec, cfg, g, red, req.SimSeed)
 				return err
-			}
-			var err error
-			m, err = core.StatSimTraced(rec, cfg, g, red, req.SimSeed)
-			return err
+			})
 		})
-	})
-	if err != nil {
-		return nil, err
+		if err != nil {
+			return nil, err
+		}
+		s.oracle.learn(okey, m)
 	}
 	s.writeManifest(r.Context(), "/v1/simulate", func(mf *obs.Manifest) {
 		mf.ConfigFingerprint = obs.Fingerprint(cfg)
@@ -795,6 +858,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) (any, er
 		ProfileCached: cached,
 		Reduction:     red,
 		Metrics:       wireMetrics(m),
+		Served:        served,
 		ElapsedMS:     float64(time.Since(start)) / float64(time.Millisecond),
 	}, nil
 }
@@ -824,11 +888,18 @@ type SweepRequest struct {
 
 // SweepRow is one design point's outcome; Fidelity is present on
 // fidelity-mode sweeps, Raw when the request asked for raw metrics.
+// Served marks oracle-answered points ("store" is ground truth,
+// "surrogate" a gated prediction); surrogate rows always carry
+// Estimated=true and their Uncertainty, so an estimate can never be
+// mistaken for a measurement.
 type SweepRow struct {
-	Point    SweepPoint       `json:"point"`
-	Metrics  SimMetrics       `json:"metrics"`
-	Raw      *core.Metrics    `json:"raw,omitempty"`
-	Fidelity *fidelity.Result `json:"fidelity,omitempty"`
+	Point       SweepPoint       `json:"point"`
+	Metrics     SimMetrics       `json:"metrics"`
+	Raw         *core.Metrics    `json:"raw,omitempty"`
+	Fidelity    *fidelity.Result `json:"fidelity,omitempty"`
+	Served      string           `json:"served,omitempty"`
+	Estimated   bool             `json:"estimated,omitempty"`
+	Uncertainty float64          `json:"uncertainty,omitempty"`
 }
 
 // SweepResponse is the POST /v1/sweep reply; Results are in grid order
@@ -841,6 +912,11 @@ type SweepResponse struct {
 	ProfileCached bool       `json:"profile_cached"`
 	Points        int        `json:"points"`
 	Resumed       int        `json:"resumed,omitempty"`
+	// FromStore and FromSurrogate count points the oracle served
+	// (exact durable-store hits and gated predictions) instead of
+	// simulating them for this request.
+	FromStore     int        `json:"from_store,omitempty"`
+	FromSurrogate int        `json:"from_surrogate,omitempty"`
 	Best          int        `json:"best"`
 	Results       []SweepRow `json:"results"`
 	ElapsedMS     float64    `json:"elapsed_ms"`
@@ -889,6 +965,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (any, error
 	params := sweepParams{
 		spec:    req.Profile,
 		cfg:     req.Config,
+		pkey:    key,
 		base:    base,
 		g:       g,
 		points:  points,
@@ -918,11 +995,28 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (any, error
 		ElapsedMS:     float64(time.Since(start)) / float64(time.Millisecond),
 	}
 	for i, res := range results {
-		resp.Results[i] = SweepRow{Point: res.Point, Metrics: wireMetrics(res.Metrics)}
-		if req.RawMetrics {
-			m := res.Metrics
-			resp.Results[i].Raw = &m
+		row := SweepRow{Point: res.Point, Served: res.Served}
+		switch {
+		case res.Estimate != nil:
+			// A surrogate-served point: rates predicted, not measured.
+			// The flag and uncertainty travel with the row so no consumer
+			// can mistake it for ground truth, and estimates never carry
+			// raw metrics.
+			row.Metrics = estimateWire(*res.Estimate)
+			row.Estimated = true
+			row.Uncertainty = res.Estimate.Uncertainty
+			resp.FromSurrogate++
+		default:
+			row.Metrics = wireMetrics(res.Metrics)
+			if req.RawMetrics {
+				m := res.Metrics
+				row.Raw = &m
+			}
+			if res.Served == ServedFromStore {
+				resp.FromStore++
+			}
 		}
+		resp.Results[i] = row
 		if resp.Results[i].Metrics.EDP < resp.Results[resp.Best].Metrics.EDP {
 			resp.Best = i
 		}
@@ -937,6 +1031,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (any, error
 type sweepParams struct {
 	spec    ProfileSpec
 	cfg     ConfigSpec
+	pkey    ProfileKey // resolved spec, as oracle keys carry it
 	base    cpu.Config
 	g       *sfg.Graph
 	points  []SweepPoint
@@ -960,11 +1055,19 @@ type sweepParams struct {
 func (s *Server) runSweep(ctx context.Context, p sweepParams) ([]SweepResult, int, error) {
 	feed := s.progress.feed(obs.TraceIDFromContext(ctx))
 	var completed atomic.Int64
+	var fromStore, fromSurrogate atomic.Int64
 	progress := func(index int, res SweepResult) {
 		m := wireMetrics(res.Metrics)
+		if res.Estimate != nil {
+			m = estimateWire(*res.Estimate)
+			fromSurrogate.Add(1)
+		} else if res.Served == ServedFromStore {
+			fromStore.Add(1)
+		}
 		pt := res.Point
 		feed.publish(ProgressEvent{Type: "point", Completed: int(completed.Add(1)),
-			Index: index, Point: &pt, Metrics: &m})
+			Index: index, Point: &pt, Metrics: &m,
+			Served: res.Served, Estimated: res.Estimate != nil})
 	}
 	results, resumed, err := s.sweepJournaled(ctx, p, feed, &completed, progress)
 	if err != nil {
@@ -973,7 +1076,8 @@ func (s *Server) runSweep(ctx context.Context, p sweepParams) ([]SweepResult, in
 		return nil, resumed, err
 	}
 	feed.publish(ProgressEvent{Type: "done", Total: len(p.points), Resumed: resumed,
-		Completed: int(completed.Load())})
+		Completed: int(completed.Load()),
+		FromStore: int(fromStore.Load()), FromSurrogate: int(fromSurrogate.Load())})
 	return results, resumed, nil
 }
 
@@ -1012,17 +1116,20 @@ func (s *Server) sweepJournaled(ctx context.Context, p sweepParams, feed *progre
 	return results, resumed, err
 }
 
-// sweepExecute picks the single-node or clustered sweep engine. Both
-// journal and publish progress identically per freshly computed point,
-// and both fill results in grid order, so the response bytes cannot
-// depend on which engine (or which peer) computed a point. Sub-sweeps
-// dispatched by another coordinator (fanout) always run locally.
+// sweepExecute resolves every point of a sweep through the tiered
+// serving order — journal resume, then the oracle (exact store hits,
+// gated surrogate predictions), then the executors (local lockstep
+// batching or cluster fan-out) — journaling and publishing progress
+// identically per point, and filling results in grid order, so the
+// response bytes cannot depend on which tier (or which peer) answered a
+// point. Sub-sweeps dispatched by another coordinator (fanout) always
+// run locally and never answer with estimates. What the executors
+// compute feeds the oracle, so fallback traffic continuously widens the
+// store and sharpens the surrogate.
 func (s *Server) sweepExecute(ctx context.Context, p sweepParams, j *SweepJournal, progress func(int, SweepResult)) ([]SweepResult, int, error) {
-	if s.cluster == nil || p.fanout {
-		return SweepWithJournal(ctx, s.pool, p.base, p.g, p.points, p.red, p.simSeed, j, s.faults, progress)
-	}
-	// Concurrent simulations — local and the offer/fetch paths — sample
-	// the shared graph; freezing makes those reads immutable.
+	// Concurrent simulations — local workers and the cluster offer/fetch
+	// paths — sample the shared graph; freezing makes those reads
+	// immutable (no-op if the cache already froze it).
 	p.g.Freeze()
 	results := make([]SweepResult, len(p.points))
 	var pending []int
@@ -1043,20 +1150,33 @@ func (s *Server) sweepExecute(ctx context.Context, p sweepParams, j *SweepJourna
 			pending[i] = i
 		}
 	}
+
+	pending = s.oracleFilter(ctx, p, pending, results, j, progress)
 	if len(pending) == 0 {
 		return results, resumed, nil
 	}
-	// Indices are disjoint across concurrent Report calls, so the
-	// results writes need no lock; Append and progress are already
-	// concurrency-safe on the local path.
+
+	// Indices are disjoint across concurrent report calls, so the
+	// results writes need no lock; Append, learn and progress are
+	// concurrency-safe.
 	report := func(i int, m core.Metrics) {
 		results[i] = SweepResult{Point: p.points[i], Metrics: m}
+		s.sweepSimulated.Add(1)
+		s.oracle.learn(oracleKey(p.pkey, p.points[i].Apply(p.base), p.red, p.simSeed), m)
 		if j != nil {
+			// Best-effort: a failed append only means this point is
+			// recomputed if the sweep is interrupted later.
 			_ = j.Append(i, m)
 		}
 		if progress != nil {
 			progress(i, results[i])
 		}
+	}
+	if s.cluster == nil || p.fanout {
+		if err := runPendingBatched(ctx, s.pool, s.faults, p.base, p.g, p.points, pending, p.red, p.simSeed, report); err != nil {
+			return nil, resumed, err
+		}
+		return results, resumed, nil
 	}
 	if err := s.sweepClustered(ctx, p.spec, p.cfg, p.base, p.g, p.points, pending, p.red, p.simSeed, report); err != nil {
 		return nil, resumed, err
@@ -1079,6 +1199,15 @@ func (s *Server) writeManifest(ctx context.Context, endpoint string, fill func(m
 	m.TraceID = traceID
 	m.NumWorkers = s.pool.Stats().Workers
 	m.FillStages(requestRecorder(ctx))
+	if ri := requestInfo(ctx); ri != nil {
+		sh, su := int(ri.storeHits.Load()), int(ri.surrogateHits.Load())
+		if sh > 0 || su > 0 {
+			// A manifest containing any surrogate-served point records
+			// estimates, and Estimated marks it so downstream consumers
+			// (golden corpora, accuracy studies) never treat it as truth.
+			m.Oracle = &obs.ManifestOracle{StoreHits: sh, SurrogateHits: su, Estimated: su > 0}
+		}
+	}
 	fill(&m)
 	name := strings.ReplaceAll(strings.TrimPrefix(endpoint, "/"), "/", "-") + "-" + traceID + ".json"
 	path := filepath.Join(s.opts.ManifestDir, name)
@@ -1164,9 +1293,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	robustness := RobustnessStats{
-		Shed:               s.shed.Load(),
-		Retries:            s.retries.Load(),
-		SweepPointsResumed: s.sweepResumed.Load(),
+		Shed:                     s.shed.Load(),
+		Retries:                  s.retries.Load(),
+		SweepPointsResumed:       s.sweepResumed.Load(),
+		SweepPointsFromStore:     s.sweepFromStore.Load(),
+		SweepPointsFromSurrogate: s.sweepFromSurrogate.Load(),
+		SweepPointsSimulated:     s.sweepSimulated.Load(),
 	}
 	var store *StoreStats
 	if s.store != nil {
@@ -1177,6 +1309,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var cluster *ClusterMetrics
 	if s.cluster != nil {
 		cluster = &ClusterMetrics{ClusterStats: s.cluster.Stats(), Served: s.clusterServed.snapshot()}
+	}
+	var oracleStatus *OracleStatus
+	if s.oracle.enabled() {
+		st := s.oracle.status()
+		oracleStatus = &st
 	}
 	if r.URL.Query().Get("format") == "prometheus" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -1189,6 +1326,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			store:         store,
 			flightEvents:  s.flight.Total(),
 			fidelity:      fid,
+			oracle:        oracleStatus,
 			cluster:       cluster,
 		})
 		return
@@ -1197,6 +1335,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.Robustness = robustness
 	snap.Store = store
 	snap.Fidelity = fid
+	snap.Oracle = oracleStatus
 	snap.Cluster = cluster
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(snap)

@@ -217,6 +217,12 @@ type RobustnessStats struct {
 	Shed               uint64 `json:"shed_requests"`
 	Retries            uint64 `json:"job_retries"`
 	SweepPointsResumed uint64 `json:"sweep_points_resumed"`
+	// Sweep points by serving tier: exact result-store hits and gated
+	// surrogate estimates were answered without simulating; simulated
+	// points paid for the pipeline (and fed the oracle).
+	SweepPointsFromStore     uint64 `json:"sweep_points_from_store"`
+	SweepPointsFromSurrogate uint64 `json:"sweep_points_from_surrogate"`
+	SweepPointsSimulated     uint64 `json:"sweep_points_simulated"`
 }
 
 // MetricsSnapshot is the GET /metrics response body. Stages breaks the
@@ -230,6 +236,7 @@ type MetricsSnapshot struct {
 	Robustness    RobustnessStats            `json:"robustness"`
 	Fidelity      FidelityStats              `json:"fidelity"`
 	Store         *StoreStats                `json:"store,omitempty"`
+	Oracle        *OracleStatus              `json:"oracle,omitempty"`
 	Cluster       *ClusterMetrics            `json:"cluster,omitempty"`
 	Endpoints     map[string]LatencySnapshot `json:"endpoints"`
 	Stages        map[string]LatencySnapshot `json:"stages"`

@@ -1,0 +1,505 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+var oracleTestSpec = ProfileSpec{Workload: "gzip", K: 1, N: 60_000, Seed: 1}
+
+// errNoSimAllowed is installed at the sweep/simulate job fault sites to
+// prove a request was answered without running a single pipeline
+// simulation: any simulation attempt fails the request outright.
+var errNoSimAllowed = errors.New("pipeline simulation ran, but the oracle should have served this")
+
+// TestSweepRepeatServedEntirelyFromStore is the tentpole's core claim:
+// an exact-fingerprint repeat sweep is answered with ZERO pipeline
+// simulations. The second sweep reorders the grid so its checkpoint
+// journal has a different fingerprint (journal resume cannot serve it)
+// and runs with an always-fail fault at the sweep job site, so any
+// point that reached the executors would fail the request.
+func TestSweepRepeatServedEntirelyFromStore(t *testing.T) {
+	in := fault.New(1)
+	manifestDir := t.TempDir()
+	svc, ts := newTestServerOpts(t, Options{
+		Workers: 4, CacheSize: 4, JobTimeout: time.Minute,
+		CacheDir: t.TempDir(), ManifestDir: manifestDir, Faults: in,
+	})
+
+	points := QuickGrid()
+	req := SweepRequest{Profile: oracleTestSpec, Points: points, Target: 10_000}
+	var first SweepResponse
+	if code, body := postJSON(t, ts.URL+"/v1/sweep", req, &first); code != 200 {
+		t.Fatalf("first sweep: %d %s", code, body)
+	}
+	if first.FromStore != 0 || first.Resumed != 0 {
+		t.Fatalf("first sweep served before anything was stored: %+v", first)
+	}
+
+	// Repeat with the points reversed and simulation forbidden. Also
+	// watch the SSE progress feed: every point event must carry its
+	// store provenance.
+	in.Set(SiteSweepJob, fault.Rule{Prob: 1, Err: errNoSimAllowed})
+	defer in.Clear(SiteSweepJob)
+	reversed := make([]SweepPoint, len(points))
+	for i, p := range points {
+		reversed[len(points)-1-i] = p
+	}
+
+	sseResp, err := http.Get(ts.URL + "/v1/sweep/progress?id=store-repeat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sseResp.Body.Close()
+	events := make(chan ProgressEvent, 32)
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(sseResp.Body)
+		for sc.Scan() {
+			if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+				var ev ProgressEvent
+				if json.Unmarshal([]byte(data), &ev) == nil {
+					events <- ev
+				}
+			}
+		}
+	}()
+
+	buf, _ := json.Marshal(SweepRequest{Profile: oracleTestSpec, Points: reversed, Target: 10_000})
+	hreq, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/sweep", strings.NewReader(string(buf)))
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("X-Request-Id", "store-repeat")
+	hresp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second SweepResponse
+	raw, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != 200 {
+		t.Fatalf("repeat sweep: %d %s", hresp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &second); err != nil {
+		t.Fatal(err)
+	}
+
+	if second.FromStore != len(points) || second.Resumed != 0 || second.FromSurrogate != 0 {
+		t.Fatalf("repeat sweep provenance: from_store=%d resumed=%d from_surrogate=%d, want %d/0/0",
+			second.FromStore, second.Resumed, second.FromSurrogate, len(points))
+	}
+	for i, row := range second.Results {
+		if row.Served != ServedFromStore || row.Estimated {
+			t.Fatalf("row %d: served=%q estimated=%v, want store ground truth", i, row.Served, row.Estimated)
+		}
+		// Store hits are byte-identical to the first sweep's simulations.
+		if orig := first.Results[len(points)-1-i]; row.Metrics != orig.Metrics {
+			t.Fatalf("row %d metrics drifted across the store: %+v != %+v", i, row.Metrics, orig.Metrics)
+		}
+	}
+
+	// SSE: start, one point event per store hit (with provenance), done.
+	var got []ProgressEvent
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatal("SSE stream closed early")
+			}
+			got = append(got, ev)
+			if ev.Type == "done" || ev.Type == "error" {
+				goto doneReading
+			}
+		case <-deadline:
+			t.Fatal("SSE stream did not finish")
+		}
+	}
+doneReading:
+	if len(got) != len(points)+2 {
+		t.Fatalf("SSE events = %d, want %d", len(got), len(points)+2)
+	}
+	for _, ev := range got[1 : len(got)-1] {
+		if ev.Type != "point" || ev.Served != ServedFromStore || ev.Estimated {
+			t.Fatalf("point event lacks store provenance: %+v", ev)
+		}
+	}
+	last := got[len(got)-1]
+	if last.Type != "done" || last.FromStore != len(points) || last.FromSurrogate != 0 {
+		t.Fatalf("done event = %+v", last)
+	}
+
+	// The run manifest records the provenance, not flagged estimated.
+	var manifested bool
+	files, _ := filepath.Glob(filepath.Join(manifestDir, "v1-sweep-*.json"))
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m obs.Manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatal(err)
+		}
+		if m.Oracle != nil && m.Oracle.StoreHits == len(points) {
+			if m.Oracle.Estimated || m.Oracle.SurrogateHits != 0 {
+				t.Fatalf("store-only manifest flagged estimated: %+v", m.Oracle)
+			}
+			manifested = true
+		}
+	}
+	if !manifested {
+		t.Errorf("no sweep manifest carries the oracle provenance (%d manifests)", len(files))
+	}
+
+	// The flight recorder carries the hit counts on the request event.
+	var debug DebugRequestsResponse
+	if code := getJSON(t, ts.URL+"/v1/debug/requests", &debug); code != 200 {
+		t.Fatalf("debug requests: %d", code)
+	}
+	var flighted bool
+	for _, ev := range debug.Events {
+		if ev.Endpoint == "/v1/sweep" && ev.StoreHits == len(points) {
+			flighted = true
+		}
+	}
+	if !flighted {
+		t.Error("no flight-recorder event carries the store hit count")
+	}
+
+	// Serving surfaces agree: oracle status and both /metrics formats.
+	var status OracleStatus
+	if code := getJSON(t, ts.URL+"/v1/oracle/status", &status); code != 200 {
+		t.Fatalf("oracle status: %d", code)
+	}
+	if !status.StoreEnabled || status.SurrogateEnabled {
+		t.Fatalf("status enablement: %+v", status)
+	}
+	if status.StoreServed != uint64(len(points)) || status.Simulated != uint64(len(points)) {
+		t.Fatalf("status counters: %+v", status)
+	}
+	if status.Store == nil || status.Store.Records != len(points) {
+		t.Fatalf("status store block: %+v", status.Store)
+	}
+	if status.Model.Samples != len(points) {
+		t.Fatalf("model trained from %d samples, want %d", status.Model.Samples, len(points))
+	}
+	var snap MetricsSnapshot
+	getJSON(t, ts.URL+"/metrics", &snap)
+	if snap.Oracle == nil || snap.Oracle.StoreServed != uint64(len(points)) {
+		t.Fatalf("metrics snapshot oracle block: %+v", snap.Oracle)
+	}
+	if snap.Robustness.SweepPointsFromStore != uint64(len(points)) ||
+		snap.Robustness.SweepPointsSimulated != uint64(len(points)) {
+		t.Fatalf("sweep point counters: %+v", snap.Robustness)
+	}
+	resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`statsimd_sweep_points_total{source="store"} 9`,
+		`statsimd_sweep_points_total{source="simulated"} 9`,
+		`statsimd_oracle_points_total{source="store"} 9`,
+		`statsimd_oracle_store_lookups_total{outcome="hit"}`,
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+
+	// svc still holds the store open; nothing more to assert through it,
+	// but the handle proves the oracle is attached.
+	if svc.oracle == nil || !svc.oracle.enabled() {
+		t.Fatal("oracle not attached to the server")
+	}
+}
+
+// TestSimulateServedFromStoreAcrossRestart: a repeated /v1/simulate is
+// answered from the store — including by a NEW daemon process over the
+// same cache dir, which must warm-start both tiers from the log.
+func TestSimulateServedFromStoreAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Workers: 2, CacheSize: 4, JobTimeout: time.Minute, CacheDir: dir}
+
+	svc1, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(svc1.Handler())
+	req := SimulateRequest{Profile: oracleTestSpec, Target: 10_000}
+	var cold, warm SimulateResponse
+	if code, body := postJSON(t, ts1.URL+"/v1/simulate", req, &cold); code != 200 {
+		t.Fatalf("cold simulate: %d %s", code, body)
+	}
+	if cold.Served != "" {
+		t.Fatalf("cold simulate served=%q, want fresh simulation", cold.Served)
+	}
+	postJSON(t, ts1.URL+"/v1/simulate", req, &warm)
+	if warm.Served != ServedFromStore || warm.Metrics != cold.Metrics {
+		t.Fatalf("warm simulate: served=%q metrics equal=%v", warm.Served, warm.Metrics == cold.Metrics)
+	}
+	ts1.Close()
+	svc1.Close(context.Background())
+
+	// Second life: the store replays from disk, and with simulation
+	// fault-blocked the answer can only have come from it.
+	in := fault.New(1)
+	in.Set(SiteSimulateJob, fault.Rule{Prob: 1, Err: errNoSimAllowed})
+	opts.Faults = in
+	svc2, ts2 := newTestServerOpts(t, opts)
+	var revived SimulateResponse
+	if code, body := postJSON(t, ts2.URL+"/v1/simulate", req, &revived); code != 200 {
+		t.Fatalf("revived simulate: %d %s", code, body)
+	}
+	if revived.Served != ServedFromStore || revived.Metrics != cold.Metrics {
+		t.Fatalf("revived simulate: served=%q, metrics equal=%v", revived.Served, revived.Metrics == cold.Metrics)
+	}
+	st := svc2.oracle.status()
+	if st.Store == nil || st.Store.Recovered == 0 || st.Model.Samples == 0 {
+		t.Fatalf("second life did not warm-start from the log: %+v", st)
+	}
+}
+
+// TestOracleDisabledWireUnchanged is the golden guarantee: with no
+// cache dir and no surrogate gate (the defaults), none of the oracle's
+// wire fields appear anywhere — responses are byte-compatible with a
+// daemon that predates the oracle.
+func TestOracleDisabledWireUnchanged(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	_, simBody := postJSON(t, ts.URL+"/v1/simulate",
+		SimulateRequest{Profile: oracleTestSpec, Target: 10_000}, nil)
+	_, sweepBody := postJSON(t, ts.URL+"/v1/sweep",
+		SweepRequest{Profile: oracleTestSpec, Grid: "quick", Target: 10_000}, nil)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, field := range []string{`"served"`, `"estimated"`, `"uncertainty"`, `"from_store"`, `"from_surrogate"`, `"oracle"`} {
+		for name, body := range map[string]string{
+			"simulate": simBody, "sweep": sweepBody, "metrics": string(metricsBody),
+		} {
+			if strings.Contains(body, field) {
+				t.Errorf("%s response leaks %s with the oracle disabled", name, field)
+			}
+		}
+	}
+
+	// The status endpoint still answers — reporting both tiers off.
+	var status OracleStatus
+	if code := getJSON(t, ts.URL+"/v1/oracle/status", &status); code != 200 {
+		t.Fatalf("oracle status: %d", code)
+	}
+	if status.StoreEnabled || status.SurrogateEnabled || status.StoreServed != 0 {
+		t.Fatalf("disabled status: %+v", status)
+	}
+}
+
+// TestSurrogateDefaultOff: with a store but no gate, novel points are
+// never answered with predictions — the estimate path is strictly
+// opt-in.
+func TestSurrogateDefaultOff(t *testing.T) {
+	_, ts := newTestServerOpts(t, Options{
+		Workers: 4, CacheSize: 4, JobTimeout: time.Minute, CacheDir: t.TempDir(),
+	})
+	if code, body := postJSON(t, ts.URL+"/v1/sweep",
+		SweepRequest{Profile: oracleTestSpec, Grid: "quick", Target: 10_000}, nil); code != 200 {
+		t.Fatalf("training sweep: %d %s", code, body)
+	}
+	novel := []SweepPoint{{RUU: 24, LSQ: 12, Decode: 4, Issue: 4, Commit: 4}}
+	var resp SweepResponse
+	if code, body := postJSON(t, ts.URL+"/v1/sweep",
+		SweepRequest{Profile: oracleTestSpec, Points: novel, Target: 10_000}, &resp); code != 200 {
+		t.Fatalf("novel sweep: %d %s", code, body)
+	}
+	if resp.FromSurrogate != 0 || resp.Results[0].Estimated || resp.Results[0].Served != "" {
+		t.Fatalf("novel point served by surrogate with the gate off: %+v", resp.Results[0])
+	}
+}
+
+// TestSweepSurrogateServes: with the gate opted in, novel design points
+// inside the trained cloud are answered by the surrogate — flagged
+// estimated, carrying their uncertainty, never journaled as truth —
+// and the accuracy of every served estimate is bounded at the gate.
+func TestSweepSurrogateServes(t *testing.T) {
+	// The gate bounds what the k-NN neighbourhood can hide: gzip's IPC
+	// roughly doubles across each RUU octave, so even bracketing
+	// neighbours honestly disagree by tens of percent — a realistic
+	// opt-in gate for this corpus sits well above the ~0.05 a dense
+	// sweep archive would support.
+	const gate = 0.75
+	in := fault.New(1)
+	_, ts := newTestServerOpts(t, Options{
+		Workers: 4, CacheSize: 4, JobTimeout: time.Minute,
+		CacheDir: t.TempDir(), SurrogateMaxCI: gate, Faults: in,
+	})
+
+	// Train: a dense grid over the design space.
+	var training []SweepPoint
+	for _, ruu := range []int{16, 24, 32, 48, 64, 96, 128} {
+		for _, w := range []int{2, 4, 8} {
+			training = append(training, SweepPoint{RUU: ruu, LSQ: ruu / 2, Decode: w, Issue: w, Commit: w})
+		}
+	}
+	if code, body := postJSON(t, ts.URL+"/v1/sweep",
+		SweepRequest{Profile: oracleTestSpec, Points: training, Target: 10_000}, nil); code != 200 {
+		t.Fatalf("training sweep: %d %s", code, body)
+	}
+
+	// Query interior points the store has never seen. Simulation is
+	// forbidden: only the surrogate can answer.
+	novel := []SweepPoint{
+		{RUU: 20, LSQ: 10, Decode: 4, Issue: 4, Commit: 4},
+		{RUU: 40, LSQ: 20, Decode: 4, Issue: 4, Commit: 4},
+		{RUU: 80, LSQ: 40, Decode: 4, Issue: 4, Commit: 4},
+	}
+	in.Set(SiteSweepJob, fault.Rule{Prob: 1, Err: errNoSimAllowed})
+	var est SweepResponse
+	if code, body := postJSON(t, ts.URL+"/v1/sweep",
+		SweepRequest{Profile: oracleTestSpec, Points: novel, Target: 10_000}, &est); code != 200 {
+		t.Fatalf("surrogate sweep: %d %s", code, body)
+	}
+	in.Clear(SiteSweepJob)
+	if est.FromSurrogate != len(novel) || est.FromStore != 0 {
+		t.Fatalf("surrogate sweep provenance: %+v", est)
+	}
+	for i, row := range est.Results {
+		if row.Served != ServedFromSurrogate || !row.Estimated {
+			t.Fatalf("row %d not flagged as an estimate: %+v", i, row)
+		}
+		if row.Uncertainty <= 0 || row.Uncertainty > gate {
+			t.Fatalf("row %d uncertainty %v outside (0, %v]", i, row.Uncertainty, gate)
+		}
+		if row.Metrics.Cycles != 0 || row.Metrics.Instructions != 0 {
+			t.Fatalf("row %d estimate fabricates trace counts: %+v", i, row.Metrics)
+		}
+		if row.Metrics.IPC <= 0 || row.Metrics.EDP <= 0 {
+			t.Fatalf("row %d degenerate estimate: %+v", i, row.Metrics)
+		}
+	}
+
+	// Estimates must not have been journaled as ground truth: the same
+	// request again (same journal fingerprint this time) must still
+	// resume nothing and be served by the surrogate again.
+	var again SweepResponse
+	if code, body := postJSON(t, ts.URL+"/v1/sweep",
+		SweepRequest{Profile: oracleTestSpec, Points: novel, Target: 10_000}, &again); code != 200 {
+		t.Fatalf("repeat surrogate sweep: %d %s", code, body)
+	}
+	if again.Resumed != 0 || again.FromSurrogate != len(novel) {
+		t.Fatalf("estimates leaked into the journal: resumed=%d from_surrogate=%d", again.Resumed, again.FromSurrogate)
+	}
+
+	// Accuracy at the gate: simulate the same novel points on an
+	// oracle-free server; every served estimate's relative IPC error
+	// must be within its served uncertainty bound.
+	_, plain := newTestServer(t)
+	var truth SweepResponse
+	if code, body := postJSON(t, plain.URL+"/v1/sweep",
+		SweepRequest{Profile: oracleTestSpec, Points: novel, Target: 10_000}, &truth); code != 200 {
+		t.Fatalf("truth sweep: %d %s", code, body)
+	}
+	for i := range novel {
+		want := truth.Results[i].Metrics.IPC
+		got := est.Results[i].Metrics.IPC
+		rel := math.Abs(got-want) / want
+		t.Logf("point %v: est IPC %.4f, true IPC %.4f, rel err %.4f, uncertainty %.4f",
+			novel[i], got, want, rel, est.Results[i].Uncertainty)
+		if rel > gate {
+			t.Errorf("point %d: relative IPC error %.4f exceeds the %.2f gate", i, rel, gate)
+		}
+	}
+}
+
+// TestSurrogateSuppressedOnFanout: a cluster coordinator journals peer
+// results as ground truth, so a fanout-marked sub-sweep must never be
+// answered with estimates — even with the gate wide open.
+func TestSurrogateSuppressedOnFanout(t *testing.T) {
+	_, ts := newTestServerOpts(t, Options{
+		Workers: 4, CacheSize: 4, JobTimeout: time.Minute,
+		CacheDir: t.TempDir(), SurrogateMaxCI: 100,
+	})
+	if code, body := postJSON(t, ts.URL+"/v1/sweep",
+		SweepRequest{Profile: oracleTestSpec, Grid: "quick", Target: 10_000}, nil); code != 200 {
+		t.Fatalf("training sweep: %d %s", code, body)
+	}
+	novel := []SweepPoint{{RUU: 24, LSQ: 12, Decode: 4, Issue: 4, Commit: 4}}
+	buf, _ := json.Marshal(SweepRequest{Profile: oracleTestSpec, Points: novel, Target: 10_000, RawMetrics: true})
+	hreq, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/sweep", strings.NewReader(string(buf)))
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(ClusterFanoutHeader, "1")
+	hresp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != 200 {
+		t.Fatalf("fanout sweep: %d %s", hresp.StatusCode, raw)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.FromSurrogate != 0 || resp.Results[0].Estimated {
+		t.Fatalf("fanout sub-sweep answered with an estimate: %+v", resp.Results[0])
+	}
+	if resp.Results[0].Raw == nil || resp.Results[0].Raw.IPC() <= 0 {
+		t.Fatal("fanout sub-sweep missing real raw metrics")
+	}
+}
+
+// TestClusteredSweepStoreHitsSkipPeers: on a clustered coordinator,
+// store hits are peeled off before the cluster sees the sweep — a fully
+// stored sweep never fans out at all.
+func TestClusteredSweepStoreHitsSkipPeers(t *testing.T) {
+	fake := &fakeCluster{}
+	svc, ts := newTestServerOpts(t, Options{
+		Workers: 4, CacheSize: 4, JobTimeout: time.Minute, CacheDir: t.TempDir(),
+	})
+	svc.SetCluster(fake)
+
+	req := SweepRequest{Profile: oracleTestSpec, Grid: "quick", Target: 10_000}
+	if code, body := postJSON(t, ts.URL+"/v1/sweep", req, nil); code != 200 {
+		t.Fatalf("first clustered sweep: %d %s", code, body)
+	}
+	if fake.sweepCalls.Load() != 1 {
+		t.Fatalf("first sweep cluster calls = %d, want 1", fake.sweepCalls.Load())
+	}
+
+	// Reorder so the journal cannot serve it; the store must, before
+	// any fan-out.
+	points := QuickGrid()
+	for i, j := 0, len(points)-1; i < j; i, j = i+1, j-1 {
+		points[i], points[j] = points[j], points[i]
+	}
+	var resp SweepResponse
+	if code, body := postJSON(t, ts.URL+"/v1/sweep",
+		SweepRequest{Profile: oracleTestSpec, Points: points, Target: 10_000}, &resp); code != 200 {
+		t.Fatalf("repeat clustered sweep: %d %s", code, body)
+	}
+	if fake.sweepCalls.Load() != 1 {
+		t.Errorf("fully stored sweep still fanned out (cluster calls = %d)", fake.sweepCalls.Load())
+	}
+	if resp.FromStore != len(points) {
+		t.Errorf("from_store = %d, want %d", resp.FromStore, len(points))
+	}
+}

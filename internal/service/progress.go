@@ -27,7 +27,17 @@ type ProgressEvent struct {
 	Index   int         `json:"index"`
 	Point   *SweepPoint `json:"point,omitempty"`
 	Metrics *SimMetrics `json:"metrics,omitempty"`
-	Error   string      `json:"error,omitempty"`
+	// Served distinguishes oracle-answered points from simulated work on
+	// "point" events: "store" (exact durable-store hit) or "surrogate"
+	// (gated prediction, Estimated=true — the metrics are an estimate,
+	// not a measurement). Empty for freshly simulated points.
+	Served    string `json:"served,omitempty"`
+	Estimated bool   `json:"estimated,omitempty"`
+	// FromStore and FromSurrogate summarise the oracle's share of a
+	// finished sweep ("done").
+	FromStore     int    `json:"from_store,omitempty"`
+	FromSurrogate int    `json:"from_surrogate,omitempty"`
+	Error         string `json:"error,omitempty"`
 }
 
 // terminal reports whether the event ends its feed.

@@ -123,6 +123,7 @@ type promSnapshot struct {
 	store         *StoreStats
 	flightEvents  uint64
 	fidelity      FidelityStats
+	oracle        *OracleStatus
 	cluster       *ClusterMetrics
 }
 
@@ -198,6 +199,11 @@ func writePrometheus(w io.Writer, m *Metrics, st promSnapshot) error {
 	p.sample("statsimd_job_retries_total", promUint(st.robustness.Retries))
 	p.family("statsimd_sweep_points_resumed_total", "Sweep points served from checkpoint journals.", "counter")
 	p.sample("statsimd_sweep_points_resumed_total", promUint(st.robustness.SweepPointsResumed))
+	p.family("statsimd_sweep_points_total", "Sweep points by how they were answered: resumed from a checkpoint journal, served from the durable result store, predicted by the gated surrogate, or simulated.", "counter")
+	p.sample("statsimd_sweep_points_total", promUint(st.robustness.SweepPointsResumed), "source", "resumed")
+	p.sample("statsimd_sweep_points_total", promUint(st.robustness.SweepPointsFromStore), "source", "store")
+	p.sample("statsimd_sweep_points_total", promUint(st.robustness.SweepPointsFromSurrogate), "source", "surrogate")
+	p.sample("statsimd_sweep_points_total", promUint(st.robustness.SweepPointsSimulated), "source", "simulated")
 
 	p.family("statsimd_flight_events_total", "Request events recorded by the flight recorder.", "counter")
 	p.sample("statsimd_flight_events_total", promUint(st.flightEvents))
@@ -225,6 +231,30 @@ func writePrometheus(w io.Writer, m *Metrics, st promSnapshot) error {
 		p.sample("statsimd_store_save_failures_total", promUint(st.store.SaveFailures))
 		p.family("statsimd_store_quarantined_total", "Corrupt profile files quarantined.", "counter")
 		p.sample("statsimd_store_quarantined_total", promUint(st.store.Quarantined))
+	}
+
+	if o := st.oracle; o != nil {
+		p.family("statsimd_oracle_points_total", "Design points answered, by source (store = exact durable hit, surrogate = gated prediction, simulated = computed and fed back).", "counter")
+		p.sample("statsimd_oracle_points_total", promUint(o.StoreServed), "source", "store")
+		p.sample("statsimd_oracle_points_total", promUint(o.SurrogateServed), "source", "surrogate")
+		p.sample("statsimd_oracle_points_total", promUint(o.Simulated), "source", "simulated")
+		p.family("statsimd_oracle_gate_rejected_total", "Surrogate predictions withheld because their uncertainty exceeded the gate.", "counter")
+		p.sample("statsimd_oracle_gate_rejected_total", promUint(o.GateRejected))
+		p.family("statsimd_oracle_surrogate_max_ci", "Configured surrogate uncertainty gate (0 = surrogate serving disabled).", "gauge")
+		p.sample("statsimd_oracle_surrogate_max_ci", promFloat(o.SurrogateMaxCI))
+		p.family("statsimd_oracle_model_samples", "Training samples held by the surrogate model.", "gauge")
+		p.sample("statsimd_oracle_model_samples", strconv.Itoa(o.Model.Samples))
+		p.family("statsimd_oracle_model_contexts", "Distinct profile contexts the surrogate holds models for.", "gauge")
+		p.sample("statsimd_oracle_model_contexts", strconv.Itoa(o.Model.Contexts))
+		if rs := o.Store; rs != nil {
+			p.family("statsimd_oracle_store_records", "Results persisted in the durable result log.", "gauge")
+			p.sample("statsimd_oracle_store_records", strconv.Itoa(rs.Records))
+			p.family("statsimd_oracle_store_lookups_total", "Result-store lookups by outcome.", "counter")
+			p.sample("statsimd_oracle_store_lookups_total", promUint(rs.Hits), "outcome", "hit")
+			p.sample("statsimd_oracle_store_lookups_total", promUint(rs.Misses), "outcome", "miss")
+			p.family("statsimd_oracle_store_quarantined_total", "Corrupt result logs quarantined at open.", "counter")
+			p.sample("statsimd_oracle_store_quarantined_total", promUint(uint64(rs.Quarantined)))
+		}
 	}
 
 	if c := st.cluster; c != nil {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/sfg"
+	"repro/internal/surrogate"
 )
 
 // SweepPoint is one design point of a microarchitecture sweep: the
@@ -82,9 +83,16 @@ func GridByName(name string) ([]SweepPoint, error) {
 }
 
 // SweepResult is the statistical simulation outcome for one point.
+// Served marks points the oracle answered instead of the executors:
+// ServedFromStore (an exact durable-store hit — ground truth, Metrics
+// populated) or ServedFromSurrogate (a gated prediction — Estimate
+// populated, Metrics zero). Freshly simulated and journal-resumed
+// points leave Served empty.
 type SweepResult struct {
-	Point   SweepPoint
-	Metrics core.Metrics
+	Point    SweepPoint
+	Metrics  core.Metrics
+	Served   string
+	Estimate *surrogate.Estimate
 }
 
 // Sweep statistically simulates every point of the design space from

@@ -1,0 +1,232 @@
+package surrogate
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+// planeIPC is a smooth synthetic response surface over the design
+// space: linear in the normalised features, so k-NN interpolation
+// should track it closely inside the training cloud.
+func planeIPC(f Features) float64 { return 0.5 + 1.2*f[0] + 0.8*f[3] }
+
+func planeEPC(f Features) float64 { return 10 + 30*f[0] + 20*f[2] }
+
+// trainGrid trains the model on a grid of window/width combinations,
+// returning the feature vectors used.
+func trainGrid(m *Model, ctx string) []Features {
+	var fs []Features
+	for _, ruu := range []int{8, 16, 32, 64, 128} {
+		for _, w := range []int{2, 4, 8} {
+			f := FromDims(ruu, ruu/2, w, w, w, 32)
+			m.Add(ctx, f, planeIPC(f), planeEPC(f))
+			fs = append(fs, f)
+		}
+	}
+	return fs
+}
+
+func TestFeaturesNormalised(t *testing.T) {
+	f := FromDims(cpu.MaxBufferSize, cpu.MaxBufferSize, cpu.MaxWidth, cpu.MaxWidth, cpu.MaxWidth, cpu.MaxBufferSize)
+	for i, v := range f {
+		if v != 1 {
+			t.Errorf("feature %d at max = %v, want 1", i, v)
+		}
+	}
+	f = FromDims(1, 1, 1, 1, 1, 1)
+	for i, v := range f {
+		if v != 0 {
+			t.Errorf("feature %d at 1 = %v, want 0", i, v)
+		}
+	}
+	// Monotone in each knob.
+	if a, b := FromDims(16, 8, 4, 4, 4, 32), FromDims(32, 8, 4, 4, 4, 32); a[0] >= b[0] {
+		t.Errorf("RUU feature not monotone: %v >= %v", a[0], b[0])
+	}
+}
+
+func TestPredictRefusesBelowMinSamples(t *testing.T) {
+	m := New(0)
+	f := FromDims(16, 8, 4, 4, 4, 32)
+	if _, ok := m.Predict("ctx", f); ok {
+		t.Fatal("prediction from an empty model")
+	}
+	for i := 0; i < minSamples-1; i++ {
+		g := FromDims(16+8*i, 8, 4, 4, 4, 32)
+		m.Add("ctx", g, 1, 10)
+	}
+	if _, ok := m.Predict("ctx", f); ok {
+		t.Fatalf("prediction from %d samples, want refusal below %d", minSamples-1, minSamples)
+	}
+	m.Add("ctx", FromDims(128, 64, 8, 8, 8, 32), 1, 10)
+	if _, ok := m.Predict("ctx", f); !ok {
+		t.Fatal("no prediction at minSamples")
+	}
+}
+
+func TestPredictDoesNotCrossContexts(t *testing.T) {
+	m := New(0)
+	trainGrid(m, "gzip|k=1")
+	if _, ok := m.Predict("mcf|k=1", FromDims(16, 8, 4, 4, 4, 32)); ok {
+		t.Fatal("prediction crossed into an untrained context")
+	}
+}
+
+// TestPredictAtTrainingPoint: at an exact training point the nearest
+// neighbour is the truth at distance zero, so the estimate must be
+// nearly exact and its uncertainty small.
+func TestPredictAtTrainingPoint(t *testing.T) {
+	m := New(0)
+	fs := trainGrid(m, "ctx")
+	f := fs[len(fs)/2]
+	est, ok := m.Predict("ctx", f)
+	if !ok {
+		t.Fatal("no prediction at a training point")
+	}
+	truth := planeIPC(f)
+	if rel := math.Abs(est.IPC-truth) / truth; rel > 0.02 {
+		t.Errorf("training-point IPC off by %.1f%% (est %.4f, truth %.4f)", 100*rel, est.IPC, truth)
+	}
+	if est.Neighbors != DefaultK {
+		t.Errorf("neighbors = %d, want %d", est.Neighbors, DefaultK)
+	}
+	if est.Uncertainty <= 0 {
+		t.Errorf("uncertainty %v, want > 0 (neighbour spread exists)", est.Uncertainty)
+	}
+}
+
+// TestInterpolationBeatsExtrapolation: the uncertainty score must rank
+// an in-cloud query below a far-out-of-cloud one, which is what makes
+// it usable as a serving gate.
+func TestInterpolationBeatsExtrapolation(t *testing.T) {
+	m := New(0)
+	// Train only on small windows.
+	for _, ruu := range []int{8, 12, 16, 20, 24} {
+		f := FromDims(ruu, ruu/2, 2, 2, 2, 32)
+		m.Add("ctx", f, planeIPC(f), planeEPC(f))
+	}
+	in, ok := m.Predict("ctx", FromDims(14, 7, 2, 2, 2, 32))
+	if !ok {
+		t.Fatal("no in-cloud prediction")
+	}
+	out, ok := m.Predict("ctx", FromDims(128, 64, 8, 8, 8, 32))
+	if !ok {
+		t.Fatal("no out-of-cloud prediction")
+	}
+	if out.Uncertainty <= in.Uncertainty {
+		t.Errorf("extrapolation uncertainty %.4f not above interpolation %.4f",
+			out.Uncertainty, in.Uncertainty)
+	}
+}
+
+// TestAddDeduplicates: re-adding the same features overwrites in place —
+// k identical neighbours would fake certainty.
+func TestAddDeduplicates(t *testing.T) {
+	m := New(0)
+	f := FromDims(16, 8, 4, 4, 4, 32)
+	for i := 0; i < 10; i++ {
+		m.Add("ctx", f, 1.5, 20)
+	}
+	st := m.Stats()
+	if st.Samples != 1 {
+		t.Errorf("samples = %d after 10 duplicate adds, want 1", st.Samples)
+	}
+	if st.Adds != 10 {
+		t.Errorf("adds = %d, want 10", st.Adds)
+	}
+}
+
+func TestRingEvictionBoundsMemory(t *testing.T) {
+	m := New(0)
+	for i := 0; i < maxPerContext+100; i++ {
+		// Distinct features per add: vary all six knobs through the raw
+		// integer space so no two collide.
+		f := Features{float64(i) / float64(maxPerContext+100), 0, 0, 0, 0, 0}
+		m.Add("ctx", f, 1, 10)
+	}
+	if st := m.Stats(); st.Samples != maxPerContext {
+		t.Errorf("samples = %d, want cap %d", st.Samples, maxPerContext)
+	}
+	// The dedup index stays consistent after eviction: re-adding a live
+	// feature must not grow the set.
+	f := Features{float64(maxPerContext+99) / float64(maxPerContext+100), 0, 0, 0, 0, 0}
+	m.Add("ctx", f, 2, 20)
+	if st := m.Stats(); st.Samples != maxPerContext {
+		t.Errorf("samples = %d after dedup re-add, want %d", st.Samples, maxPerContext)
+	}
+}
+
+func TestZeroIPCNeighborhoodIsInfUncertain(t *testing.T) {
+	m := New(0)
+	for i := 0; i < minSamples; i++ {
+		m.Add("ctx", Features{float64(i) / 8, 0, 0, 0, 0, 0}, 0, 0)
+	}
+	est, ok := m.Predict("ctx", Features{0.5, 0, 0, 0, 0, 0})
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	if !math.IsInf(est.Uncertainty, 1) {
+		t.Errorf("uncertainty %v over a zero-IPC neighbourhood, want +Inf (never passes a gate)", est.Uncertainty)
+	}
+}
+
+func TestConcurrentAddPredict(t *testing.T) {
+	m := New(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := fmt.Sprintf("ctx%d", w%2)
+			for i := 0; i < 200; i++ {
+				f := FromDims(8+(i%16)*8, 4+(i%8)*4, 2+(i%4)*2, 2, 2, 32)
+				m.Add(ctx, f, 1+float64(i)/100, 10)
+				m.Predict(ctx, f)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := m.Stats(); st.Contexts != 2 {
+		t.Errorf("contexts = %d, want 2", st.Contexts)
+	}
+}
+
+// TestLeaveOneOutAccuracyOnSmoothSurface: on a smooth response surface,
+// gated predictions must bound relative IPC error near the gate — the
+// accuracy contract the service's -surrogate-max-ci flag promises.
+func TestLeaveOneOutAccuracyOnSmoothSurface(t *testing.T) {
+	var fs []Features
+	for _, ruu := range []int{8, 16, 24, 32, 48, 64, 96, 128} {
+		for _, w := range []int{2, 4, 6, 8} {
+			fs = append(fs, FromDims(ruu, ruu/2, w, w, w, 32))
+		}
+	}
+	const gate = 0.15
+	served := 0
+	for hold := range fs {
+		m := New(0)
+		for j, f := range fs {
+			if j != hold {
+				m.Add("ctx", f, planeIPC(f), planeEPC(f))
+			}
+		}
+		est, ok := m.Predict("ctx", fs[hold])
+		if !ok || est.Uncertainty > gate {
+			continue
+		}
+		served++
+		truth := planeIPC(fs[hold])
+		if rel := math.Abs(est.IPC-truth) / truth; rel > gate {
+			t.Errorf("point %d served at gate %.2f with relative error %.3f (est %.4f, truth %.4f)",
+				hold, gate, rel, est.IPC, truth)
+		}
+	}
+	if served == 0 {
+		t.Fatal("gate served nothing on a smooth surface — uncertainty is miscalibrated")
+	}
+	t.Logf("leave-one-out: %d/%d points served at gate %.2f", served, len(fs), gate)
+}
