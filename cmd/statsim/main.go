@@ -61,6 +61,8 @@ func main() {
 		err = cmdInspect(os.Args[2:])
 	case "oracle":
 		err = cmdOracle(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -89,6 +91,7 @@ commands:
   phases       print a workload's phase clustering (simulation points)
   inspect      summarise a saved statistical profile
   oracle       inspect a daemon's result store; train and evaluate the surrogate
+  trace        fetch and render a daemon's assembled span tree for a trace ID
   personality  dump a benchmark's workload definition as editable JSON
 
 Workload selection: every command taking -benchmark also accepts

@@ -11,7 +11,9 @@
 //	GET  /v1/workloads       list the built-in benchmarks
 //	GET  /v1/oracle/status   the two-tier result oracle: store and surrogate state
 //	GET  /v1/debug/requests  the flight recorder: recent request events
+//	GET  /v1/debug/trace/:id the assembled span tree for one trace ID
 //	GET  /v1/sweep/progress  live sweep progress as server-sent events
+//	GET  /v1/cluster/metrics merged node-labelled fleet Prometheus view
 //	GET  /healthz            liveness/readiness, load, build provenance
 //	GET  /metrics            statistics (JSON; ?format=prometheus for scrape)
 //	GET  /debug/pprof/       runtime profiles (only with -pprof)
@@ -97,6 +99,8 @@ func parseFlags(args []string) (daemonConfig, error) {
 	fs.StringVar(&c.logFormat, "log-format", "json", "log format: json or text")
 	fs.IntVar(&c.opts.FlightRecorderSize, "flight-records", 256,
 		"request events retained by the flight recorder (GET /v1/debug/requests)")
+	fs.IntVar(&c.opts.TraceStoreSize, "trace-store", 128,
+		"traces whose span trees are retained for GET /v1/debug/trace/{id}")
 	fs.StringVar(&c.opts.ManifestDir, "manifest-dir", "",
 		"write one JSON run manifest per successful profile/simulate/sweep request here (empty = off)")
 	fs.Float64Var(&c.opts.SurrogateMaxCI, "surrogate-max-ci", 0,

@@ -255,6 +255,50 @@ func TestSmoke(t *testing.T) {
 		}
 	}
 
+	// The trace store assembled the sweep's span tree, rooted at the
+	// http span with the request's own trace ID.
+	var tree struct {
+		TraceID string `json:"trace_id"`
+		Spans   int    `json:"spans"`
+		Nodes   []string
+		Roots   []struct {
+			Name string `json:"name"`
+		}
+	}
+	// The store is written as the handler unwinds, after the response, so
+	// poll briefly rather than race it.
+	treeDeadline := time.Now().Add(5 * time.Second)
+	for {
+		r, err := http.Get(base + "/v1/debug/trace/smoke-sweep")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode == 200 {
+			err = json.NewDecoder(r.Body).Decode(&tree)
+			r.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		r.Body.Close()
+		if time.Now().After(treeDeadline) {
+			t.Fatal("trace smoke-sweep never appeared in the trace store")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if tree.TraceID != "smoke-sweep" || tree.Spans == 0 || len(tree.Roots) == 0 {
+		t.Errorf("span tree = %+v", tree)
+	} else if tree.Roots[0].Name != "http /v1/sweep" {
+		t.Errorf("span tree root = %q", tree.Roots[0].Name)
+	}
+
+	// ?trace_id= narrows the flight recorder to one request's events.
+	getJSON(t, base+"/v1/debug/requests?trace_id=smoke-sweep", &debug)
+	if len(debug.Events) != 1 || debug.Events[0].Endpoint != "/v1/sweep" {
+		t.Errorf("trace_id filter kept %d events: %+v", len(debug.Events), debug.Events)
+	}
+
 	// Structured log: every request logged one line keyed by trace ID.
 	logs := logBuf.String()
 	for _, id := range []string{"smoke-profile", "smoke-simulate", "smoke-sweep"} {
@@ -326,12 +370,22 @@ func TestSmoke(t *testing.T) {
 		"statsimd_requests_total", "statsimd_request_duration_seconds",
 		"statsimd_stage_duration_seconds", "statsimd_cache_lookups_total",
 		"statsimd_pool_workers", "statsimd_shed_requests_total",
-		"statsimd_flight_events_total", "statsimd_store_loads_total")
+		"statsimd_flight_events_total", "statsimd_store_loads_total",
+		"statsimd_point_cost_points_total", "statsimd_point_cost_seconds_total")
 	for _, stage := range []string{"profile", "simulate", "generate"} {
 		key := fmt.Sprintf(`statsimd_stage_duration_seconds_count{stage="%s"}`, stage)
 		if !series[key] {
 			t.Errorf("prometheus exposition missing %s", key)
 		}
+	}
+	buildInfoVersioned := false
+	for key := range series {
+		if strings.HasPrefix(key, "statsimd_build_info{") && strings.Contains(key, `version="`) {
+			buildInfoVersioned = true
+		}
+	}
+	if !buildInfoVersioned {
+		t.Error("statsimd_build_info has no version label")
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/sfg"
 )
@@ -120,35 +121,64 @@ func (c *client) offerGraph(ctx context.Context, base string, envelope []byte) e
 
 // probe asks the peer's health endpoint. Only a clean 200 counts: a
 // draining or shedding node answers 503, and routing new sweep points
-// at it would be wrong even though its process is alive.
-func (c *client) probe(ctx context.Context, base string) error {
+// at it would be wrong even though its process is alive. A healthy
+// answer also yields the peer's build provenance for /v1/cluster/status
+// — a mixed-version ring is the first thing to check when nodes
+// disagree.
+func (c *client) probe(ctx context.Context, base string) (*service.BuildInfo, error) {
 	rctx, cancel := context.WithTimeout(ctx, c.rpcTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(rctx, http.MethodGet, base+"/healthz", nil)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("healthz status %d", resp.StatusCode)
+		return nil, fmt.Errorf("healthz status %d", resp.StatusCode)
 	}
-	return nil
+	var health service.HealthResponse
+	if err := json.Unmarshal(body, &health); err == nil {
+		b := health.Build
+		return &b, nil
+	}
+	return nil, nil
 }
 
-// sweepOn runs a sub-sweep on the peer at base and returns its rows in
-// point order. The fanout header stops the peer from fanning the
-// sub-request back out, and raw_metrics makes the returned metrics
-// byte-exact for journaling. The call is NOT retried here: a failure is
-// peer-loss evidence, and the coordinator's failover re-partitions the
-// unfinished points instead (the peer's own journal deduplicates any
-// points it had already finished).
-func (c *client) sweepOn(ctx context.Context, base string, req service.SweepRequest) ([]service.SweepRow, error) {
+// fetchMetrics scrapes the peer's Prometheus exposition for the fleet
+// metrics view. One attempt under the RPC timeout: a scrape is a
+// point-in-time read, and the fleet view reports an unreachable peer
+// as down rather than blocking the merged exposition on retries.
+func (c *client) fetchMetrics(ctx context.Context, base string) ([]byte, error) {
+	return c.do(ctx, c.rpcTimeout, func(ctx context.Context) (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics?format=prometheus", nil)
+		if err == nil {
+			req.Header.Set("Accept", "text/plain")
+		}
+		return req, err
+	}, nil)
+}
+
+// sweepOn runs a sub-sweep on the peer at base and returns the peer's
+// full response (rows in point order, plus the cost ledger tail and
+// the trace-span slice the peer piggybacks for fanout requests). The
+// fanout header stops the peer from fanning the sub-request back out,
+// raw_metrics makes the returned metrics byte-exact for journaling,
+// and the trace headers parent the peer's spans under the
+// coordinator's dispatch span so every slice assembles into one tree.
+// The call is NOT retried here: a failure is peer-loss evidence, and
+// the coordinator's failover re-partitions the unfinished points
+// instead (the peer's own journal deduplicates any points it had
+// already finished).
+func (c *client) sweepOn(ctx context.Context, base string, req service.SweepRequest) (*service.SweepResponse, error) {
 	req.RawMetrics = true
+	req.Cost = true
+	traceID := obs.TraceIDFromContext(ctx)
+	parentSpan := obs.SpanIDFromContext(ctx)
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
@@ -158,6 +188,12 @@ func (c *client) sweepOn(ctx context.Context, base string, req service.SweepRequ
 		if err == nil {
 			r.Header.Set("Content-Type", "application/json")
 			r.Header.Set(service.ClusterFanoutHeader, "1")
+			if traceID != "" {
+				r.Header.Set("X-Request-Id", traceID)
+			}
+			if parentSpan != "" {
+				r.Header.Set(service.ClusterParentSpanHeader, parentSpan)
+			}
 		}
 		return r, err
 	}, nil)
@@ -176,5 +212,5 @@ func (c *client) sweepOn(ctx context.Context, base string, req service.SweepRequ
 			return nil, fmt.Errorf("sub-sweep row %d missing raw metrics", i)
 		}
 	}
-	return resp.Results, nil
+	return &resp, nil
 }

@@ -203,11 +203,12 @@ func (c *Coordinator) probeAll() {
 		go func(p *peer) {
 			defer wg.Done()
 			c.probes.Add(1)
-			err := c.client.probe(c.stopCtx, p.name)
+			build, err := c.client.probe(c.stopCtx, p.name)
 			if err != nil {
 				c.noteFailure(p, err, true)
 				return
 			}
+			p.setBuild(build)
 			c.noteSuccess(p, true)
 		}(p)
 	}
@@ -410,6 +411,10 @@ func (c *Coordinator) SweepPending(ctx context.Context, job service.ClusterSweep
 		executors := append([]string{c.cfg.Self}, c.peers.healthyNames()...)
 		sort.Strings(executors)
 		parts := partitionIndices(remaining, executors)
+		rctx, roundSpan := obs.TracerFromContext(ctx).StartSpan(ctx, "cluster.round")
+		roundSpan.Annotate("round", fmt.Sprintf("%d", round))
+		roundSpan.Annotate("executors", fmt.Sprintf("%d", len(executors)))
+		roundSpan.Annotate("points", fmt.Sprintf("%d", len(remaining)))
 
 		type redo struct {
 			peer    string
@@ -431,7 +436,7 @@ func (c *Coordinator) SweepPending(ctx context.Context, job service.ClusterSweep
 				go func(indices []int) {
 					defer wg.Done()
 					c.localPoints.Add(uint64(len(indices)))
-					if err := job.Local(ctx, indices); err != nil {
+					if err := job.Local(rctx, indices); err != nil {
 						mu.Lock()
 						if fatalErr == nil {
 							fatalErr = err
@@ -443,7 +448,7 @@ func (c *Coordinator) SweepPending(ctx context.Context, job service.ClusterSweep
 			}
 			go func(name string, indices []int) {
 				defer wg.Done()
-				failed := c.sweepOnPeer(ctx, name, job, indices)
+				failed := c.sweepOnPeer(rctx, name, job, indices)
 				if len(failed) > 0 {
 					mu.Lock()
 					requeue = append(requeue, redo{peer: name, indices: failed})
@@ -452,6 +457,7 @@ func (c *Coordinator) SweepPending(ctx context.Context, job service.ClusterSweep
 			}(name, part)
 		}
 		wg.Wait()
+		roundSpan.End()
 		if fatalErr != nil {
 			return fatalErr
 		}
@@ -482,8 +488,18 @@ func (c *Coordinator) SweepPending(ctx context.Context, job service.ClusterSweep
 // and after a failure the rest of the partition is forfeited
 // immediately (the caller re-partitions it) instead of being thrown at
 // a peer that just proved unreliable.
+//
+// Each chunk gets a cluster.dispatch span whose ID rides the
+// sub-request's X-Statsimd-Parent-Span header; the peer parents its
+// sub-sweep spans under it and ships them back in the response, where
+// Import grafts them into the coordinator's tracer. The peer's cost
+// entries are remapped from chunk-local to grid indices; a peer too
+// old to ledger its points gets synthesized entries (the chunk wall
+// time split evenly) so the coordinator's ledger still accounts for
+// every point.
 func (c *Coordinator) sweepOnPeer(ctx context.Context, name string, job service.ClusterSweepJob, indices []int) (failed []int) {
 	p := c.peers.byName(name)
+	tracer := obs.TracerFromContext(ctx)
 	for start := 0; start < len(indices); start += c.cfg.ChunkSize {
 		end := start + c.cfg.ChunkSize
 		if end > len(indices) {
@@ -503,20 +519,53 @@ func (c *Coordinator) sweepOnPeer(ctx context.Context, name string, job service.
 		for k, idx := range chunk {
 			req.Points[k] = job.Points[idx]
 		}
-		rows, err := c.client.sweepOn(ctx, name, req)
+		dctx, dispatch := tracer.StartSpan(ctx, "cluster.dispatch")
+		dispatch.Annotate("peer", name)
+		dispatch.Annotate("points", fmt.Sprintf("%d", len(chunk)))
+		chunkStart := time.Now()
+		resp, err := c.client.sweepOn(dctx, name, req)
 		if err != nil {
+			dispatch.Annotate("error", err.Error())
+			dispatch.End()
 			if ctx.Err() == nil {
 				c.noteFailure(p, err, false)
 			}
 			return append(failed, indices[start:]...)
 		}
+		dispatch.End()
+		chunkWall := time.Since(chunkStart).Seconds()
 		c.noteSuccess(p, false)
+		tracer.Import(resp.TraceSpans)
 		for k, idx := range chunk {
-			job.Report(idx, *rows[k].Raw)
+			job.Report(idx, *resp.Results[k].Raw)
+		}
+		if job.ReportCost != nil {
+			if len(resp.Cost) == len(chunk) {
+				for k, idx := range chunk {
+					e := resp.Cost[k]
+					if e.Node == "" {
+						e.Node = name
+					}
+					job.ReportCost(idx, e)
+				}
+			} else {
+				wall := chunkWall / float64(len(chunk))
+				for _, idx := range chunk {
+					job.ReportCost(idx, service.PointCost{
+						Tier: service.TierSimulated, Node: name, Cohort: -1, WallS: wall,
+					})
+				}
+			}
 		}
 		c.remotePoints.Add(uint64(len(chunk)))
 	}
 	return failed
+}
+
+// PeerMetrics implements service.Cluster: scrape one peer's Prometheus
+// exposition for the merged fleet view.
+func (c *Coordinator) PeerMetrics(ctx context.Context, peer string) ([]byte, error) {
+	return c.client.fetchMetrics(ctx, peer)
 }
 
 // Status implements service.Cluster.

@@ -22,6 +22,19 @@ type peer struct {
 	lastProbe   time.Time
 	lastErr     string
 	ejections   uint64
+	build       *service.BuildInfo // from the last successful probe
+}
+
+// setBuild records the peer's build provenance as the probe reported
+// it. Kept across ejections: a down peer's last-known version is still
+// useful for diagnosing why it went down.
+func (p *peer) setBuild(b *service.BuildInfo) {
+	if b == nil {
+		return
+	}
+	p.mu.Lock()
+	p.build = b
+	p.mu.Unlock()
 }
 
 // peerSet holds the coordinator's remote peers (never self).
@@ -64,6 +77,11 @@ func (ps *peerSet) statuses() []service.PeerStatus {
 	out := make([]service.PeerStatus, 0, len(ps.peers))
 	for _, p := range ps.peers {
 		p.mu.Lock()
+		var build *service.BuildInfo
+		if p.build != nil {
+			b := *p.build
+			build = &b
+		}
 		out = append(out, service.PeerStatus{
 			Name:                p.name,
 			Healthy:             p.healthy,
@@ -71,6 +89,7 @@ func (ps *peerSet) statuses() []service.PeerStatus {
 			LastProbe:           p.lastProbe,
 			LastError:           p.lastErr,
 			Ejections:           p.ejections,
+			Build:               build,
 		})
 		p.mu.Unlock()
 	}

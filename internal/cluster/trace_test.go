@@ -1,0 +1,206 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// TestClusterDistributedTraceAndCostLedger is the tentpole's acceptance
+// scenario: a 3-node cluster runs one fanned-out sweep, and afterwards
+// the coordinator serves a single assembled span tree covering the
+// coordinator and at least one peer — dispatch spans, peer sub-sweep
+// spans, per-cohort spans — while the cost ledger accounts for 100% of
+// the points with (tier, node, wall-time). Run under -race in CI's
+// cluster job.
+func TestClusterDistributedTraceAndCostLedger(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+	const traceID = "cluster-trace-ledger"
+
+	req := clusterSweepReq()
+	req.Cost = true
+	buf, _ := json.Marshal(req)
+	httpReq, err := http.NewRequest(http.MethodPost, nodes[0].ts.URL+"/v1/sweep", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpReq.Header.Set("X-Request-Id", traceID)
+	httpResp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw bytes.Buffer
+	raw.ReadFrom(httpResp.Body)
+	httpResp.Body.Close()
+	if httpResp.StatusCode != 200 {
+		t.Fatalf("clustered sweep: %d %s", httpResp.StatusCode, raw.String())
+	}
+	var resp service.SweepResponse
+	if err := json.Unmarshal(raw.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ledger: every point accounted, each with tier, node and wall time.
+	if len(resp.Cost) != resp.Points {
+		t.Fatalf("ledger covers %d of %d points", len(resp.Cost), resp.Points)
+	}
+	ledgerNodes := map[string]int{}
+	seen := map[int]bool{}
+	for _, e := range resp.Cost {
+		if seen[e.Index] {
+			t.Fatalf("duplicate ledger entry for point %d", e.Index)
+		}
+		seen[e.Index] = true
+		if e.Tier == "" {
+			t.Errorf("point %d has no tier", e.Index)
+		}
+		if e.Node == "" {
+			t.Errorf("point %d has no executing node", e.Index)
+		}
+		if e.WallS < 0 {
+			t.Errorf("point %d wall time negative: %v", e.Index, e.WallS)
+		}
+		ledgerNodes[e.Node]++
+	}
+	if len(ledgerNodes) < 2 {
+		t.Errorf("ledger names %d node(s), want the sweep spread over >=2: %v", len(ledgerNodes), ledgerNodes)
+	}
+
+	// A direct (non-fanout) response must not carry the span slice even
+	// though the sweep was clustered — spans travel via the trace store.
+	if strings.Contains(raw.String(), "trace_spans") {
+		t.Error("trace_spans leaked into a coordinator response")
+	}
+
+	// The assembled tree: one root spanning coordinator and peers. The
+	// trace store is written as the handler unwinds, so poll briefly.
+	var tree obs.TraceTree
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r, err := http.Get(nodes[0].ts.URL + "/v1/debug/trace/" + traceID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := r.StatusCode == 200
+		if ok {
+			err = json.NewDecoder(r.Body).Decode(&tree)
+		}
+		r.Body.Close()
+		if ok {
+			if err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %q never appeared on the coordinator", traceID)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(tree.Nodes) < 2 {
+		t.Fatalf("span tree covers %d node(s), want >=2: %v", len(tree.Nodes), tree.Nodes)
+	}
+	if len(tree.Roots) == 0 {
+		t.Fatal("no roots in the assembled tree")
+	}
+	root := tree.Roots[0]
+	if root.Name != "http /v1/sweep" || root.Node != nodes[0].ts.URL {
+		t.Fatalf("root = %q on %q, want the coordinator's http span", root.Name, root.Node)
+	}
+	counts := map[string]int{}
+	remoteSpans := 0
+	var walk func(n *obs.TraceNode)
+	walk = func(n *obs.TraceNode) {
+		counts[n.Name]++
+		if n.Node != nodes[0].ts.URL {
+			remoteSpans++
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	for _, want := range []string{"cluster.round", "cluster.dispatch", "sweep.sub", "cohort"} {
+		if counts[want] == 0 {
+			t.Errorf("tree has no %q span: %v", want, counts)
+		}
+	}
+	if remoteSpans == 0 {
+		t.Error("no peer spans reachable under the coordinator's root")
+	}
+
+	// Satellite: fan-out flight events on the peers carry the root trace
+	// ID, so ?trace_id= works cluster-wide.
+	peerFanoutEvents := 0
+	for i := 1; i < 3; i++ {
+		for _, ev := range nodes[i].svc.Flight().Recent(0) {
+			if ev.Endpoint == "/v1/sweep" && ev.TraceID == traceID {
+				peerFanoutEvents++
+				if ev.Spans == 0 {
+					t.Errorf("peer %d fanout event reports zero spans", i)
+				}
+			}
+		}
+	}
+	if peerFanoutEvents == 0 {
+		t.Error("no peer flight event carries the root trace ID")
+	}
+}
+
+// TestClusterFleetMetricsView scrapes the merged fleet exposition from
+// the coordinator and checks all three nodes appear, node-labelled,
+// with their up gauges set.
+func TestClusterFleetMetricsView(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+	resp, err := http.Get(nodes[0].ts.URL + "/v1/cluster/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("fleet metrics: %d %s", resp.StatusCode, body.String())
+	}
+	text := body.String()
+	for _, n := range nodes {
+		up := `statsimd_fleet_node_up{node="` + n.ts.URL + `"} 1`
+		if !strings.Contains(text, up) {
+			t.Errorf("fleet view missing %q", up)
+		}
+		labelled := `statsimd_uptime_seconds{node="` + n.ts.URL + `"}`
+		if !strings.Contains(text, labelled) {
+			t.Errorf("fleet view missing node-labelled uptime for %s", n.ts.URL)
+		}
+	}
+	if strings.Count(text, "# TYPE statsimd_uptime_seconds gauge") != 1 {
+		t.Error("family preamble duplicated across nodes")
+	}
+}
+
+// TestClusterStatusBuildProvenance checks the satellite: after a probe
+// cycle the coordinator's status rows carry each peer's build info.
+func TestClusterStatusBuildProvenance(t *testing.T) {
+	nodes := startCluster(t, 2, nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := nodes[0].coord.Status()
+		if len(st.Peers) == 1 && st.Peers[0].Build != nil {
+			if st.Peers[0].Build.GoVersion == "" {
+				t.Fatalf("peer build row empty: %+v", st.Peers[0].Build)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("peer build provenance never filled: %+v", st.Peers)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -45,6 +45,12 @@ type RequestEvent struct {
 	StoreHits     int `json:"store_hits,omitempty"`
 	SurrogateHits int `json:"surrogate_hits,omitempty"`
 
+	// Spans counts the hierarchical trace spans the request produced on
+	// this node (peer slices included on the coordinator) — the handle
+	// /v1/debug/requests gives for "is there a tree worth fetching at
+	// /v1/debug/trace/{id}?".
+	Spans int `json:"spans,omitempty"`
+
 	// Adaptive-fidelity outcomes (zero unless the request ran the
 	// fidelity engine).
 	Escalations   int     `json:"escalations,omitempty"`

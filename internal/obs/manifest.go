@@ -67,6 +67,19 @@ type ManifestOracle struct {
 	Estimated     bool `json:"estimated"`
 }
 
+// ManifestCost is the cost-accounting block of a run manifest: where
+// a sweep's wall time went, broken down by serving tier, plus which
+// nodes executed points and how many answers are estimates rather than
+// exact results. PointsByTier keys are the ledger tiers (resumed,
+// store, surrogate, simulated); SecondsByTier shares the key set.
+type ManifestCost struct {
+	Points        int                `json:"points"`
+	PointsByTier  map[string]int     `json:"points_by_tier"`
+	SecondsByTier map[string]float64 `json:"seconds_by_tier"`
+	Nodes         []string           `json:"nodes,omitempty"`
+	Estimated     int                `json:"estimated,omitempty"`
+}
+
 // Manifest is the JSON run manifest a front end emits (statsim -stats,
 // experiment artifacts): everything needed to reproduce the run plus
 // where its time went.
@@ -101,6 +114,9 @@ type Manifest struct {
 	Fidelity *ManifestFidelity `json:"fidelity,omitempty"`
 	// Where the answers came from, when the result oracle served any.
 	Oracle *ManifestOracle `json:"oracle,omitempty"`
+	// Where the wall time went per serving tier and node, when the cost
+	// ledger ran.
+	Cost *ManifestCost `json:"cost,omitempty"`
 }
 
 // NewManifest starts a manifest for the named tool, stamped now.

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTracerSpanNesting(t *testing.T) {
+	tr := NewTracer("t1", "node-a")
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx1, root := tr.StartSpan(ctx, "http /v1/sweep")
+	ctx2, child := tr.StartSpan(ctx1, "sweep.sub")
+	_, grand := tr.StartSpan(ctx2, "cohort")
+	grand.Annotate("cohort", "0")
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// End order is innermost first.
+	g, c, r := spans[0], spans[1], spans[2]
+	if g.ParentID != c.SpanID || c.ParentID != r.SpanID || r.ParentID != "" {
+		t.Fatalf("parent chain broken: %+v", spans)
+	}
+	for _, sp := range spans {
+		if sp.TraceID != "t1" || sp.Node != "node-a" {
+			t.Fatalf("span missing trace/node stamps: %+v", sp)
+		}
+	}
+	if g.Attrs["cohort"] != "0" {
+		t.Fatalf("annotation lost: %+v", g.Attrs)
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	ctx, span := tr.StartSpan(context.Background(), "x")
+	span.Annotate("k", "v")
+	span.End()
+	tr.Import([]TraceSpan{{SpanID: "a"}})
+	if tr.Spans() != nil || tr.Dropped() != 0 || tr.TraceID() != "" {
+		t.Fatal("nil tracer retained state")
+	}
+	if SpanIDFromContext(ctx) != "" {
+		t.Fatal("nil tracer put a span ID in context")
+	}
+	if TracerFromContext(context.Background()) != nil {
+		t.Fatal("empty context yielded a tracer")
+	}
+}
+
+func TestTracerImportStampsTraceID(t *testing.T) {
+	tr := NewTracer("root", "coord")
+	tr.Import([]TraceSpan{
+		{SpanID: "p1", Name: "sweep.sub", Node: "peer"},
+		{TraceID: "other", SpanID: "p2", Name: "cohort", Node: "peer"},
+	})
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].TraceID != "root" {
+		t.Fatalf("blank trace ID not stamped: %+v", spans[0])
+	}
+	if spans[1].TraceID != "other" {
+		t.Fatalf("explicit trace ID overwritten: %+v", spans[1])
+	}
+	if spans[0].Node != "peer" {
+		t.Fatal("origin node stamp lost on import")
+	}
+}
+
+func TestTracerSpanCap(t *testing.T) {
+	tr := NewTracer("t", "n")
+	ctx := context.Background()
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		_, sp := tr.StartSpan(ctx, "s")
+		sp.End()
+	}
+	if got := len(tr.Spans()); got != maxSpansPerTrace {
+		t.Fatalf("cap not enforced: %d spans", got)
+	}
+	if tr.Dropped() != 10 {
+		t.Fatalf("dropped = %d, want 10", tr.Dropped())
+	}
+}
+
+func TestAssembleTree(t *testing.T) {
+	spans := []TraceSpan{
+		{SpanID: "r", Name: "http /v1/sweep", Node: "coord", StartUnixNS: 1},
+		{SpanID: "d1", ParentID: "r", Name: "cluster.dispatch", Node: "coord", StartUnixNS: 3},
+		{SpanID: "d0", ParentID: "r", Name: "cluster.dispatch", Node: "coord", StartUnixNS: 2},
+		{SpanID: "s0", ParentID: "d0", Name: "sweep.sub", Node: "peer", StartUnixNS: 4},
+		// Duplicate span ID (a replayed peer slice): first occurrence wins.
+		{SpanID: "s0", ParentID: "d0", Name: "dup", Node: "peer", StartUnixNS: 9},
+	}
+	tree := AssembleTree("t", spans)
+	if tree.Spans != 4 {
+		t.Fatalf("spans = %d, want 4 (duplicate dropped)", tree.Spans)
+	}
+	if len(tree.Roots) != 1 || tree.Roots[0].SpanID != "r" {
+		t.Fatalf("roots = %+v", tree.Roots)
+	}
+	kids := tree.Roots[0].Children
+	if len(kids) != 2 || kids[0].SpanID != "d0" || kids[1].SpanID != "d1" {
+		t.Fatalf("children unordered: %+v", kids)
+	}
+	if len(kids[0].Children) != 1 || kids[0].Children[0].Name != "sweep.sub" {
+		t.Fatalf("grandchild wrong: %+v", kids[0].Children)
+	}
+	if strings.Join(tree.Nodes, ",") != "coord,peer" {
+		t.Fatalf("nodes = %v", tree.Nodes)
+	}
+}
+
+// TestAssembleTreePartial is the late-peer-slice case: spans whose
+// parent never arrived surface as extra roots, and the tree still
+// renders instead of erroring.
+func TestAssembleTreePartial(t *testing.T) {
+	spans := []TraceSpan{
+		{SpanID: "r", Name: "http /v1/sweep", Node: "coord", StartUnixNS: 1},
+		// Parent "gone" was never shipped back (peer died mid-chunk).
+		{SpanID: "orphan", ParentID: "gone", Name: "cohort", Node: "peer", StartUnixNS: 5},
+		// Self-parented span must not loop.
+		{SpanID: "self", ParentID: "self", Name: "weird", Node: "peer", StartUnixNS: 7},
+	}
+	tree := AssembleTree("t", spans)
+	if tree.Spans != 3 {
+		t.Fatalf("spans = %d, want 3", tree.Spans)
+	}
+	if len(tree.Roots) != 3 {
+		t.Fatalf("roots = %d, want 3 (orphans promoted)", len(tree.Roots))
+	}
+	for _, r := range tree.Roots {
+		if len(r.Children) != 0 {
+			t.Fatalf("unexpected children on %q", r.SpanID)
+		}
+	}
+}
+
+func TestTraceStoreAccumulateAndEvict(t *testing.T) {
+	s := NewTraceStore(0) // clamps to 16
+	for i := 0; i < 20; i++ {
+		id := string(rune('a' + i))
+		s.Add(id, []TraceSpan{{SpanID: "x", TraceID: id}})
+	}
+	if s.Len() != 16 {
+		t.Fatalf("len = %d, want 16", s.Len())
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("oldest trace not evicted")
+	}
+	// A fanout sub-request under a retained ID accumulates, not replaces.
+	s.Add("zz", []TraceSpan{{SpanID: "1"}})
+	s.Add("zz", []TraceSpan{{SpanID: "2"}})
+	got, ok := s.Get("zz")
+	if !ok || len(got) != 2 {
+		t.Fatalf("accumulate failed: %v %v", got, ok)
+	}
+	// Nil store and empty adds are safe no-ops.
+	var nilStore *TraceStore
+	nilStore.Add("zz", []TraceSpan{{SpanID: "1"}})
+	if _, ok := nilStore.Get("zz"); ok || nilStore.Len() != 0 {
+		t.Fatal("nil store retained state")
+	}
+	s.Add("", []TraceSpan{{SpanID: "1"}})
+	s.Add("u", nil)
+	if _, ok := s.Get("u"); ok {
+		t.Fatal("empty span slice created a trace")
+	}
+}

@@ -11,6 +11,10 @@ import (
 // paper's evaluation discipline (every reported number traceable to a
 // configuration) applied to the server itself.
 type BuildInfo struct {
+	// Version is the main module's version as the toolchain stamped it
+	// ("(devel)" for source builds, a module version for installed
+	// binaries).
+	Version   string `json:"version,omitempty"`
 	GoVersion string `json:"go_version"`
 	Revision  string `json:"revision,omitempty"`
 	Dirty     bool   `json:"dirty,omitempty"`
@@ -25,6 +29,7 @@ func readBuildInfo() BuildInfo {
 	if !ok {
 		return b
 	}
+	b.Version = info.Main.Version
 	for _, s := range info.Settings {
 		switch s.Key {
 		case "vcs.revision":

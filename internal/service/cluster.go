@@ -54,6 +54,9 @@ type Cluster interface {
 	Status() ClusterStatus
 	// Stats snapshots the coordinator-side counters.
 	Stats() ClusterStats
+	// PeerMetrics scrapes one peer's Prometheus exposition, for the
+	// coordinator's merged fleet view at GET /v1/cluster/metrics.
+	PeerMetrics(ctx context.Context, peer string) ([]byte, error)
 }
 
 // ClusterSweepJob is one partitioned sweep as handed to the
@@ -70,6 +73,10 @@ type ClusterSweepJob struct {
 	// Report is called once per completed pending point, concurrently
 	// from dispatch goroutines; index values are disjoint across calls.
 	Report func(index int, m core.Metrics)
+	// ReportCost, when non-nil, records one completed point's cost
+	// ledger entry (tier, executing node, cohort, wall time). Same
+	// concurrency contract as Report.
+	ReportCost func(index int, c PointCost)
 	// Local computes the given indices on this node's own pool, calling
 	// Report per point — the coordinator's executor of last resort, so a
 	// sweep completes even with every remote peer dead.
@@ -79,14 +86,18 @@ type ClusterSweepJob struct {
 	Failover func(peer string, points int)
 }
 
-// PeerStatus is one peer's health as the coordinator sees it.
+// PeerStatus is one peer's health as the coordinator sees it. Build
+// carries the peer's self-reported provenance from its last successful
+// health probe, so /v1/cluster/status shows at a glance which revision
+// every node runs.
 type PeerStatus struct {
-	Name                string    `json:"name"`
-	Healthy             bool      `json:"healthy"`
-	ConsecutiveFailures int       `json:"consecutive_failures,omitempty"`
-	LastProbe           time.Time `json:"last_probe,omitempty"`
-	LastError           string    `json:"last_error,omitempty"`
-	Ejections           uint64    `json:"ejections,omitempty"`
+	Name                string     `json:"name"`
+	Healthy             bool       `json:"healthy"`
+	ConsecutiveFailures int        `json:"consecutive_failures,omitempty"`
+	LastProbe           time.Time  `json:"last_probe,omitempty"`
+	LastError           string     `json:"last_error,omitempty"`
+	Ejections           uint64     `json:"ejections,omitempty"`
+	Build               *BuildInfo `json:"build,omitempty"`
 }
 
 // ClusterStatus is the GET /v1/cluster/status body: ring membership and
@@ -158,8 +169,17 @@ func (c *clusterServedStats) snapshot() ClusterServedStats {
 
 // SetCluster attaches the peer group. It must be called before the
 // handler starts serving (cmd/statsimd does it between service.New and
-// net.Listen); the field is not synchronised.
-func (s *Server) SetCluster(c Cluster) { s.cluster = c }
+// net.Listen); the fields are not synchronised. The node's advertised
+// name stamps every span and ledger entry from here on, so a merged
+// trace attributes work to cluster names, not "local".
+func (s *Server) SetCluster(c Cluster) {
+	s.cluster = c
+	if c != nil {
+		if self := c.Status().Self; self != "" {
+			s.node = self
+		}
+	}
+}
 
 // Cluster returns the attached peer group (nil single-node).
 func (s *Server) Cluster() Cluster { return s.cluster }
@@ -185,7 +205,7 @@ func simulatePoint(base cpu.Config, g *sfg.Graph, points []SweepPoint, i int, r,
 // batching, fault site and ctx discipline as SweepWithJournal, so a
 // sweep that degrades all the way back to local-only is
 // indistinguishable from an unclustered one.
-func (s *Server) sweepClustered(ctx context.Context, spec ProfileSpec, cfgSpec ConfigSpec, base cpu.Config, g *sfg.Graph, points []SweepPoint, pending []int, red, simSeed uint64, report func(int, core.Metrics)) error {
+func (s *Server) sweepClustered(ctx context.Context, spec ProfileSpec, cfgSpec ConfigSpec, base cpu.Config, g *sfg.Graph, points []SweepPoint, pending []int, red, simSeed uint64, report func(int, core.Metrics), ledger *costLedger) error {
 	job := ClusterSweepJob{
 		Profile: spec,
 		Config:  cfgSpec,
@@ -194,8 +214,14 @@ func (s *Server) sweepClustered(ctx context.Context, spec ProfileSpec, cfgSpec C
 		Target:  0, // set below: target is recovered from red via the graph
 		SimSeed: simSeed,
 		Report:  report,
+		ReportCost: func(index int, c PointCost) {
+			ledger.record(index, c.Tier, c.Node, c.Cohort, c.WallS, c.Estimated)
+		},
 		Local: func(ctx context.Context, indices []int) error {
-			return runPendingBatched(ctx, s.pool, s.faults, base, g, points, indices, red, simSeed, report)
+			return runPendingBatched(ctx, s.pool, s.faults, base, g, points, indices, red, simSeed, report,
+				func(index, cohort int, wallS float64) {
+					ledger.record(index, TierSimulated, "", cohort, wallS, false)
+				})
 		},
 		Failover: func(peer string, n int) {
 			s.log.Warn("sweep failover", "trace_id", obs.TraceIDFromContext(ctx),

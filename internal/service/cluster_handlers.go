@@ -23,6 +23,12 @@ const (
 	// for the coordinator's client side.
 	ClusterFanoutHeader = "X-Statsimd-Fanout"
 
+	// ClusterParentSpanHeader carries the coordinator's dispatch span ID
+	// on sweep sub-requests, next to X-Request-Id. The receiving node
+	// parents its sub-sweep spans under it, so the slices every peer
+	// ships back assemble into one tree instead of a forest of orphans.
+	ClusterParentSpanHeader = "X-Statsimd-Parent-Span"
+
 	// maxEnvelopeBytes caps offered profile envelopes; far above any
 	// real SFG, far below a memory-exhaustion payload.
 	maxEnvelopeBytes = 256 << 20

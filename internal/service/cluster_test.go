@@ -55,6 +55,10 @@ func (f *fakeCluster) SweepPending(ctx context.Context, job ClusterSweepJob) err
 func (f *fakeCluster) Status() ClusterStatus { return ClusterStatus{Self: "fake"} }
 func (f *fakeCluster) Stats() ClusterStats   { return ClusterStats{} }
 
+func (f *fakeCluster) PeerMetrics(ctx context.Context, peer string) ([]byte, error) {
+	return nil, errors.New("fake cluster has no peers")
+}
+
 func TestCachePeekAndPut(t *testing.T) {
 	c := NewGraphCache(2)
 	if _, ok := c.Peek(clusterTestKey); ok {

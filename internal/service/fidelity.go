@@ -3,6 +3,7 @@ package service
 import (
 	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -136,6 +137,17 @@ func (s *Server) noteFidelity(ri *reqInfo, res *fidelity.Result) {
 	}
 }
 
+// annotateFidelitySpan lands an engine run's outcome on its span: how
+// many strata it stratified into, how much escalated to detailed
+// simulation, and whether the interval converged — the span-tree view
+// of the escalation decision the flight recorder only counts.
+func annotateFidelitySpan(span obs.ActiveSpan, res *fidelity.Result) {
+	span.Annotate("strata", strconv.Itoa(len(res.Strata)))
+	span.Annotate("escalations", strconv.Itoa(len(res.Escalations)))
+	span.Annotate("converged", strconv.FormatBool(res.Converged))
+	span.Annotate("rel_half_width", strconv.FormatFloat(res.RelHalfWidth, 'g', 4, 64))
+}
+
 // fidelityMetrics derives the point-estimate wire metrics from an
 // engine result: cycles are reconstructed from the CPI estimate so
 // EDP and derived rates stay consistent with the interval's centre.
@@ -180,10 +192,15 @@ func (s *Server) runFidelitySimulate(r *http.Request, req SimulateRequest) (any,
 	if err != nil {
 		return nil, err
 	}
+	_, span := obs.TracerFromContext(ctx).StartSpan(ctx, "fidelity.run")
 	res, err := eng.Run(ctx, s.pool, cfg)
 	if err != nil {
+		span.Annotate("error", err.Error())
+		span.End()
 		return nil, err
 	}
+	annotateFidelitySpan(span, res)
+	span.End()
 	s.noteFidelity(requestInfo(ctx), res)
 	s.log.Debug("fidelity run", "trace_id", obs.TraceIDFromContext(ctx),
 		"workload", key.Workload, "strata", len(res.Strata),
@@ -248,12 +265,25 @@ func (s *Server) runFidelitySweep(r *http.Request, req SweepRequest, points []Sw
 		ElapsedMS: 0,
 	}
 	ri := requestInfo(ctx)
+	ledger := newCostLedger(s.node, len(points))
 	for i, pt := range points {
+		_, span := obs.TracerFromContext(ctx).StartSpan(ctx, "fidelity.run")
+		span.Annotate("point", strconv.Itoa(i))
+		t0 := time.Now()
 		res, err := eng.Run(ctx, s.pool, pt.Apply(base))
 		if err != nil {
+			span.Annotate("error", err.Error())
+			span.End()
 			feed.publish(ProgressEvent{Type: "error", Total: len(points), Completed: i, Error: err.Error()})
 			return nil, err
 		}
+		annotateFidelitySpan(span, res)
+		span.End()
+		// Fidelity points always run the estimator; the detailed-vs-
+		// statistical split happens inside the engine, so the ledger
+		// marks the point estimated when the interval did not fully
+		// converge to the requested half-width.
+		ledger.record(i, TierSimulated, "", -1, time.Since(t0).Seconds(), !res.Converged)
 		s.noteFidelity(ri, res)
 		m := fidelityMetrics(res)
 		resp.Results[i] = SweepRow{Point: pt, Metrics: m, Fidelity: res}
@@ -264,12 +294,18 @@ func (s *Server) runFidelitySweep(r *http.Request, req SweepRequest, points []Sw
 		feed.publish(ProgressEvent{Type: "point", Completed: i + 1, Index: i, Point: &p, Metrics: &m})
 	}
 	feed.publish(ProgressEvent{Type: "done", Total: len(points), Completed: len(points)})
+	entries := ledger.snapshot()
+	s.costs.add(entries)
+	if req.Cost {
+		resp.Cost = entries
+	}
 	s.writeManifest(ctx, "/v1/sweep", func(m *obs.Manifest) {
 		m.ConfigFingerprint = obs.Fingerprint(base)
 		m.Workload = key.Workload
 		m.K = key.K
 		m.Seed = key.Seed
 		m.StreamLength = key.N
+		m.Cost = manifestCost(entries)
 	})
 	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 	return resp, nil

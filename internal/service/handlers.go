@@ -87,6 +87,9 @@ type Options struct {
 	// entirely — only exact result-store hits are ever served, and those
 	// are ground truth. The result store itself rides on CacheDir.
 	SurrogateMaxCI float64
+	// TraceStoreSize bounds how many recent traces' span slices the
+	// daemon retains for GET /v1/debug/trace/{id} (<= 0 means 128).
+	TraceStoreSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -104,6 +107,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FlightRecorderSize <= 0 {
 		o.FlightRecorderSize = 256
+	}
+	if o.TraceStoreSize <= 0 {
+		o.TraceStoreSize = 128
 	}
 	if o.Logger == nil {
 		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -126,7 +132,12 @@ type Server struct {
 	log      *slog.Logger
 	flight   *obs.FlightRecorder
 	progress *progressHub
+	traces   *obs.TraceStore
+	costs    *costCounters
 	build    BuildInfo
+	// node is this daemon's name on span and ledger entries: the
+	// cluster-advertised URL once SetCluster runs, "local" before.
+	node string
 	// cluster connects this node to its peers (nil = single-node); set
 	// by SetCluster before serving starts. clusterServed counts the
 	// answering side of peer RPCs regardless of cluster being set (a
@@ -178,7 +189,10 @@ func New(opts Options) (*Server, error) {
 		log:      opts.Logger,
 		flight:   obs.NewFlightRecorder(opts.FlightRecorderSize),
 		progress: newProgressHub(64),
+		traces:   obs.NewTraceStore(opts.TraceStoreSize),
+		costs:    newCostCounters(),
 		build:    readBuildInfo(),
+		node:     "local",
 	}
 	if s.opts.MaxQueueDepth <= 0 {
 		s.opts.MaxQueueDepth = 4 * s.pool.Stats().Workers
@@ -218,10 +232,12 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/workloads", s.instrument("/v1/workloads", s.handleWorkloads))
 	s.mux.HandleFunc("GET /v1/oracle/status", s.handleOracleStatus)
 	s.mux.HandleFunc("GET /v1/debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("GET /v1/debug/trace/{id}", s.handleDebugTrace)
 	s.mux.HandleFunc("GET /v1/sweep/progress", s.handleSweepProgress)
 	s.mux.HandleFunc("POST /v1/cluster/fetch", s.handleClusterFetch)
 	s.mux.HandleFunc("POST /v1/cluster/offer", s.handleClusterOffer)
 	s.mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)
+	s.mux.HandleFunc("GET /v1/cluster/metrics", s.handleClusterMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
@@ -376,7 +392,10 @@ func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Reque
 		rec := obs.New()
 		rec.SetTraceID(traceID)
 		ri := &reqInfo{rec: rec}
-		r = r.WithContext(withReqInfo(obs.WithTraceID(r.Context(), traceID), ri))
+		tracer := obs.NewTracer(traceID, s.node)
+		ctx := withReqInfo(obs.WithTraceID(r.Context(), traceID), ri)
+		ctx, root := tracer.StartSpan(obs.WithTracer(ctx, tracer), "http "+name)
+		r = r.WithContext(ctx)
 
 		resp, err := h(w, r)
 		elapsed := time.Since(start)
@@ -403,7 +422,13 @@ func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Reque
 		} else {
 			json.NewEncoder(w).Encode(resp)
 		}
-		s.finishRequest(name, traceID, ri, code, elapsed, err)
+		if err != nil {
+			root.Annotate("error", err.Error())
+		}
+		root.End()
+		spans := tracer.Spans()
+		s.traces.Add(traceID, spans)
+		s.finishRequest(name, traceID, ri, code, elapsed, len(spans), err)
 	}
 }
 
@@ -411,7 +436,7 @@ func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Reque
 // the flight-recorder event, the structured log line, and the decision
 // whether this request's outcome (a shed burst, a worker panic)
 // warrants dumping the flight recorder into the log.
-func (s *Server) finishRequest(name, traceID string, ri *reqInfo, code int, elapsed time.Duration, err error) {
+func (s *Server) finishRequest(name, traceID string, ri *reqInfo, code int, elapsed time.Duration, spans int, err error) {
 	ev := obs.RequestEvent{
 		Time:       time.Now(),
 		TraceID:    traceID,
@@ -423,6 +448,7 @@ func (s *Server) finishRequest(name, traceID string, ri *reqInfo, code int, elap
 		Retries:    int(ri.retries.Load()),
 		Resumed:    int(ri.resumed.Load()),
 		Failovers:  int(ri.failovers.Load()),
+		Spans:      spans,
 
 		StoreHits:     int(ri.storeHits.Load()),
 		SurrogateHits: int(ri.surrogateHits.Load()),
@@ -599,7 +625,10 @@ func (s *Server) resolveProfile(ctx context.Context, spec ProfileSpec) (*sfg.Gra
 			// this profile already — a graph profiled once anywhere is
 			// bit-identical to what we would compute, so adopting it is
 			// as sound as a local cache hit.
-			if g, peer, err := s.cluster.FetchGraph(ctx, key); err == nil {
+			fctx, span := obs.TracerFromContext(ctx).StartSpan(ctx, "cluster.fetch")
+			if g, peer, err := s.cluster.FetchGraph(fctx, key); err == nil {
+				span.Annotate("peer", peer)
+				span.End()
 				lg.Debug("profile fetched from peer", "peer", peer)
 				if ri := requestInfo(ctx); ri != nil {
 					ri.remotePeer.Store(peer)
@@ -609,7 +638,12 @@ func (s *Server) resolveProfile(ctx context.Context, spec ProfileSpec) (*sfg.Gra
 				}
 				return g, nil
 			} else if !errors.Is(err, ErrNoRemoteGraph) {
+				span.Annotate("error", err.Error())
+				span.End()
 				lg.Debug("peer fetch failed, profiling locally", "err", err.Error())
+			} else {
+				span.Annotate("outcome", "miss")
+				span.End()
 			}
 		}
 		lg.Debug("profile cache miss, profiling")
@@ -643,7 +677,11 @@ func (s *Server) resolveProfile(ctx context.Context, spec ProfileSpec) (*sfg.Gra
 			// the coordinator's asynchronous send reads an immutable
 			// graph.
 			g.Freeze()
-			s.cluster.OfferGraph(ctx, key, g)
+			// The replication send itself is asynchronous; the span marks
+			// that this request initiated it.
+			octx, span := obs.TracerFromContext(ctx).StartSpan(ctx, "cluster.offer")
+			s.cluster.OfferGraph(octx, key, g)
+			span.End()
 		}
 		return g, nil
 	})
@@ -884,6 +922,12 @@ type SweepRequest struct {
 	// computed on a peer byte-identical in the merged result and the
 	// journal.
 	RawMetrics bool `json:"raw_metrics,omitempty"`
+	// Cost additionally returns the per-point cost ledger in the
+	// response tail: one entry per grid point recording which tier
+	// served it, on which node, in which lockstep cohort, and its wall
+	// time. The coordinator sets it on sub-requests so remote points
+	// carry the executing peer's measurements.
+	Cost bool `json:"cost,omitempty"`
 }
 
 // SweepRow is one design point's outcome; Fidelity is present on
@@ -919,7 +963,14 @@ type SweepResponse struct {
 	FromSurrogate int        `json:"from_surrogate,omitempty"`
 	Best          int        `json:"best"`
 	Results       []SweepRow `json:"results"`
-	ElapsedMS     float64    `json:"elapsed_ms"`
+	// Cost is the per-point cost ledger (present when the request set
+	// cost=true): exactly one entry per grid point, in grid order.
+	Cost []PointCost `json:"cost,omitempty"`
+	// TraceSpans piggybacks this node's span slice on fanout sub-sweep
+	// responses so the coordinator assembles one tree covering every
+	// node that worked on the sweep. Never set on direct requests.
+	TraceSpans []obs.TraceSpan `json:"trace_spans,omitempty"`
+	ElapsedMS  float64         `json:"elapsed_ms"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (any, error) {
@@ -956,7 +1007,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (any, error
 		req.SimSeed = 1
 	}
 	start := time.Now()
-	g, key, cached, err := s.resolveProfile(r.Context(), req.Profile)
+	ctx := r.Context()
+	fanout := r.Header.Get(ClusterFanoutHeader) != ""
+	var sub obs.ActiveSpan
+	if fanout {
+		// A coordinator dispatched this sub-sweep: parent our spans under
+		// its dispatch span (carried in the header next to X-Request-Id)
+		// so the merged tree reads as one request, and open the span that
+		// roots everything this node does for the chunk.
+		if parent := obs.SanitizeTraceID(r.Header.Get(ClusterParentSpanHeader)); parent != "" {
+			ctx = obs.WithSpanID(ctx, parent)
+		}
+		ctx, sub = obs.TracerFromContext(ctx).StartSpan(ctx, "sweep.sub")
+		sub.Annotate("points", strconv.Itoa(len(points)))
+	}
+	g, key, cached, err := s.resolveProfile(ctx, req.Profile)
 	if err != nil {
 		return nil, err
 	}
@@ -971,13 +1036,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (any, error
 		points:  points,
 		red:     red,
 		simSeed: req.SimSeed,
-		fanout:  r.Header.Get(ClusterFanoutHeader) != "",
+		fanout:  fanout,
+		ledger:  newCostLedger(s.node, len(points)),
 	}
-	results, resumed, err := s.runSweep(r.Context(), params)
+	results, resumed, err := s.runSweep(ctx, params)
+	sub.End()
 	if err != nil {
 		return nil, err
 	}
-	s.writeManifest(r.Context(), "/v1/sweep", func(m *obs.Manifest) {
+	entries := params.ledger.snapshot()
+	s.costs.add(entries)
+	s.writeManifest(ctx, "/v1/sweep", func(m *obs.Manifest) {
 		m.ConfigFingerprint = obs.Fingerprint(base)
 		m.Workload = key.Workload
 		m.K = key.K
@@ -985,6 +1054,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (any, error
 		m.SimSeed = req.SimSeed
 		m.Reduction = red
 		m.StreamLength = key.N
+		m.Cost = manifestCost(entries)
 	})
 	resp := SweepResponse{
 		Key:           key,
@@ -1021,6 +1091,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (any, error
 			resp.Best = i
 		}
 	}
+	if req.Cost {
+		resp.Cost = entries
+	}
+	if fanout {
+		// Ship this node's span slice back piggybacked on the sub-sweep
+		// response; the coordinator imports it into the root tracer. The
+		// enclosing "http /v1/sweep" root span is still open here and so
+		// excluded — the shipped spans all chain under sweep.sub, which
+		// parents to the coordinator's dispatch span.
+		resp.TraceSpans = obs.TracerFromContext(ctx).Spans()
+	}
 	return resp, nil
 }
 
@@ -1038,6 +1119,9 @@ type sweepParams struct {
 	red     uint64
 	simSeed uint64
 	fanout  bool
+	// ledger collects the sweep's per-point cost entries (nil-safe:
+	// embedded callers without one pay nothing).
+	ledger *costLedger
 }
 
 // runSweep runs the design-space sweep, checkpointing through the
@@ -1053,7 +1137,14 @@ type sweepParams struct {
 // per freshly simulated point in completion order, and a terminal
 // "done" or "error" — the stream GET /v1/sweep/progress serves.
 func (s *Server) runSweep(ctx context.Context, p sweepParams) ([]SweepResult, int, error) {
-	feed := s.progress.feed(obs.TraceIDFromContext(ctx))
+	// Fanout sub-sweeps share the root request's trace ID; publishing
+	// into the hub would collide with the coordinator's own feed for the
+	// same ID (the first terminal event would silence the rest), so they
+	// run against a nil feed, which discards everything.
+	var feed *progressFeed
+	if !p.fanout {
+		feed = s.progress.feed(obs.TraceIDFromContext(ctx))
+	}
 	var completed atomic.Int64
 	var fromStore, fromSurrogate atomic.Int64
 	progress := func(index int, res SweepResult) {
@@ -1139,6 +1230,7 @@ func (s *Server) sweepExecute(ctx context.Context, p sweepParams, j *SweepJourna
 		for i := range p.points {
 			if m, ok := done[i]; ok {
 				results[i] = SweepResult{Point: p.points[i], Metrics: m}
+				p.ledger.record(i, TierResumed, "", -1, 0, false)
 				resumed++
 			} else {
 				pending = append(pending, i)
@@ -1173,12 +1265,15 @@ func (s *Server) sweepExecute(ctx context.Context, p sweepParams, j *SweepJourna
 		}
 	}
 	if s.cluster == nil || p.fanout {
-		if err := runPendingBatched(ctx, s.pool, s.faults, p.base, p.g, p.points, pending, p.red, p.simSeed, report); err != nil {
+		noteCost := func(index, cohort int, wallS float64) {
+			p.ledger.record(index, TierSimulated, "", cohort, wallS, false)
+		}
+		if err := runPendingBatched(ctx, s.pool, s.faults, p.base, p.g, p.points, pending, p.red, p.simSeed, report, noteCost); err != nil {
 			return nil, resumed, err
 		}
 		return results, resumed, nil
 	}
-	if err := s.sweepClustered(ctx, p.spec, p.cfg, p.base, p.g, p.points, pending, p.red, p.simSeed, report); err != nil {
+	if err := s.sweepClustered(ctx, p.spec, p.cfg, p.base, p.g, p.points, pending, p.red, p.simSeed, report, p.ledger); err != nil {
 		return nil, resumed, err
 	}
 	return results, resumed, nil
@@ -1291,7 +1386,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(h)
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// gatherMetrics snapshots the non-registry state both metrics views
+// render.
+func (s *Server) gatherMetrics() (RobustnessStats, *StoreStats, FidelityStats, *OracleStatus, *ClusterMetrics) {
 	robustness := RobustnessStats{
 		Shed:                     s.shed.Load(),
 		Retries:                  s.retries.Load(),
@@ -1305,7 +1402,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		st := s.store.Stats()
 		store = &st
 	}
-	fid := s.fidelity.stats()
 	var cluster *ClusterMetrics
 	if s.cluster != nil {
 		cluster = &ClusterMetrics{ClusterStats: s.cluster.Stats(), Served: s.clusterServed.snapshot()}
@@ -1315,22 +1411,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		st := s.oracle.status()
 		oracleStatus = &st
 	}
+	return robustness, store, s.fidelity.stats(), oracleStatus, cluster
+}
+
+// renderPrometheus writes this node's complete Prometheus exposition —
+// the same bytes GET /metrics?format=prometheus serves, reused by the
+// fleet-merged view at GET /v1/cluster/metrics.
+func (s *Server) renderPrometheus(w io.Writer) error {
+	robustness, store, fid, oracleStatus, cluster := s.gatherMetrics()
+	return writePrometheus(w, s.metrics, promSnapshot{
+		uptimeSeconds: time.Since(s.metrics.start).Seconds(),
+		build:         s.build,
+		cache:         s.cache.Stats(),
+		pool:          s.pool.Stats(),
+		robustness:    robustness,
+		store:         store,
+		flightEvents:  s.flight.Total(),
+		fidelity:      fid,
+		oracle:        oracleStatus,
+		cluster:       cluster,
+		costs:         s.costs.export(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("format") == "prometheus" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		writePrometheus(w, s.metrics, promSnapshot{
-			uptimeSeconds: time.Since(s.metrics.start).Seconds(),
-			build:         s.build,
-			cache:         s.cache.Stats(),
-			pool:          s.pool.Stats(),
-			robustness:    robustness,
-			store:         store,
-			flightEvents:  s.flight.Total(),
-			fidelity:      fid,
-			oracle:        oracleStatus,
-			cluster:       cluster,
-		})
+		s.renderPrometheus(w)
 		return
 	}
+	robustness, store, fid, oracleStatus, cluster := s.gatherMetrics()
 	snap := s.metrics.Snapshot(s.cache, s.pool)
 	snap.Robustness = robustness
 	snap.Store = store
@@ -1350,7 +1460,9 @@ type DebugRequestsResponse struct {
 }
 
 // handleDebugRequests serves the flight recorder. ?n= bounds how many
-// events come back (default: everything retained).
+// events come back (default: everything retained); ?trace_id= keeps
+// only events of one trace — including fan-out sub-sweeps, which carry
+// the originating root trace ID, so the filter works across nodes.
 func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
 	n := 0
 	if q := r.URL.Query().Get("n"); q != "" {
@@ -1363,16 +1475,48 @@ func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
+	events := s.flight.Recent(n)
+	if want := obs.SanitizeTraceID(r.URL.Query().Get("trace_id")); want != "" {
+		kept := events[:0]
+		for _, ev := range events {
+			if ev.TraceID == want {
+				kept = append(kept, ev)
+			}
+		}
+		events = kept
+	}
 	resp := DebugRequestsResponse{
 		Capacity: s.flight.Size(),
 		Total:    s.flight.Total(),
-		Events:   s.flight.Recent(n),
+		Events:   events,
 	}
 	if resp.Events == nil {
 		resp.Events = []obs.RequestEvent{}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
+}
+
+// handleDebugTrace assembles and serves the merged span tree for one
+// trace ID: every span this node recorded for the request, including
+// the slices its peers shipped back on sub-sweep responses. Spans whose
+// parent never arrived (a late or lost peer slice) render as extra
+// roots — a partial tree is still a tree, never an error.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	id := obs.SanitizeTraceID(r.PathValue("id"))
+	w.Header().Set("Content-Type", "application/json")
+	if id == "" {
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(httpError{Error: "a trace ID is required"})
+		return
+	}
+	spans, ok := s.traces.Get(id)
+	if !ok {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(httpError{Error: fmt.Sprintf("trace %q not retained", id)})
+		return
+	}
+	json.NewEncoder(w).Encode(obs.AssembleTree(id, spans))
 }
 
 // handleSweepProgress streams a sweep's live progress as server-sent

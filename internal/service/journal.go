@@ -327,7 +327,7 @@ func SweepWithJournal(ctx context.Context, pool *Pool, base cpu.Config, g *sfg.G
 		if progress != nil {
 			progress(i, results[i])
 		}
-	})
+	}, nil)
 	if err != nil {
 		return nil, resumed, err
 	}

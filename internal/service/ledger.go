@@ -1,0 +1,193 @@
+package service
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// The cost ledger answers "where did this sweep's time and error budget
+// go?" per design point: which serving tier produced the answer, on
+// which node, in which lockstep cohort, and how much wall time it cost.
+// Every sweep fills one ledger slot per grid point — the response tail,
+// the run manifest and the statsimd_point_cost_* Prometheus families
+// are all views over the same entries, so they can never disagree.
+
+// Ledger tiers, in serving order. Exactly one applies to each point.
+const (
+	// TierResumed: the point was replayed from a checkpoint journal —
+	// no work this run, wall time zero.
+	TierResumed = "resumed"
+	// TierStore: an exact durable-store hit (ground truth).
+	TierStore = "store"
+	// TierSurrogate: a gated surrogate prediction (estimate).
+	TierSurrogate = "surrogate"
+	// TierSimulated: the point ran through a pipeline model.
+	TierSimulated = "simulated"
+)
+
+// PointCost is one sweep point's ledger entry.
+type PointCost struct {
+	// Index is the point's position in the sweep grid.
+	Index int `json:"index"`
+	// Tier is which serving tier answered: resumed, store, surrogate or
+	// simulated.
+	Tier string `json:"tier"`
+	// Node names the daemon that did the work (the executing peer for
+	// remote points, this node otherwise).
+	Node string `json:"node,omitempty"`
+	// Cohort is the lockstep group the point executed in, -1 when the
+	// point never entered the batch engine (oracle hits, resumes,
+	// fidelity and remote points).
+	Cohort int `json:"cohort"`
+	// WallS is the point's share of wall time. Points batched in a
+	// lockstep cohort split the cohort's wall time evenly; remote points
+	// carry the executing peer's measurement.
+	WallS float64 `json:"wall_s"`
+	// Estimated marks answers that are predictions, not measurements
+	// (the surrogate tier).
+	Estimated bool `json:"estimated,omitempty"`
+}
+
+// costLedger collects one sweep's per-point entries. Writers touch
+// disjoint indices (the sweep engine's invariant), so the only mutable
+// shared state needs no lock.
+type costLedger struct {
+	node    string
+	entries []PointCost
+}
+
+func newCostLedger(node string, points int) *costLedger {
+	l := &costLedger{node: node, entries: make([]PointCost, points)}
+	for i := range l.entries {
+		l.entries[i] = PointCost{Index: i, Cohort: -1}
+	}
+	return l
+}
+
+// record fills index's slot. Safe for concurrent use across disjoint
+// indices; nil ledgers no-op so untraced paths pay nothing.
+func (l *costLedger) record(index int, tier, node string, cohort int, wallS float64, estimated bool) {
+	if l == nil || index < 0 || index >= len(l.entries) {
+		return
+	}
+	if node == "" {
+		node = l.node
+	}
+	l.entries[index] = PointCost{
+		Index: index, Tier: tier, Node: node,
+		Cohort: cohort, WallS: wallS, Estimated: estimated,
+	}
+}
+
+// snapshot returns the entries (the caller must be done writing).
+func (l *costLedger) snapshot() []PointCost {
+	if l == nil {
+		return nil
+	}
+	out := make([]PointCost, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// manifestCost folds ledger entries into the manifest's cost block.
+func manifestCost(entries []PointCost) *obs.ManifestCost {
+	if len(entries) == 0 {
+		return nil
+	}
+	c := &obs.ManifestCost{
+		Points:        len(entries),
+		PointsByTier:  make(map[string]int),
+		SecondsByTier: make(map[string]float64),
+	}
+	nodes := make(map[string]bool)
+	for _, e := range entries {
+		tier := e.Tier
+		if tier == "" {
+			tier = TierSimulated
+		}
+		c.PointsByTier[tier]++
+		c.SecondsByTier[tier] += e.WallS
+		if e.Node != "" {
+			nodes[e.Node] = true
+		}
+		if e.Estimated {
+			c.Estimated++
+		}
+	}
+	for n := range nodes {
+		c.Nodes = append(c.Nodes, n)
+	}
+	sort.Strings(c.Nodes)
+	return c
+}
+
+// costKey labels one statsimd_point_cost_* series.
+type costKey struct {
+	tier string
+	node string
+}
+
+// costCounters aggregates ledger entries across sweeps for the
+// Prometheus families statsimd_point_cost_points_total and
+// statsimd_point_cost_seconds_total, both labelled {tier,node}.
+type costCounters struct {
+	mu      sync.Mutex
+	points  map[costKey]uint64
+	seconds map[costKey]float64
+}
+
+func newCostCounters() *costCounters {
+	return &costCounters{
+		points:  make(map[costKey]uint64),
+		seconds: make(map[costKey]float64),
+	}
+}
+
+// add folds one sweep's entries in.
+func (c *costCounters) add(entries []PointCost) {
+	if c == nil || len(entries) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range entries {
+		tier := e.Tier
+		if tier == "" {
+			tier = TierSimulated
+		}
+		k := costKey{tier: tier, node: e.Node}
+		c.points[k]++
+		c.seconds[k] += e.WallS
+	}
+}
+
+// costSample is one exported series of the cost families.
+type costSample struct {
+	Tier    string
+	Node    string
+	Points  uint64
+	Seconds float64
+}
+
+// export returns the series sorted by (tier, node) so the exposition is
+// deterministic.
+func (c *costCounters) export() []costSample {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]costSample, 0, len(c.points))
+	for k, n := range c.points {
+		out = append(out, costSample{Tier: k.tier, Node: k.node, Points: n, Seconds: c.seconds[k]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tier != out[j].Tier {
+			return out[i].Tier < out[j].Tier
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}

@@ -3,11 +3,14 @@ package service
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/fault"
 	"repro/internal/lockstep"
+	"repro/internal/obs"
 	"repro/internal/sfg"
 )
 
@@ -37,14 +40,37 @@ import (
 // an error after the surviving points of the group have completed, so a
 // partial crash journals everything that did finish — exactly like the
 // per-point engine it replaces.
-func runPendingBatched(ctx context.Context, pool *Pool, faults *fault.Injector, base cpu.Config, g *sfg.Graph, points []SweepPoint, indices []int, r, seed uint64, report func(index int, m core.Metrics)) error {
+//
+// noteCost, when non-nil, receives one cost observation per completed
+// point: the plan's group index is the point's cohort ID, and the
+// group's wall time is split evenly across its points (the lockstep
+// engine advances all of a group's pipelines together, so an even split
+// is the faithful attribution). Each cohort also records one "cohort"
+// span on the request's tracer, so the assembled trace shows where a
+// sweep's simulation time went group by group.
+func runPendingBatched(ctx context.Context, pool *Pool, faults *fault.Injector, base cpu.Config, g *sfg.Graph, points []SweepPoint, indices []int, r, seed uint64, report func(index int, m core.Metrics), noteCost func(index, cohort int, wallS float64)) error {
 	pts := make([]lockstep.Point, len(indices))
 	key := lockstep.Key{K: g.K, R: r, Seed: seed}
 	for k, i := range indices {
 		pts[k] = lockstep.Point{Key: key, Index: i}
 	}
 	plan := lockstep.Plan(pts, lockstep.Options{Parallel: pool.Stats().Workers})
+	tracer := obs.TracerFromContext(ctx)
 	_, err := Map(ctx, pool, len(plan), func(ctx context.Context, gi int) (struct{}, error) {
+		groupStart := time.Now()
+		_, span := tracer.StartSpan(ctx, "cohort")
+		span.Annotate("cohort", strconv.Itoa(gi))
+		span.Annotate("points", strconv.Itoa(len(plan[gi].Indices)))
+		defer span.End()
+		finish := func(batch []int) {
+			if noteCost == nil || len(batch) == 0 {
+				return
+			}
+			wall := time.Since(groupStart).Seconds() / float64(len(batch))
+			for _, i := range batch {
+				noteCost(i, gi, wall)
+			}
+		}
 		var firstErr error
 		batch := make([]int, 0, len(plan[gi].Indices))
 		for _, i := range plan[gi].Indices {
@@ -71,6 +97,7 @@ func runPendingBatched(ctx context.Context, pool *Pool, faults *fault.Injector, 
 				return struct{}{}, fmt.Errorf("point %s: %w", points[i], err)
 			}
 			report(i, m)
+			finish(batch)
 		default:
 			cfgs := make([]cpu.Config, len(batch))
 			for k, i := range batch {
@@ -83,6 +110,7 @@ func runPendingBatched(ctx context.Context, pool *Pool, faults *fault.Injector, 
 			for k, i := range batch {
 				report(i, ms[k])
 			}
+			finish(batch)
 		}
 		return struct{}{}, firstErr
 	})

@@ -4,7 +4,9 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"strconv"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -233,9 +235,12 @@ func (s *Server) oracleFilter(ctx context.Context, p sweepParams, pending []int,
 	if !s.oracle.enabled() || len(pending) == 0 {
 		return pending
 	}
+	_, span := obs.TracerFromContext(ctx).StartSpan(ctx, "oracle.filter")
 	ri := requestInfo(ctx)
+	var storeHits, surrogateHits int
 	remain := pending[:0]
 	for _, i := range pending {
+		t0 := time.Now()
 		key := oracleKey(p.pkey, p.points[i].Apply(p.base), p.red, p.simSeed)
 		if m, ok := s.oracle.lookup(key); ok {
 			results[i] = SweepResult{Point: p.points[i], Metrics: m, Served: ServedFromStore}
@@ -243,6 +248,8 @@ func (s *Server) oracleFilter(ctx context.Context, p sweepParams, pending []int,
 				_ = j.Append(i, m)
 			}
 			s.sweepFromStore.Add(1)
+			p.ledger.record(i, TierStore, "", -1, time.Since(t0).Seconds(), false)
+			storeHits++
 			if ri != nil {
 				ri.storeHits.Add(1)
 			}
@@ -256,6 +263,8 @@ func (s *Server) oracleFilter(ctx context.Context, p sweepParams, pending []int,
 				e := est
 				results[i] = SweepResult{Point: p.points[i], Served: ServedFromSurrogate, Estimate: &e}
 				s.sweepFromSurrogate.Add(1)
+				p.ledger.record(i, TierSurrogate, "", -1, time.Since(t0).Seconds(), true)
+				surrogateHits++
 				if ri != nil {
 					ri.surrogateHits.Add(1)
 				}
@@ -267,5 +276,9 @@ func (s *Server) oracleFilter(ctx context.Context, p sweepParams, pending []int,
 		}
 		remain = append(remain, i)
 	}
+	span.Annotate("store_hits", strconv.Itoa(storeHits))
+	span.Annotate("surrogate_hits", strconv.Itoa(surrogateHits))
+	span.Annotate("simulate", strconv.Itoa(len(remain)))
+	span.End()
 	return remain
 }

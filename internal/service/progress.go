@@ -62,8 +62,14 @@ func newProgressFeed(id string) *progressFeed {
 }
 
 // publish appends one event and wakes every waiting subscriber. Events
-// after a terminal one are dropped — the feed's story has ended.
+// after a terminal one are dropped — the feed's story has ended. A nil
+// feed discards everything: cluster fan-out sub-sweeps share the root
+// request's trace ID, so they run with a nil feed rather than colliding
+// with the coordinator's feed for the same ID.
 func (f *progressFeed) publish(ev ProgressEvent) {
+	if f == nil {
+		return
+	}
 	ev.TraceID = f.id
 	f.mu.Lock()
 	if f.done {
@@ -83,6 +89,9 @@ func (f *progressFeed) publish(ev ProgressEvent) {
 // ended, and a channel that closes on the next publish (for use when no
 // new events were available).
 func (f *progressFeed) next(from int) (evs []ProgressEvent, done bool, wake <-chan struct{}) {
+	if f == nil {
+		return nil, true, nil
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if from < len(f.events) {

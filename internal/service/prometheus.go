@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -75,6 +76,17 @@ func (p *promWriter) sample(name string, value string, labels ...string) {
 	p.printf("%s{%s} %s\n", name, b.String(), value)
 }
 
+// sampleFloat emits one float-valued series line, suppressing NaN and
+// ±Inf: a division by a zero count must not poison the scrape (many
+// collectors reject the whole exposition on an unparsable or non-finite
+// sample where they expected a finite gauge).
+func (p *promWriter) sampleFloat(name string, value float64, labels ...string) {
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return
+	}
+	p.sample(name, promFloat(value), labels...)
+}
+
 func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 func promUint(v uint64) string   { return strconv.FormatUint(v, 10) }
 
@@ -125,6 +137,7 @@ type promSnapshot struct {
 	fidelity      FidelityStats
 	oracle        *OracleStatus
 	cluster       *ClusterMetrics
+	costs         []costSample
 }
 
 // writePrometheus renders the complete exposition. Every family carries
@@ -137,6 +150,7 @@ func writePrometheus(w io.Writer, m *Metrics, st promSnapshot) error {
 
 	p.family("statsimd_build_info", "Build provenance; the value is always 1.", "gauge")
 	p.sample("statsimd_build_info", "1",
+		"version", st.build.Version,
 		"go_version", st.build.GoVersion,
 		"revision", st.build.Revision,
 		"dirty", strconv.FormatBool(st.build.Dirty))
@@ -205,6 +219,17 @@ func writePrometheus(w io.Writer, m *Metrics, st promSnapshot) error {
 	p.sample("statsimd_sweep_points_total", promUint(st.robustness.SweepPointsFromSurrogate), "source", "surrogate")
 	p.sample("statsimd_sweep_points_total", promUint(st.robustness.SweepPointsSimulated), "source", "simulated")
 
+	if len(st.costs) > 0 {
+		p.family("statsimd_point_cost_points_total", "Cost-ledger entries by serving tier and executing node.", "counter")
+		for _, c := range st.costs {
+			p.sample("statsimd_point_cost_points_total", promUint(c.Points), "tier", c.Tier, "node", c.Node)
+		}
+		p.family("statsimd_point_cost_seconds_total", "Wall time attributed to sweep points by serving tier and executing node.", "counter")
+		for _, c := range st.costs {
+			p.sampleFloat("statsimd_point_cost_seconds_total", c.Seconds, "tier", c.Tier, "node", c.Node)
+		}
+	}
+
 	p.family("statsimd_flight_events_total", "Request events recorded by the flight recorder.", "counter")
 	p.sample("statsimd_flight_events_total", promUint(st.flightEvents))
 
@@ -217,7 +242,7 @@ func writePrometheus(w io.Writer, m *Metrics, st promSnapshot) error {
 	p.family("statsimd_fidelity_detailed_insts_total", "Instructions run through the execution-driven model by fidelity escalations (warm-up included).", "counter")
 	p.sample("statsimd_fidelity_detailed_insts_total", promUint(st.fidelity.DetailedInsts))
 	p.family("statsimd_fidelity_ci_width", "Final relative CI half-width per fidelity evaluation (sum/count expose the mean).", "summary")
-	p.sample("statsimd_fidelity_ci_width_sum", promFloat(st.fidelity.CIWidthSum))
+	p.sampleFloat("statsimd_fidelity_ci_width_sum", st.fidelity.CIWidthSum)
 	p.sample("statsimd_fidelity_ci_width_count", promUint(st.fidelity.CIWidthCount))
 
 	if st.store != nil {

@@ -1,10 +1,12 @@
 package statsim
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -60,5 +62,27 @@ func TestObsDisabledOverhead(t *testing.T) {
 	t.Logf("plain %v, nil-traced %v (budget %v)", plain, traced, budget)
 	if traced > budget {
 		t.Errorf("disabled obs path too slow: %v vs plain %v (budget %v)", traced, plain, budget)
+	}
+}
+
+// TestTracingDisabledZeroAllocs pins the distributed-tracing layer's
+// disabled-path contract: with no tracer in context (a nil *Tracer),
+// the span entry points that now sit on the sweep hot path —
+// StartSpan, Annotate, End, Import, plus the context lookups — must
+// allocate nothing. A single allocation per span would multiply across
+// every cohort of every sweep on every untraced caller.
+func TestTracingDisabledZeroAllocs(t *testing.T) {
+	ctx := context.Background()
+	var tr *obs.Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr2 := obs.TracerFromContext(ctx)
+		c2, span := tr2.StartSpan(ctx, "cohort")
+		span.Annotate("k", "v")
+		span.End()
+		tr.Import(nil)
+		_ = obs.SpanIDFromContext(c2)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing path allocates: %.1f allocs/op, want 0", allocs)
 	}
 }
